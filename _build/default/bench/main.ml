@@ -1,0 +1,248 @@
+(* Regenerates every table and figure of the paper's evaluation (§5):
+
+     fig7a   — Figure 7a: Ace runtime vs CRL (both SC), five benchmarks
+     fig7b   — Figure 7b: SC vs application-specific protocols in Ace
+     table4  — Table 4: compiler optimization levels vs hand-written code
+     ablation — the design-choice ablations DESIGN.md calls out
+     micro   — Bechamel microbenchmarks of simulator primitives (wall clock)
+
+   Times are simulated seconds on the modelled 32-node CM-5 (deterministic;
+   absolute values depend on the cost model, shapes are the reproduction
+   target — see EXPERIMENTS.md). Run with no arguments for everything
+   except micro. *)
+
+module E = Ace_harness.Experiments
+module T4 = Ace_harness.Table4
+
+let scale = ref { E.nprocs = 32; factor = 1 }
+
+let line () = print_endline (String.make 72 '=')
+
+let fig7a () =
+  line ();
+  Printf.printf "Figure 7a: Ace runtime system versus CRL (SC protocol, %d procs)\n"
+    !scale.E.nprocs;
+  line ();
+  let rows = E.fig7a ~scale:!scale () in
+  E.print_rows ~left:"CRL" ~right:"Ace" rows;
+  print_newline ()
+
+let fig7b () =
+  line ();
+  Printf.printf
+    "Figure 7b: single (SC) protocol vs application-specific protocols (%d procs)\n"
+    !scale.E.nprocs;
+  line ();
+  let rows = E.fig7b ~scale:!scale () in
+  E.print_rows ~left:"SC" ~right:"custom" rows;
+  let avg =
+    List.fold_left (fun a r -> a +. E.speedup r) 0. rows
+    /. float_of_int (List.length rows)
+  in
+  Printf.printf "average speedup: %.2fx (paper: range 1.02-5, average ~2)\n\n" avg
+
+let table4 () =
+  line ();
+  Printf.printf
+    "Table 4: effects of compiler optimizations (simulated seconds, %d procs)\n"
+    !scale.E.nprocs;
+  line ();
+  T4.print_rows (T4.table4 ~nprocs:!scale.E.nprocs ());
+  print_newline ()
+
+(* ---- ablations (DESIGN.md section 5) ---- *)
+
+let ablation_mapping () =
+  (* the "more efficient mapping technique": rerun EM3D with Ace's map and
+     miss costs degraded to CRL's *)
+  let nprocs = !scale.E.nprocs in
+  let run cost =
+    let rt = Ace_runtime.Runtime.create ~cost ~nprocs () in
+    Ace_protocols.Proto_lib.register_all rt;
+    for _ = 1 to Ace_apps.Em3d.n_spaces do
+      ignore (Ace_runtime.Runtime.new_space rt "SC")
+    done;
+    let module A = Ace_apps.Em3d.Make (Ace_runtime.Ops.Api) in
+    let cfg = { Ace_apps.Em3d.default with Ace_apps.Em3d.steps = 5 } in
+    Ace_runtime.Runtime.run rt (fun ctx -> ignore (A.run cfg ctx));
+    Ace_runtime.Runtime.time_seconds rt
+  in
+  let fast = run Ace_net.Cost_model.cm5_ace in
+  let slow =
+    run
+      {
+        Ace_net.Cost_model.cm5_ace with
+        Ace_net.Cost_model.map_hit =
+          Ace_net.Cost_model.cm5_crl.Ace_net.Cost_model.map_hit;
+        miss_overhead =
+          Ace_net.Cost_model.cm5_crl.Ace_net.Cost_model.miss_overhead;
+      }
+  in
+  Printf.printf
+    "mapping + lean protocol (EM3D): ace=%.6fs, ace-with-CRL-costs=%.6fs (%.2fx)\n"
+    fast slow (slow /. fast)
+
+let ablation_granularity () =
+  (* user-specified granularity (§2.3): each processor repeatedly writes
+     one logical datum. With one datum per region the writes are
+     processor-local; with eight data packed into one fixed "cache line"
+     region, eight writers false-share the coherence unit and it
+     ping-pongs exclusively between them. *)
+  let nprocs = !scale.E.nprocs in
+  let run ~packed =
+    let rt = Ace_runtime.Runtime.create ~nprocs () in
+    Ace_protocols.Proto_lib.register_all rt;
+    ignore (Ace_runtime.Runtime.new_space rt "SC");
+    Ace_runtime.Runtime.run rt (fun ctx ->
+        let open Ace_runtime.Ops in
+        let my = me ctx in
+        let h, slot =
+          if packed then begin
+            (* processor p writes slot (p mod 8) of region (p / 8), all
+               regions homed at node 0 *)
+            if my = 0 then
+              for _ = 1 to (nprocs ctx + 7) / 8 do
+                ignore (alloc ctx ~space:0 ~len:8)
+              done;
+            barrier ctx ~space:0;
+            (map ctx (global_id ctx ~space:0 ~owner:0 ~seq:(my / 8)), my mod 8)
+          end
+          else begin
+            let h = alloc ctx ~space:0 ~len:1 in
+            barrier ctx ~space:0;
+            (h, 0)
+          end
+        in
+        for _ = 1 to 40 do
+          start_write ctx h;
+          (data ctx h).(slot) <- (data ctx h).(slot) +. 1.;
+          end_write ctx h
+        done;
+        barrier ctx ~space:0);
+    Ace_runtime.Runtime.time_seconds rt
+  in
+  let fine = run ~packed:false and packed = run ~packed:true in
+  Printf.printf
+    "granularity (40 writes/proc): per-datum regions=%.6fs, 8 writers per packed region=%.6fs (%.1fx false-sharing penalty)\n"
+    fine packed (packed /. fine)
+
+let ablation_learning_window () =
+  (* static update amortization: the learning iterations dominate short
+     runs and vanish in long ones *)
+  let nprocs = !scale.E.nprocs in
+  let run steps =
+    let rt = Ace_runtime.Runtime.create ~nprocs () in
+    Ace_protocols.Proto_lib.register_all rt;
+    for _ = 1 to Ace_apps.Em3d.n_spaces do
+      ignore (Ace_runtime.Runtime.new_space rt "SC")
+    done;
+    let module A = Ace_apps.Em3d.Make (Ace_runtime.Ops.Api) in
+    let cfg =
+      {
+        Ace_apps.Em3d.default with
+        Ace_apps.Em3d.steps;
+        protocol = Some "STATIC_UPDATE";
+      }
+    in
+    Ace_runtime.Runtime.run rt (fun ctx -> ignore (A.run cfg ctx));
+    Ace_runtime.Runtime.time_seconds rt
+  in
+  let short = run 3 and long = run 12 in
+  Printf.printf
+    "static-update amortization (EM3D): %.6fs/step at 3 steps vs %.6fs/step at 12\n"
+    (short /. 3.) (long /. 12.)
+
+let ablation () =
+  line ();
+  print_endline "Ablations (DESIGN.md section 5)";
+  line ();
+  ablation_mapping ();
+  ablation_granularity ();
+  ablation_learning_window ();
+  print_newline ()
+
+(* ---- bechamel microbenchmarks (wall-clock cost of the simulator) ---- *)
+
+let micro () =
+  let open Bechamel in
+  let barrier_bench () =
+    let m = Ace_engine.Machine.create ~nprocs:8 in
+    let b = Ace_engine.Machine.Barrier.create m ~cost:(fun _ -> 10.) in
+    Ace_engine.Machine.run m (fun p ->
+        for _ = 1 to 10 do
+          Ace_engine.Machine.Barrier.wait b p
+        done)
+  in
+  let coherence_bench () =
+    let rt = Ace_runtime.Runtime.create ~nprocs:4 () in
+    ignore (Ace_runtime.Runtime.new_space rt "SC");
+    Ace_runtime.Runtime.run rt (fun ctx ->
+        let open Ace_runtime.Ops in
+        if me ctx = 0 then ignore (alloc ctx ~space:0 ~len:8);
+        barrier ctx ~space:0;
+        let h = map ctx (global_id ctx ~space:0 ~owner:0 ~seq:0) in
+        for _ = 1 to 20 do
+          start_write ctx h;
+          (data ctx h).(0) <- 1.;
+          end_write ctx h;
+          barrier ctx ~space:0
+        done)
+  in
+  let em3d_bench () =
+    let rt = Ace_runtime.Runtime.create ~nprocs:4 () in
+    Ace_protocols.Proto_lib.register_all rt;
+    for _ = 1 to Ace_apps.Em3d.n_spaces do
+      ignore (Ace_runtime.Runtime.new_space rt "SC")
+    done;
+    let module A = Ace_apps.Em3d.Make (Ace_runtime.Ops.Api) in
+    let cfg =
+      { Ace_apps.Em3d.default with Ace_apps.Em3d.n_nodes = 64; steps = 2 }
+    in
+    Ace_runtime.Runtime.run rt (fun ctx -> ignore (A.run cfg ctx))
+  in
+  let tests =
+    Test.make_grouped ~name:"ace"
+      [
+        Test.make ~name:"barrier-8p-x10" (Staged.stage barrier_bench);
+        Test.make ~name:"sc-writes-4p-x20" (Staged.stage coherence_bench);
+        Test.make ~name:"em3d-4p-2steps" (Staged.stage em3d_bench);
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      (Toolkit.Instance.monotonic_clock) raw
+  in
+  line ();
+  print_endline "Bechamel microbenchmarks (host wall-clock per simulated run)";
+  line ();
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
+    results;
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let flags, selections = List.partition (fun a -> a = "--small") args in
+  if flags <> [] then scale := { E.nprocs = 8; factor = 1 };
+  List.iter
+    (fun a ->
+      match a with
+      | "fig7a" | "fig7b" | "table4" | "ablation" | "micro" -> ()
+      | other ->
+          Printf.eprintf
+            "unknown argument %s (expected: fig7a fig7b table4 ablation micro [--small])\n"
+            other;
+          exit 2)
+    selections;
+  let wants s = selections = [] || List.mem s selections in
+  if wants "fig7a" then fig7a ();
+  if wants "fig7b" then fig7b ();
+  if wants "table4" then table4 ();
+  if wants "ablation" then ablation ();
+  if List.mem "micro" selections then micro ()

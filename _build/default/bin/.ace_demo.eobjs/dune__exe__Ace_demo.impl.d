@@ -1,0 +1,1 @@
+bin/ace_demo.ml: Ace_apps Ace_harness Arg Cmd Cmdliner Printf Term

@@ -1,0 +1,1 @@
+bin/acec.ml: Ace_lang Ace_protocols Ace_runtime Arg Cmd Cmdliner Printf Term

@@ -1,0 +1,170 @@
+(* Command-line driver: run any benchmark application on any backend with
+   any protocol configuration on the simulated machine.
+
+     ace_demo em3d --backend ace --protocol STATIC_UPDATE --procs 16
+     ace_demo water --backend ace --phase-protocols NULL,PIPELINE
+     ace_demo tsp --backend crl
+*)
+
+open Cmdliner
+
+let run_app app backend nprocs protocol steps scale verbose =
+  let module D = Ace_harness.Driver in
+  let factor = scale in
+  let pick crl ace = match backend with `Crl -> crl () | `Ace -> ace () in
+  let outcome, reference =
+    match app with
+    | `Em3d ->
+        let cfg =
+          {
+            Ace_apps.Em3d.default with
+            Ace_apps.Em3d.n_nodes = 200 * factor;
+            steps;
+            protocol = (match backend with `Ace -> protocol | `Crl -> None);
+          }
+        in
+        ( pick
+            (fun () -> D.run_crl ~nprocs (module Ace_apps.Em3d) cfg)
+            (fun () -> D.run_ace ~nprocs (module Ace_apps.Em3d) cfg),
+          Some
+            (Ace_apps.Em3d.checksum (Ace_apps.Em3d.reference cfg ~nprocs)) )
+    | `Barnes_hut ->
+        let cfg =
+          {
+            Ace_apps.Barnes_hut.default with
+            Ace_apps.Barnes_hut.n_bodies = 128 * factor;
+            steps;
+            protocol = (match backend with `Ace -> protocol | `Crl -> None);
+          }
+        in
+        ( pick
+            (fun () -> D.run_crl ~nprocs (module Ace_apps.Barnes_hut) cfg)
+            (fun () -> D.run_ace ~nprocs (module Ace_apps.Barnes_hut) cfg),
+          Some (Ace_apps.Barnes_hut.checksum (Ace_apps.Barnes_hut.reference cfg))
+        )
+    | `Bsc ->
+        let cfg =
+          {
+            Ace_apps.Cholesky.default with
+            Ace_apps.Cholesky.core =
+              {
+                Ace_apps.Cholesky.default.Ace_apps.Cholesky.core with
+                Ace_apps.Chol_core.nb = 6 * factor;
+              };
+            protocol = (match backend with `Ace -> protocol | `Crl -> None);
+          }
+        in
+        ( pick
+            (fun () -> D.run_crl ~nprocs (module Ace_apps.Cholesky) cfg)
+            (fun () -> D.run_ace ~nprocs (module Ace_apps.Cholesky) cfg),
+          Some
+            (Ace_apps.Chol_core.checksum
+               (Ace_apps.Chol_core.reference cfg.Ace_apps.Cholesky.core)) )
+    | `Tsp ->
+        let cfg =
+          {
+            Ace_apps.Tsp.default with
+            Ace_apps.Tsp.counter_protocol =
+              (match backend with `Ace -> protocol | `Crl -> None);
+          }
+        in
+        ( pick
+            (fun () -> D.run_crl ~nprocs (module Ace_apps.Tsp) cfg)
+            (fun () -> D.run_ace ~nprocs (module Ace_apps.Tsp) cfg),
+          Some (Ace_apps.Tsp_core.reference cfg.Ace_apps.Tsp.core) )
+    | `Water phase_protocols ->
+        let cfg : Ace_apps.Water.config =
+          {
+            Ace_apps.Water.core =
+              {
+                Ace_apps.Water.default.Ace_apps.Water.core with
+                Ace_apps.Water_core.n_mol = 32 * factor;
+                steps;
+              };
+            phase_protocols =
+              (match backend with `Ace -> phase_protocols | `Crl -> None);
+          }
+        in
+        ( pick
+            (fun () -> D.run_crl ~nprocs (module Ace_apps.Water) cfg)
+            (fun () -> D.run_ace ~nprocs (module Ace_apps.Water) cfg),
+          Some
+            (Ace_apps.Water_core.checksum
+               (Ace_apps.Water_core.reference cfg.Ace_apps.Water.core)) )
+  in
+  Printf.printf "simulated time: %.6f s (on the modelled 33 MHz, %d-node machine)\n"
+    outcome.D.seconds nprocs;
+  Printf.printf "result (node 0): %.9g\n" outcome.D.result;
+  (match reference with
+  | Some r when verbose ->
+      Printf.printf "sequential reference: %.9g (delta %.3g)\n" r
+        (abs_float (r -. outcome.D.result))
+  | _ -> ());
+  0
+
+let app_arg =
+  let apps =
+    [
+      ("em3d", `Em3d);
+      ("barnes-hut", `Barnes_hut);
+      ("bsc", `Bsc);
+      ("tsp", `Tsp);
+      ("water", `Water_marker);
+    ]
+  in
+  Arg.(
+    required
+    & pos 0 (some (enum apps)) None
+    & info [] ~docv:"APP" ~doc:"Benchmark: em3d, barnes-hut, bsc, tsp or water.")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("ace", `Ace); ("crl", `Crl) ]) `Ace
+    & info [ "backend" ] ~docv:"SYS" ~doc:"Runtime system: ace or crl.")
+
+let procs_arg =
+  Arg.(value & opt int 16 & info [ "procs"; "p" ] ~doc:"Simulated processors.")
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "protocol" ]
+        ~doc:"Custom protocol name (e.g. STATIC_UPDATE, DYN_UPDATE, COUNTER).")
+
+let phases_arg =
+  Arg.(
+    value
+    & opt (some (pair ~sep:',' string string)) None
+    & info [ "phase-protocols" ]
+        ~doc:"Water only: INTRA,INTER protocol pair (e.g. NULL,PIPELINE).")
+
+let steps_arg =
+  Arg.(value & opt int 5 & info [ "steps" ] ~doc:"Iterations (where applicable).")
+
+let scale_arg =
+  Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Problem size multiplier.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the reference value.")
+
+let cmd =
+  let doc = "run an Ace/CRL benchmark on the simulated CM-5" in
+  Cmd.v
+    (Cmd.info "ace_demo" ~doc)
+    Term.(
+      const (fun app backend nprocs protocol phases steps scale verbose ->
+          let app =
+            match app with
+            | `Water_marker -> `Water phases
+            | `Em3d -> `Em3d
+            | `Barnes_hut -> `Barnes_hut
+            | `Bsc -> `Bsc
+            | `Tsp -> `Tsp
+          in
+          run_app app backend nprocs protocol steps scale verbose)
+      $ app_arg $ backend_arg $ procs_arg $ protocol_arg $ phases_arg
+      $ steps_arg $ scale_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

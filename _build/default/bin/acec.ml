@@ -1,0 +1,93 @@
+(* acec: the MiniAce compiler driver.
+
+     acec prog.ace                      # compile at -O3 and run on 8 procs
+     acec prog.ace -O0 --dump-ir       # show the Fig. 5 annotation inserts
+     acec prog.ace -O2 --procs 32      # run the optimized program
+     acec --dump-config                # print the Fig. 1 registry text
+*)
+
+open Cmdliner
+
+let level_of_int = function
+  | 0 -> Ace_lang.Opt.O0
+  | 1 -> Ace_lang.Opt.O1
+  | 2 -> Ace_lang.Opt.O2
+  | _ -> Ace_lang.Opt.O3
+
+let fresh_runtime nprocs =
+  let rt = Ace_runtime.Runtime.create ~nprocs () in
+  Ace_protocols.Proto_lib.register_all rt;
+  rt
+
+let run file level nprocs dump_ir dump_config no_run =
+  if dump_config then begin
+    let rt = fresh_runtime nprocs in
+    print_string (Ace_lang.Registry.to_text (Ace_lang.Registry.of_runtime rt));
+    0
+  end
+  else
+    match file with
+    | None ->
+        prerr_endline "acec: no input file (see --help)";
+        2
+    | Some file -> (
+        let source =
+          let ic = open_in file in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+        in
+        try
+          let rt = fresh_runtime nprocs in
+          let registry = Ace_lang.Registry.of_runtime rt in
+          let ir, diag =
+            Ace_lang.Compile.compile ~registry ~level:(level_of_int level)
+              source
+          in
+          Printf.printf
+            "compiled %s at %s: %d maps, %d starts, %d ends (%d direct, %d removed)\n"
+            file
+            (Ace_lang.Opt.level_name diag.Ace_lang.Compile.level)
+            diag.Ace_lang.Compile.after.Ace_lang.Ir.maps
+            diag.Ace_lang.Compile.after.Ace_lang.Ir.starts
+            diag.Ace_lang.Compile.after.Ace_lang.Ir.ends
+            diag.Ace_lang.Compile.after.Ace_lang.Ir.direct_calls
+            diag.Ace_lang.Compile.after.Ace_lang.Ir.removed_calls;
+          if dump_ir then print_string (Ace_lang.Ir.to_string ir);
+          if not no_run then begin
+            let result = Ace_lang.Interp.run_spmd rt ir in
+            Printf.printf "ran on %d simulated processors: %.6f s, main() = %.9g\n"
+              nprocs
+              (Ace_runtime.Runtime.time_seconds rt)
+              result
+          end;
+          0
+        with
+        | Failure msg ->
+            Printf.eprintf "acec: %s\n" msg;
+            1
+        | Ace_lang.Interp.Runtime_error msg ->
+            Printf.eprintf "acec: runtime error: %s\n" msg;
+            1)
+
+let cmd =
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.ace")
+  in
+  let level =
+    Arg.(
+      value & opt int 3
+      & info [ "O" ] ~docv:"N" ~doc:"Optimization level 0-3 (base, +LI, +MC, +DC).")
+  in
+  let procs = Arg.(value & opt int 8 & info [ "procs"; "p" ]) in
+  let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the annotated IR.") in
+  let dump_config =
+    Arg.(value & flag & info [ "dump-config" ] ~doc:"Print the protocol registry (Fig. 1).")
+  in
+  let no_run = Arg.(value & flag & info [ "no-run" ] ~doc:"Compile only.") in
+  Cmd.v
+    (Cmd.info "acec" ~doc:"compile and run MiniAce programs on the simulated machine")
+    Term.(const run $ file $ level $ procs $ dump_ir $ dump_config $ no_run)
+
+let () = exit (Cmd.eval' cmd)

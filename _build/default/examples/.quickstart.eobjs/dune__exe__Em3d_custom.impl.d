@@ -1,0 +1,1 @@
+examples/em3d_custom.ml: Ace_apps Ace_harness Printf

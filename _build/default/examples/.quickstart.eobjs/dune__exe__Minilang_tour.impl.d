@@ -1,0 +1,1 @@
+examples/minilang_tour.ml: Ace_lang Ace_protocols Ace_runtime List Printf

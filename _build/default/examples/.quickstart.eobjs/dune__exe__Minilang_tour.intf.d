@@ -1,0 +1,1 @@
+examples/minilang_tour.mli:

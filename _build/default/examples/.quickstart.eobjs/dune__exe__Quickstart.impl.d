@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ace_protocols Ace_runtime Array Printf

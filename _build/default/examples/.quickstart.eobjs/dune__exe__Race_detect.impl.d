@@ -1,0 +1,1 @@
+examples/race_detect.ml: Ace_protocols Ace_runtime Array List Printf String

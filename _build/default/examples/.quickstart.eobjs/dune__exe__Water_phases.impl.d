@@ -1,0 +1,1 @@
+examples/water_phases.ml: Ace_apps Ace_harness Printf

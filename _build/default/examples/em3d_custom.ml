@@ -1,0 +1,42 @@
+(* The paper's §3.3 walk-through: EM3D developed under the default
+   sequentially consistent protocol, then optimized by plugging in update
+   protocol libraries — changing only the Ace_ChangeProtocol calls (here, a
+   config field), exactly like Fig. 2 lines 8-9.
+
+     dune exec examples/em3d_custom.exe
+*)
+
+module Em3d = Ace_apps.Em3d
+module Driver = Ace_harness.Driver
+
+let nprocs = 16
+let iters = 4
+
+let per_iter protocol =
+  let run steps =
+    Driver.run_ace ~nprocs (module Em3d)
+      { Em3d.default with Em3d.n_nodes = 400; steps; protocol }
+  in
+  Driver.per_iteration ~run_with_steps:run ~iters
+
+let () =
+  Printf.printf "EM3D, %d simulated processors, average time per iteration:\n\n"
+    nprocs;
+  let sc = per_iter None in
+  Printf.printf "  sequentially consistent (default)  %.6f s/iter\n"
+    sc.Driver.seconds;
+  let dyn = per_iter (Some "DYN_UPDATE") in
+  Printf.printf "  dynamic update library             %.6f s/iter  (%.1fx)\n"
+    dyn.Driver.seconds
+    (sc.Driver.seconds /. dyn.Driver.seconds);
+  let st = per_iter (Some "STATIC_UPDATE") in
+  Printf.printf "  static update library              %.6f s/iter  (%.1fx)\n"
+    st.Driver.seconds
+    (sc.Driver.seconds /. st.Driver.seconds);
+  Printf.printf
+    "\nall three computed the same values (checksum %.9g)\n"
+    sc.Driver.result;
+  assert (abs_float (sc.Driver.result -. dyn.Driver.result) < 1e-9);
+  assert (abs_float (sc.Driver.result -. st.Driver.result) < 1e-9);
+  print_endline
+    "(the paper reports ~3.5x for dynamic update and ~5x for static update)"

@@ -1,0 +1,1 @@
+lib/ace/ops.ml: Ace_engine Ace_net Ace_region Array Hashtbl Printf Protocol Runtime String

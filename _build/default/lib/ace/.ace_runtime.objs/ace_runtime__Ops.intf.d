@@ -1,0 +1,1 @@
+lib/ace/ops.mli: Ace_region Protocol

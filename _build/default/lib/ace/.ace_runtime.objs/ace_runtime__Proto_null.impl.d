@@ -1,0 +1,1 @@
+lib/ace/proto_null.ml: Ace_net Ace_region List Protocol

@@ -1,0 +1,1 @@
+lib/ace/proto_sc.ml: Ace_net Ace_region List Protocol

@@ -1,0 +1,1 @@
+lib/ace/protocol.ml: Ace_engine Ace_net Ace_region Hashtbl

@@ -1,0 +1,1 @@
+lib/ace/runtime.ml: Ace_engine Ace_net Ace_region Array Hashtbl List Proto_null Proto_sc Protocol String

@@ -1,0 +1,1 @@
+lib/ace/runtime.mli: Ace_engine Ace_net Ace_region Protocol

@@ -1,0 +1,202 @@
+(* The Ace library routines of Table 2, as seen by application code. Every
+   access-control call looks up the region's space and dispatches to its
+   current protocol (paper §4.1), charging the dispatch indirection from the
+   cost model. *)
+
+module Machine = Ace_engine.Machine
+module Store = Ace_region.Store
+module Blocks = Ace_region.Blocks
+module Cost_model = Ace_net.Cost_model
+
+type ctx = Protocol.ctx
+type h = Store.meta
+
+let me (ctx : ctx) = ctx.Protocol.proc.Machine.id
+let nprocs (ctx : ctx) = Machine.nprocs ctx.Protocol.rt.Protocol.machine
+let cost (ctx : ctx) = ctx.Protocol.rt.Protocol.cost
+let rid (h : h) = h.Store.rid
+
+let charge ctx c = Machine.advance ctx.Protocol.proc c
+
+let space_of (ctx : ctx) (h : h) =
+  Runtime.space ctx.Protocol.rt h.Store.space
+
+(* Ace_GMalloc: allocate a region homed at the caller from [space]. *)
+let alloc (ctx : ctx) ~space ~len =
+  let sp = Runtime.space ctx.Protocol.rt space in
+  let meta =
+    Store.alloc ctx.Protocol.rt.Protocol.store ~home:(me ctx) ~len
+      ~space:sp.Protocol.sid
+  in
+  sp.Protocol.rids <- meta.Store.rid :: sp.Protocol.rids;
+  let rt = ctx.Protocol.rt in
+  let seq =
+    match Hashtbl.find_opt rt.Protocol.alloc_seq (space, me ctx) with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add rt.Protocol.alloc_seq (space, me ctx) r;
+        r
+  in
+  Hashtbl.replace rt.Protocol.names (space, me ctx, !seq) meta.Store.rid;
+  incr seq;
+  charge ctx (cost ctx).Cost_model.map_miss;
+  meta
+
+(* ACE_MAP: translate a region id into a local handle. Ace's mapping is the
+   cheap cached lookup the paper credits for its edge over CRL. *)
+let map (ctx : ctx) r =
+  let meta = Store.get ctx.Protocol.rt.Protocol.store r in
+  let _, existed = Store.ensure_copy meta ~node:(me ctx) in
+  let c = cost ctx in
+  charge ctx (if existed then c.Cost_model.map_hit else c.Cost_model.map_miss);
+  meta
+
+let unmap (ctx : ctx) (_ : h) = charge ctx (cost ctx).Cost_model.unmap
+
+let data (ctx : ctx) (h : h) =
+  match Store.copy_of h ~node:(me ctx) with
+  | Some c -> c.Store.cdata
+  | None -> invalid_arg "Ops.data: region not mapped on this node"
+
+(* The dispatcher charges only the space-indirection cost; each protocol
+   handler charges its own processing (so a null handler really is nearly
+   free, and direct-dispatched compiled code can drop even the
+   indirection). *)
+let dispatch_access ctx h hook =
+  charge ctx (cost ctx).Cost_model.dispatch;
+  hook (space_of ctx h).Protocol.proto ctx h
+
+let start_read (ctx : ctx) h =
+  dispatch_access ctx h (fun p -> p.Protocol.start_read);
+  Blocks.begin_access ctx.Protocol.bctx h ~write:false
+
+let end_read (ctx : ctx) h =
+  dispatch_access ctx h (fun p -> p.Protocol.end_read);
+  Blocks.end_access ctx.Protocol.bctx h ~write:false
+
+let start_write (ctx : ctx) h =
+  dispatch_access ctx h (fun p -> p.Protocol.start_write);
+  Blocks.begin_access ctx.Protocol.bctx h ~write:true
+
+let end_write (ctx : ctx) h =
+  dispatch_access ctx h (fun p -> p.Protocol.end_write);
+  Blocks.end_access ctx.Protocol.bctx h ~write:true
+
+let lock (ctx : ctx) h = dispatch_access ctx h (fun p -> p.Protocol.lock)
+let unlock (ctx : ctx) h = dispatch_access ctx h (fun p -> p.Protocol.unlock)
+
+let base_barrier (ctx : ctx) =
+  Machine.Barrier.wait ctx.Protocol.rt.Protocol.base_barrier ctx.Protocol.proc
+
+(* Ace_Barrier(space): the space's protocol gets to act first (e.g. a static
+   update protocol propagates its writes), then the processors synchronize. *)
+let barrier (ctx : ctx) ~space =
+  let sp = Runtime.space ctx.Protocol.rt space in
+  charge ctx (cost ctx).Cost_model.dispatch;
+  sp.Protocol.proto.Protocol.barrier ctx sp;
+  base_barrier ctx
+
+(* Ace_ChangeProtocol: collective. The old protocol defines the transition
+   semantics via its detach hook (flush to base state for the default
+   protocol); barriers separate detach, the swap, and attach so no node can
+   race ahead with the new protocol while another still runs the old one. *)
+let change_protocol (ctx : ctx) ~space name =
+  let sp = Runtime.space ctx.Protocol.rt space in
+  let newp = Runtime.find_protocol ctx.Protocol.rt name in
+  sp.Protocol.proto.Protocol.detach ctx sp;
+  base_barrier ctx;
+  if me ctx = 0 then begin
+    sp.Protocol.proto <- newp;
+    Array.fill sp.Protocol.pstate 0 (Array.length sp.Protocol.pstate)
+      Protocol.Pstate_none
+  end;
+  base_barrier ctx;
+  newp.Protocol.attach ctx sp;
+  base_barrier ctx
+
+(* Collective Ace_NewSpace for SPMD program text (Fig. 2 lines 2-3): the
+   k-th collective call on every node denotes the same space. *)
+let new_space (ctx : ctx) proto_name =
+  let k = ctx.Protocol.space_ctr in
+  ctx.Protocol.space_ctr <- k + 1;
+  let rt = ctx.Protocol.rt in
+  let sp =
+    if k < rt.Protocol.nspaces then Runtime.space rt k
+    else Runtime.new_space rt proto_name
+  in
+  assert (String.equal sp.Protocol.proto.Protocol.name proto_name);
+  sp.Protocol.proto.Protocol.attach ctx sp;
+  sp.Protocol.sid
+
+let work (ctx : ctx) cycles = charge ctx cycles
+
+(* Deterministic region naming: the rid of the [seq]-th region [owner]
+   allocated from [space]. Remote queries are one name-service round trip
+   to the owner. Callers must synchronize (barrier) after the allocation
+   phase before looking names up. *)
+let global_id (ctx : ctx) ~space ~owner ~seq =
+  let rt = ctx.Protocol.rt in
+  let lookup () =
+    match Hashtbl.find_opt rt.Protocol.names (space, owner, seq) with
+    | Some rid -> rid
+    | None ->
+        invalid_arg
+          (Printf.sprintf "global_id (%d, %d, %d): not allocated (missing barrier?)"
+             space owner seq)
+  in
+  if owner = me ctx then begin
+    charge ctx (cost ctx).Cost_model.map_hit;
+    lookup ()
+  end
+  else
+    Ace_net.Am.rpc ctx.Protocol.bctx.Blocks.am ctx.Protocol.proc ~dst:owner
+      ~bytes:Blocks.ctl_bytes (fun reply ~time ->
+        let rid = lookup () in
+        Ace_net.Am.send ctx.Protocol.bctx.Blocks.am ~now:time ~src:owner
+          ~dst:(me ctx) ~bytes:Blocks.ctl_bytes (fun ~time ->
+            Ace_engine.Ivar.fill reply ~time rid))
+
+let bcast (ctx : ctx) ~root f =
+  let ctr = ref ctx.Protocol.coll_ctr in
+  let out =
+    Ace_region.Collective.bcast ctx.Protocol.rt.Protocol.coll ctx.Protocol.bctx
+      ~ctr ~root f
+  in
+  ctx.Protocol.coll_ctr <- !ctr;
+  out
+
+let allgather (ctx : ctx) mine =
+  let ctr = ref ctx.Protocol.coll_ctr in
+  let out =
+    Ace_region.Collective.allgather ctx.Protocol.rt.Protocol.coll
+      ctx.Protocol.bctx ~ctr mine
+  in
+  ctx.Protocol.coll_ctr <- !ctr;
+  out
+
+(* The shared DSM facade (paper §5.1: same sources on both systems). *)
+module Api : Ace_region.Dsm_intf.S with type ctx = Protocol.ctx and type h = Store.meta =
+struct
+  type nonrec ctx = ctx
+  type nonrec h = h
+
+  let me = me
+  let nprocs = nprocs
+  let alloc = alloc
+  let rid = rid
+  let map = map
+  let unmap = unmap
+  let data = data
+  let start_read = start_read
+  let end_read = end_read
+  let start_write = start_write
+  let end_write = end_write
+  let lock = lock
+  let unlock = unlock
+  let barrier = barrier
+  let change_protocol = change_protocol
+  let work = work
+  let bcast = bcast
+  let allgather = allgather
+end

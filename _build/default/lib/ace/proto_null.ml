@@ -1,0 +1,42 @@
+(* The null protocol: no coherence actions at all. Correct only while each
+   region is accessed by nodes already holding a fresh copy and written only
+   at its home (e.g. Water's intra-molecular phase, paper §2.2: processors
+   update their own molecules, which Ace_GMalloc homed locally — home writes
+   land directly in the master). Locks remain real so synchronization stays
+   sound even under the null protocol.
+
+   Detach drops every non-home copy this node holds (collectively, all
+   stale caches disappear), so the next protocol starts from fresh fetches;
+   the master needs no publishing because only homes wrote. *)
+
+module Blocks = Ace_region.Blocks
+module Store = Ace_region.Store
+
+let lock (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.lock_base;
+  Blocks.home_lock ctx.Protocol.bctx meta
+
+let unlock (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.lock_base;
+  Blocks.home_unlock ctx.Protocol.bctx meta
+
+let detach (ctx : Protocol.ctx) (sp : Protocol.space) =
+  let node = Blocks.node ctx.Protocol.bctx in
+  List.iter
+    (fun rid ->
+      let meta = Store.get ctx.Protocol.rt.Protocol.store rid in
+      if node <> meta.Store.home then
+        match Store.copy_of meta ~node with
+        | Some c -> c.Store.cstate <- Store.Invalid
+        | None -> ())
+    sp.Protocol.rids
+
+let protocol =
+  {
+    Protocol.null_protocol with
+    Protocol.name = "NULL";
+    optimizable = true;
+    lock;
+    unlock;
+    detach;
+  }

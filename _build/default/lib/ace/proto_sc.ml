@@ -1,0 +1,57 @@
+(* The default protocol: a sequentially consistent, home-based invalidation
+   protocol (MSI over regions) — what Ace programs get until they opt into
+   a custom protocol. Not optimizable: SC forbids reordering protocol calls
+   (paper §4.2). *)
+
+module Blocks = Ace_region.Blocks
+module Store = Ace_region.Store
+
+let start_read (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.start_hit;
+  Blocks.fetch_shared ctx.Protocol.bctx meta
+
+let start_write (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.start_hit;
+  Blocks.fetch_exclusive ctx.Protocol.bctx meta
+
+let end_access (ctx : Protocol.ctx) _meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.end_op
+let lock (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.lock_base;
+  Blocks.home_lock ctx.Protocol.bctx meta
+
+let unlock (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.lock_base;
+  Blocks.home_unlock ctx.Protocol.bctx meta
+
+(* Flush every cached copy this node holds of the space's regions — the
+   base-state semantics of Ace_ChangeProtocol away from the default
+   protocol (paper §3.1). *)
+let detach (ctx : Protocol.ctx) (sp : Protocol.space) =
+  let bctx = ctx.Protocol.bctx in
+  let node = Blocks.node bctx in
+  List.iter
+    (fun rid ->
+      let meta = Store.get ctx.Protocol.rt.Protocol.store rid in
+      match Store.copy_of meta ~node with
+      | Some c when c.Store.cstate <> Store.Invalid -> Blocks.flush bctx meta
+      | Some _ | None -> ())
+    sp.Protocol.rids
+
+let protocol =
+  {
+    Protocol.null_protocol with
+    Protocol.name = "SC";
+    optimizable = false;
+    has_start_read = true;
+    has_end_read = true;
+    has_start_write = true;
+    has_end_write = true;
+    start_read;
+    end_read = end_access;
+    start_write;
+    end_write = end_access;
+    lock;
+    unlock;
+    detach;
+  }

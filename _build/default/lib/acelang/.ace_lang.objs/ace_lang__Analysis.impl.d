@@ -1,0 +1,1 @@
+lib/acelang/analysis.ml: Ir List Map Set String

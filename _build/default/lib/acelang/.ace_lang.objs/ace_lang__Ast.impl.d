@@ -1,0 +1,1 @@
+lib/acelang/ast.ml:

@@ -1,0 +1,1 @@
+lib/acelang/compile.ml: Ir Lexer Lower Opt Parser Printf Registry Types

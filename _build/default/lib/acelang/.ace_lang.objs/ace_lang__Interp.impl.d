@@ -1,0 +1,1 @@
+lib/acelang/interp.ml: Ace_region Ace_runtime Array Ast Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/acelang/ir.ml: Ast Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/acelang/lexer.ml: List String

@@ -1,0 +1,1 @@
+lib/acelang/lower.ml: Ast Hashtbl Ir List Printf Types

@@ -1,0 +1,1 @@
+lib/acelang/opt.ml: Analysis Format Hashtbl Ir List Registry String

@@ -1,0 +1,1 @@
+lib/acelang/parser.ml: Ast Lexer List Printf

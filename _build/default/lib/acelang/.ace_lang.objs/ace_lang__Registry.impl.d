@@ -1,0 +1,1 @@
+lib/acelang/registry.ml: Ace_runtime Buffer List Printf String

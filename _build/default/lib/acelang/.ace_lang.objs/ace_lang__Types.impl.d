@@ -1,0 +1,1 @@
+lib/acelang/types.ml: Ast Hashtbl List Printf

@@ -1,0 +1,98 @@
+(* Space and protocol dataflow (paper §4.2): determine, for every access,
+   the set of spaces the region may belong to and the set of protocols each
+   space may be running at that point.
+
+   Facts are generated at gmalloc/globalid (region -> space), region
+   assignments (copied), newspace (space -> protocol) and changeproto
+   (strong update: a space variable denotes one space, so the protocol set
+   is replaced, flow-sensitively). Loops iterate to a fixpoint; branches
+   join by union. Calls are opaque: callees cannot reach the caller's
+   spaces (spaces cannot be passed), so the state flows through unchanged.
+
+   The result is stored in each annotation's [protos] field. *)
+
+module SS = Set.Make (String)
+module Smap = Map.Make (String)
+
+type state = {
+  mutable region_spaces : SS.t Smap.t; (* region var/array -> space vars *)
+  mutable space_protos : SS.t Smap.t; (* space var -> protocol names *)
+}
+
+let get m k = match Smap.find_opt k m with Some s -> s | None -> SS.empty
+
+let join a b = Smap.union (fun _ x y -> Some (SS.union x y)) a b
+
+let equal_state (a : state) (b : state) =
+  Smap.equal SS.equal a.region_spaces b.region_spaces
+  && Smap.equal SS.equal a.space_protos b.space_protos
+
+let copy_state s = { region_spaces = s.region_spaces; space_protos = s.space_protos }
+
+let rexpr_spaces st = function
+  | Ir.RVar x -> get st.region_spaces x
+  | Ir.RIdx (a, _) -> get st.region_spaces a
+
+(* Map from mapped-temporary to the space set of the region it mapped. *)
+type tmp_env = SS.t Smap.t
+
+let rec walk (st : state) (tmps : tmp_env ref) (s : Ir.istmt) : unit =
+  match s with
+  | Ir.INewSpace (x, proto) ->
+      st.space_protos <- Smap.add x (SS.singleton proto) st.space_protos
+  | Ir.IChangeProto (x, proto) ->
+      (* strong update: a space variable names exactly one space *)
+      st.space_protos <- Smap.add x (SS.singleton proto) st.space_protos
+  | Ir.IGmalloc (x, space, _) | Ir.IGlobalId (x, space, _, _) ->
+      st.region_spaces <-
+        Smap.add x (SS.add space (get st.region_spaces x)) st.region_spaces
+  | Ir.IRegAssign (x, r) ->
+      st.region_spaces <-
+        Smap.add x (SS.union (rexpr_spaces st r) (get st.region_spaces x))
+          st.region_spaces
+  | Ir.IStoreReg (arr, _, r) ->
+      st.region_spaces <-
+        Smap.add arr (SS.union (rexpr_spaces st r) (get st.region_spaces arr))
+          st.region_spaces
+  | Ir.IMap (t, r) -> tmps := Smap.add t (rexpr_spaces st r) !tmps
+  | Ir.IStart (_, t, ann) | Ir.IEnd (_, t, ann) | Ir.ILock (t, ann)
+  | Ir.IUnlock (t, ann) ->
+      let spaces = get !tmps t in
+      let protos =
+        SS.fold (fun sp acc -> SS.union (get st.space_protos sp) acc) spaces
+          SS.empty
+      in
+      ann.Ir.protos <- SS.elements (SS.union (SS.of_list ann.Ir.protos) protos)
+  | Ir.ISeq l -> List.iter (walk st tmps) l
+  | Ir.IIf (_, a, b) ->
+      let st_b = copy_state st and tmps_b = ref !tmps in
+      walk st tmps a;
+      walk st_b tmps_b b;
+      st.region_spaces <- join st.region_spaces st_b.region_spaces;
+      st.space_protos <- join st.space_protos st_b.space_protos;
+      tmps := join !tmps !tmps_b
+  | Ir.IWhile (_, body) | Ir.IFor (_, _, _, _, body) ->
+      (* iterate to fixpoint so the loop-entry state includes back-edge
+         facts (a changeproto inside the loop reaches its own top) *)
+      let rec fix () =
+        let before = copy_state st and tmps_before = !tmps in
+        walk st tmps body;
+        st.region_spaces <- join st.region_spaces before.region_spaces;
+        st.space_protos <- join st.space_protos before.space_protos;
+        tmps := join !tmps tmps_before;
+        if not (equal_state st before && Smap.equal SS.equal !tmps tmps_before)
+        then fix ()
+      in
+      fix ()
+  | Ir.IDeclArr _ | Ir.IDeclRegArr _ | Ir.IAssign _ | Ir.IStoreLocal _
+  | Ir.ILoadShared _ | Ir.IStoreShared _ | Ir.IBarrier _ | Ir.IWork _
+  | Ir.ICallStmt _ | Ir.IReturn _ ->
+      ()
+
+let analyze (prog : Ir.iprogram) : unit =
+  List.iter
+    (fun f ->
+      let st = { region_spaces = Smap.empty; space_protos = Smap.empty } in
+      let tmps = ref Smap.empty in
+      walk st tmps f.Ir.body)
+    prog

@@ -1,0 +1,69 @@
+(* Abstract syntax of MiniAce, the C-subset surface language of this
+   reproduction (paper §3.1). Globals are regions allocated with gmalloc
+   from spaces; pointer arithmetic on shared data is rejected by the type
+   checker, so every shared access is region[index] — the property that
+   lets the compiler insert region annotations (Fig. 5). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type expr =
+  | Num of float
+  | Var of string
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Index of string * expr (* local array element, region-array element,
+                              or shared access r[i] — typing decides *)
+  | Index2 of string * expr * expr (* regions[i][j]: shared access through
+                                       a region array *)
+  | Call of string * expr list (* user function or builtin *)
+
+type stmt =
+  | VarDecl of string * expr option (* var x; / var x = e; *)
+  | ArrDecl of string * expr (* var a[n]; *)
+  | RegionDecl of string (* region r; *)
+  | RegionArrDecl of string * expr (* region a[n]; *)
+  | SpaceDecl of string * string (* space s = newspace(PROTO); *)
+  | Assign of string * expr
+  | StoreIdx of string * expr * expr (* a[i] = e  (local / region-array /
+                                         shared by type) *)
+  | StoreIdx2 of string * expr * expr * expr (* ra[i][j] = e *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * expr * stmt list (* i = lo; i < hi; i += step *)
+  | Barrier of string
+  | Lock of expr
+  | Unlock of expr
+  | ChangeProto of string * string
+  | Work of expr
+  | ExprStmt of expr
+  | Return of expr option
+
+type func = { fname : string; params : string list; body : stmt list }
+
+type program = func list
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"

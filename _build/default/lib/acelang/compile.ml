@@ -1,0 +1,26 @@
+(* The compiler driver: source text -> type-checked, lowered, optimized IR. *)
+
+type diagnostics = {
+  level : Opt.level;
+  before : Ir.counts;
+  after : Ir.counts;
+}
+
+let frontend source : Ir.iprogram =
+  let ast =
+    try Parser.parse_program source with
+    | Lexer.Error (msg, line) ->
+        failwith (Printf.sprintf "lex error (line %d): %s" line msg)
+    | Parser.Error (msg, line) ->
+        failwith (Printf.sprintf "parse error (line %d): %s" line msg)
+  in
+  try Lower.lower_program ast
+  with Types.Error msg -> failwith ("type error: " ^ msg)
+
+let compile ?(registry : Registry.t = []) ~(level : Opt.level) source :
+    Ir.iprogram * diagnostics =
+  let ir = frontend source in
+  let before = Ir.count_annotations ir in
+  let ir = Opt.optimize registry level ir in
+  let after = Ir.count_annotations ir in
+  (ir, { level; before; after })

@@ -1,0 +1,329 @@
+(* Execute annotated IR on the Ace runtime inside the simulated machine.
+
+   Every simulated processor runs the program's [main] as its SPMD body.
+   Instruction costs model compiled SPARC code: a couple of cycles per
+   operator/assignment, function-call overhead, and the runtime's own
+   charges for maps and protocol calls. Direct-dispatch calls skip the
+   space-indirection cost; removed calls cost nothing at all (the interp
+   still performs the zero-cost access bookkeeping the real compiled null
+   call would not need, because the simulator uses it to serialize
+   coherence actions). *)
+
+module Ops = Ace_runtime.Ops
+module Protocol = Ace_runtime.Protocol
+module Store = Ace_region.Store
+module Blocks = Ace_region.Blocks
+
+exception Runtime_error of string
+
+type value =
+  | VNum of float
+  | VMapped of Store.meta
+  | VReg of int (* region id *)
+  | VRegArr of int array
+  | VNumArr of float array
+  | VSpace of int
+
+exception Return_exc of value option
+
+type frame = {
+  prog : Ir.iprogram;
+  ctx : Ops.ctx;
+  vars : (string, value) Hashtbl.t;
+}
+
+(* Instruction cost model. Arithmetic is charged through the kernels'
+   explicit work() calls (the same flops the hand-written versions charge),
+   so compiled-vs-hand differences isolate annotation overhead, as in the
+   paper's §5.3; the small per-op charge models residual compiled-code
+   slop (temporaries, no register allocation). *)
+let op_cycles = 0.5
+let call_overhead = 12.
+let access_cycles = 1.
+
+let charge fr c = Ops.work fr.ctx c
+
+let lookup fr x =
+  match Hashtbl.find_opt fr.vars x with
+  | Some v -> v
+  | None -> raise (Runtime_error ("unbound variable " ^ x))
+
+let num = function
+  | VNum v -> v
+  | _ -> raise (Runtime_error "expected a number")
+
+let rec eval fr (e : Ir.nexpr) : float =
+  match e with
+  | Ir.NNum v -> v
+  | Ir.NVar x -> num (lookup fr x)
+  | Ir.NMe -> float_of_int (Ops.me fr.ctx)
+  | Ir.NNprocs -> float_of_int (Ops.nprocs fr.ctx)
+  | Ir.NSqrt e ->
+      charge fr 30. (* software-assisted sqrt on the 33 MHz SPARC *);
+      sqrt (eval fr e)
+  | Ir.NMod (a, b) ->
+      charge fr 8.;
+      let b = eval fr b in
+      if b = 0. then raise (Runtime_error "mod by zero");
+      float_of_int (int_of_float (eval fr a) mod int_of_float b)
+  | Ir.NNot e ->
+      charge fr op_cycles;
+      if eval fr e = 0. then 1. else 0.
+  | Ir.NIdx (a, i) -> (
+      charge fr op_cycles;
+      let idx = int_of_float (eval fr i) in
+      match lookup fr a with
+      | VNumArr arr ->
+          if idx < 0 || idx >= Array.length arr then
+            raise (Runtime_error ("index out of bounds on " ^ a));
+          arr.(idx)
+      | _ -> raise (Runtime_error (a ^ " is not a local array")))
+  | Ir.NBin (op, a, b) ->
+      charge fr op_cycles;
+      let x = eval fr a and y = eval fr b in
+      let bool v = if v then 1. else 0. in
+      (match op with
+      | Ast.Add -> x +. y
+      | Ast.Sub -> x -. y
+      | Ast.Mul -> x *. y
+      | Ast.Div -> x /. y
+      | Ast.Lt -> bool (x < y)
+      | Ast.Le -> bool (x <= y)
+      | Ast.Gt -> bool (x > y)
+      | Ast.Ge -> bool (x >= y)
+      | Ast.Eq -> bool (x = y)
+      | Ast.Ne -> bool (x <> y)
+      | Ast.And -> bool (x <> 0. && y <> 0.)
+      | Ast.Or -> bool (x <> 0. || y <> 0.))
+
+let eval_rexpr fr (r : Ir.rexpr) : int =
+  match r with
+  | Ir.RVar x -> (
+      match lookup fr x with
+      | VReg rid -> rid
+      | _ -> raise (Runtime_error (x ^ " is not a region")))
+  | Ir.RIdx (a, i) -> (
+      let idx = int_of_float (eval fr i) in
+      match lookup fr a with
+      | VRegArr arr ->
+          if idx < 0 || idx >= Array.length arr then
+            raise (Runtime_error ("region index out of bounds on " ^ a));
+          let rid = arr.(idx) in
+          if rid < 0 then raise (Runtime_error (a ^ " element unset"));
+          rid
+      | _ -> raise (Runtime_error (a ^ " is not a region array")))
+
+let mapped fr t =
+  match lookup fr t with
+  | VMapped meta -> meta
+  | _ -> raise (Runtime_error (t ^ " is not a mapped handle"))
+
+let space_sid fr s =
+  match lookup fr s with
+  | VSpace sid -> sid
+  | _ -> raise (Runtime_error (s ^ " is not a space"))
+
+(* A protocol call: dynamic (dispatched), direct, or removed. *)
+let protocol_call fr (a : Ir.ann) ~dispatched ~direct meta =
+  if a.Ir.removed then begin
+    (* the call is gone from the compiled code; keep the simulator's
+       bookkeeping consistent at zero cost *)
+    direct meta
+  end
+  else if a.Ir.direct then begin
+    charge fr call_overhead;
+    direct meta
+  end
+  else begin
+    charge fr call_overhead;
+    dispatched fr.ctx meta
+  end
+
+(* Direct variants bypass the space dispatch but still run the (single
+   known) protocol's handler and the access bookkeeping. *)
+let direct_start fr mode removed meta =
+  let sp = Ace_runtime.Runtime.space fr.ctx.Protocol.rt meta.Store.space in
+  let hook =
+    match mode with
+    | Ir.Read -> sp.Protocol.proto.Protocol.start_read
+    | Ir.Write -> sp.Protocol.proto.Protocol.start_write
+  in
+  if not removed then hook fr.ctx meta;
+  Blocks.begin_access fr.ctx.Protocol.bctx meta
+    ~write:(match mode with Ir.Read -> false | Ir.Write -> true)
+
+let direct_end fr mode removed meta =
+  let sp = Ace_runtime.Runtime.space fr.ctx.Protocol.rt meta.Store.space in
+  let hook =
+    match mode with
+    | Ir.Read -> sp.Protocol.proto.Protocol.end_read
+    | Ir.Write -> sp.Protocol.proto.Protocol.end_write
+  in
+  if not removed then hook fr.ctx meta;
+  Blocks.end_access fr.ctx.Protocol.bctx meta
+    ~write:(match mode with Ir.Read -> false | Ir.Write -> true)
+
+let rec exec fr (s : Ir.istmt) : unit =
+  match s with
+  | Ir.IDeclArr (x, n) ->
+      let n = int_of_float (eval fr n) in
+      Hashtbl.replace fr.vars x (VNumArr (Array.make (max n 0) 0.))
+  | Ir.IDeclRegArr (x, n) ->
+      let n = int_of_float (eval fr n) in
+      Hashtbl.replace fr.vars x (VRegArr (Array.make (max n 0) (-1)))
+  | Ir.IAssign (x, e) ->
+      charge fr op_cycles;
+      Hashtbl.replace fr.vars x (VNum (eval fr e))
+  | Ir.IStoreLocal (a, i, e) -> (
+      charge fr op_cycles;
+      let idx = int_of_float (eval fr i) in
+      let v = eval fr e in
+      match lookup fr a with
+      | VNumArr arr ->
+          if idx < 0 || idx >= Array.length arr then
+            raise (Runtime_error ("index out of bounds on " ^ a));
+          arr.(idx) <- v
+      | _ -> raise (Runtime_error (a ^ " is not a local array")))
+  | Ir.INewSpace (x, proto) ->
+      Hashtbl.replace fr.vars x (VSpace (Ops.new_space fr.ctx proto))
+  | Ir.IRegAssign (x, r) ->
+      charge fr op_cycles;
+      Hashtbl.replace fr.vars x (VReg (eval_rexpr fr r))
+  | Ir.IGmalloc (x, s, n) ->
+      let sid = space_sid fr s in
+      let len = int_of_float (eval fr n) in
+      let h = Ops.alloc fr.ctx ~space:sid ~len in
+      Hashtbl.replace fr.vars x (VReg (Ops.rid h))
+  | Ir.IGlobalId (x, s, owner, k) ->
+      let sid = space_sid fr s in
+      let owner = int_of_float (eval fr owner) in
+      let seq = int_of_float (eval fr k) in
+      let rid = Ops.global_id fr.ctx ~space:sid ~owner ~seq in
+      Hashtbl.replace fr.vars x (VReg rid)
+  | Ir.IStoreReg (a, i, r) -> (
+      charge fr op_cycles;
+      let idx = int_of_float (eval fr i) in
+      let rid = eval_rexpr fr r in
+      match lookup fr a with
+      | VRegArr arr ->
+          if idx < 0 || idx >= Array.length arr then
+            raise (Runtime_error ("region index out of bounds on " ^ a));
+          arr.(idx) <- rid
+      | _ -> raise (Runtime_error (a ^ " is not a region array")))
+  | Ir.IMap (t, r) ->
+      let rid = eval_rexpr fr r in
+      Hashtbl.replace fr.vars t (VMapped (Ops.map fr.ctx rid))
+  | Ir.IStart (mode, t, a) ->
+      let meta = mapped fr t in
+      protocol_call fr a
+        ~dispatched:(match mode with Ir.Read -> Ops.start_read | Ir.Write -> Ops.start_write)
+        ~direct:(direct_start fr mode a.Ir.removed)
+        meta
+  | Ir.IEnd (mode, t, a) ->
+      let meta = mapped fr t in
+      protocol_call fr a
+        ~dispatched:(match mode with Ir.Read -> Ops.end_read | Ir.Write -> Ops.end_write)
+        ~direct:(direct_end fr mode a.Ir.removed)
+        meta
+  | Ir.ILoadShared (x, t, i) ->
+      charge fr access_cycles;
+      let meta = mapped fr t in
+      let data = Ops.data fr.ctx meta in
+      let idx = int_of_float (eval fr i) in
+      if idx < 0 || idx >= Array.length data then
+        raise (Runtime_error "shared index out of bounds");
+      Hashtbl.replace fr.vars x (VNum data.(idx))
+  | Ir.IStoreShared (t, i, e) ->
+      charge fr access_cycles;
+      let meta = mapped fr t in
+      let data = Ops.data fr.ctx meta in
+      let idx = int_of_float (eval fr i) in
+      let v = eval fr e in
+      if idx < 0 || idx >= Array.length data then
+        raise (Runtime_error "shared index out of bounds");
+      data.(idx) <- v
+  | Ir.ISeq l -> List.iter (exec fr) l
+  | Ir.IIf (c, a, b) ->
+      charge fr op_cycles;
+      if eval fr c <> 0. then exec fr a else exec fr b
+  | Ir.IWhile (c, body) ->
+      let rec go () =
+        charge fr op_cycles;
+        if eval fr c <> 0. then begin
+          exec fr body;
+          go ()
+        end
+      in
+      go ()
+  | Ir.IFor (i, lo, hi, step, body) ->
+      let lo = eval fr lo in
+      Hashtbl.replace fr.vars i (VNum lo);
+      let rec go () =
+        charge fr op_cycles;
+        let v = num (lookup fr i) in
+        if v < eval fr hi then begin
+          exec fr body;
+          Hashtbl.replace fr.vars i (VNum (num (lookup fr i) +. eval fr step));
+          go ()
+        end
+      in
+      go ()
+  | Ir.IBarrier s -> Ops.barrier fr.ctx ~space:(space_sid fr s)
+  | Ir.ILock (t, a) ->
+      let meta = mapped fr t in
+      protocol_call fr a ~dispatched:Ops.lock
+        ~direct:(fun meta ->
+          if not a.Ir.removed then
+            let sp =
+              Ace_runtime.Runtime.space fr.ctx.Protocol.rt meta.Store.space
+            in
+            sp.Protocol.proto.Protocol.lock fr.ctx meta)
+        meta
+  | Ir.IUnlock (t, a) ->
+      let meta = mapped fr t in
+      protocol_call fr a ~dispatched:Ops.unlock
+        ~direct:(fun meta ->
+          if not a.Ir.removed then
+            let sp =
+              Ace_runtime.Runtime.space fr.ctx.Protocol.rt meta.Store.space
+            in
+            sp.Protocol.proto.Protocol.unlock fr.ctx meta)
+        meta
+  | Ir.IChangeProto (s, proto) ->
+      Ops.change_protocol fr.ctx ~space:(space_sid fr s) proto
+  | Ir.IWork e -> Ops.work fr.ctx (eval fr e)
+  | Ir.ICallStmt (dst, f, args) -> (
+      let argv = List.map (fun a -> VNum (eval fr a)) args in
+      charge fr call_overhead;
+      let result = call fr.prog fr.ctx f argv in
+      match (dst, result) with
+      | Some x, Some v -> Hashtbl.replace fr.vars x v
+      | Some x, None -> Hashtbl.replace fr.vars x (VNum 0.)
+      | None, _ -> ())
+  | Ir.IReturn e ->
+      let v = match e with Some e -> Some (VNum (eval fr e)) | None -> None in
+      raise (Return_exc v)
+
+and call prog ctx fname argv : value option =
+  let f =
+    match List.find_opt (fun f -> f.Ir.fname = fname) prog with
+    | Some f -> f
+    | None -> raise (Runtime_error ("unknown function " ^ fname))
+  in
+  if List.length f.Ir.params <> List.length argv then
+    raise (Runtime_error ("arity mismatch calling " ^ fname));
+  let fr = { prog; ctx; vars = Hashtbl.create 32 } in
+  List.iter2 (fun p v -> Hashtbl.replace fr.vars p v) f.Ir.params argv;
+  match exec fr f.Ir.body with
+  | () -> None
+  | exception Return_exc v -> v
+
+(* Run [main] as the SPMD body on every simulated processor of [rt];
+   returns node 0's numeric return value (nan if none). *)
+let run_spmd (rt : Protocol.runtime) (prog : Ir.iprogram) : float =
+  let result = ref nan in
+  Ace_runtime.Runtime.run rt (fun ctx ->
+      let r = call prog ctx "main" [] in
+      if Ops.me ctx = 0 then
+        match r with Some (VNum v) -> result := v | Some _ | None -> ());
+  !result

@@ -1,0 +1,270 @@
+(* The annotated intermediate representation: MiniAce statements with the
+   runtime annotations of Fig. 3 [ACE_MAP, ACE_START_*, ACE_END_*] made
+   explicit, as the translation of Fig. 5 produces them. The IR stays
+   structured (loops and branches are trees) — the optimization passes of
+   §4.2 are tree transformations guided by simple dataflow facts. *)
+
+type var = string
+
+type mode = Read | Write
+
+(* One protocol call site. [protos] is filled by the space/protocol
+   analysis; [direct] and [removed] by the direct-dispatch pass. *)
+type ann = {
+  aid : int;
+  mutable protos : string list; (* possible protocols; [] = unknown/any *)
+  mutable direct : bool; (* dispatch replaced by a direct call *)
+  mutable removed : bool; (* call to a null handler deleted *)
+}
+
+type rexpr = RVar of var | RIdx of var * nexpr
+
+and nexpr =
+  | NNum of float
+  | NVar of var
+  | NBin of Ast.binop * nexpr * nexpr
+  | NNot of nexpr
+  | NIdx of var * nexpr (* local array read *)
+  | NMe
+  | NNprocs
+  | NSqrt of nexpr
+  | NMod of nexpr * nexpr
+
+type istmt =
+  | IDeclArr of var * nexpr
+  | IDeclRegArr of var * nexpr
+  | IAssign of var * nexpr
+  | IStoreLocal of var * nexpr * nexpr
+  | INewSpace of var * string
+  | IRegAssign of var * rexpr
+  | IGmalloc of var * var * nexpr (* result, space, length *)
+  | IGlobalId of var * var * nexpr * nexpr (* result, space, owner, k *)
+  | IStoreReg of var * nexpr * rexpr (* region-array element := region *)
+  | IMap of var * rexpr (* t := ACE_MAP(r) *)
+  | IStart of mode * var * ann
+  | IEnd of mode * var * ann
+  | ILoadShared of var * var * nexpr (* x := t[i] *)
+  | IStoreShared of var * nexpr * nexpr (* t[i] := v *)
+  | ISeq of istmt list
+  | IIf of nexpr * istmt * istmt
+  | IWhile of nexpr * istmt
+  | IFor of var * nexpr * nexpr * nexpr * istmt
+  | IBarrier of var
+  | ILock of var * ann
+  | IUnlock of var * ann
+  | IChangeProto of var * string
+  | IWork of nexpr
+  | ICallStmt of var option * string * nexpr list
+  | IReturn of nexpr option
+
+type ifunc = { fname : string; params : var list; body : istmt }
+
+type iprogram = ifunc list
+
+(* ---- helpers shared by passes ---- *)
+
+(* Normalize nested sequences so passes see a flat statement list. *)
+let rec flatten_stmt = function
+  | ISeq l -> ISeq (flatten_list l)
+  | IIf (c, a, b) -> IIf (c, flatten_stmt a, flatten_stmt b)
+  | IWhile (c, b) -> IWhile (c, flatten_stmt b)
+  | IFor (i, lo, hi, st, b) -> IFor (i, lo, hi, st, flatten_stmt b)
+  | s -> s
+
+and flatten_list l =
+  List.concat_map
+    (fun s -> match flatten_stmt s with ISeq l' -> l' | s' -> [ s' ])
+    l
+
+
+let rec nexpr_vars acc = function
+  | NNum _ | NMe | NNprocs -> acc
+  | NSqrt e -> nexpr_vars acc e
+  | NMod (a, b) -> nexpr_vars (nexpr_vars acc a) b
+  | NVar x -> x :: acc
+  | NBin (_, a, b) -> nexpr_vars (nexpr_vars acc a) b
+  | NNot e -> nexpr_vars acc e
+  | NIdx (a, i) -> nexpr_vars (a :: acc) i
+
+let rexpr_vars = function
+  | RVar x -> [ x ]
+  | RIdx (a, i) -> nexpr_vars [ a ] i
+
+(* Variables (possibly) assigned by a statement, including region vars and
+   array names stored through. *)
+let rec assigned acc = function
+  | IAssign (x, _) | IRegAssign (x, _) | IGmalloc (x, _, _) | IGlobalId (x, _, _, _)
+    ->
+      x :: acc
+  | IStoreLocal (a, _, _) | IStoreReg (a, _, _) -> a :: acc
+  | IMap (t, _) -> t :: acc
+  | ILoadShared (x, _, _) -> x :: acc
+  | ICallStmt (Some x, _, _) -> x :: acc
+  | ICallStmt (None, _, _) -> acc
+  | ISeq l -> List.fold_left assigned acc l
+  | IIf (_, a, b) -> assigned (assigned acc a) b
+  | IWhile (_, b) -> assigned acc b
+  | IFor (i, _, _, _, b) -> assigned (i :: acc) b
+  | IDeclArr (x, _) | IDeclRegArr (x, _) | INewSpace (x, _) -> x :: acc
+  | IStart _ | IEnd _ | IStoreShared _ | IBarrier _ | ILock _ | IUnlock _
+  | IChangeProto _ | IWork _ | IReturn _ ->
+      acc
+
+(* Does the subtree contain a synchronization point (or a call, which may
+   hide one)? Code is never moved past these (§4.2). *)
+let rec has_sync = function
+  | IBarrier _ | ILock _ | IUnlock _ | IChangeProto _ | ICallStmt _ -> true
+  | ISeq l -> List.exists has_sync l
+  | IIf (_, a, b) -> has_sync a || has_sync b
+  | IWhile (_, b) | IFor (_, _, _, _, b) -> has_sync b
+  | IDeclArr _ | IDeclRegArr _ | IAssign _ | IStoreLocal _ | INewSpace _
+  | IRegAssign _ | IGmalloc _ | IGlobalId _ | IStoreReg _ | IMap _ | IStart _
+  | IEnd _ | ILoadShared _ | IStoreShared _ | IWork _ | IReturn _ ->
+      false
+
+(* Count annotation calls still present, by kind — the quantity the paper's
+   Table 4 optimizations reduce. *)
+type counts = {
+  mutable maps : int;
+  mutable starts : int;
+  mutable ends : int;
+  mutable direct_calls : int;
+  mutable removed_calls : int;
+}
+
+let count_annotations (prog : iprogram) =
+  let c = { maps = 0; starts = 0; ends = 0; direct_calls = 0; removed_calls = 0 } in
+  let tally (a : ann) =
+    if a.removed then c.removed_calls <- c.removed_calls + 1
+    else if a.direct then c.direct_calls <- c.direct_calls + 1
+  in
+  let rec go = function
+    | IMap _ -> c.maps <- c.maps + 1
+    | IStart (_, _, a) ->
+        c.starts <- c.starts + 1;
+        tally a
+    | IEnd (_, _, a) ->
+        c.ends <- c.ends + 1;
+        tally a
+    | ILock (_, a) | IUnlock (_, a) -> tally a
+    | ISeq l -> List.iter go l
+    | IIf (_, a, b) ->
+        go a;
+        go b
+    | IWhile (_, b) | IFor (_, _, _, _, b) -> go b
+    | IDeclArr _ | IDeclRegArr _ | IAssign _ | IStoreLocal _ | INewSpace _
+    | IRegAssign _ | IGmalloc _ | IGlobalId _ | IStoreReg _ | ILoadShared _
+    | IStoreShared _ | IBarrier _ | IChangeProto _ | IWork _ | ICallStmt _
+    | IReturn _ ->
+        ()
+  in
+  List.iter (fun f -> go f.body) prog;
+  c
+
+(* ---- pretty printing (for golden tests and the acec tool) ---- *)
+
+let rec pp_nexpr ppf = function
+  | NNum v ->
+      if Float.is_integer v then Format.fprintf ppf "%d" (int_of_float v)
+      else Format.fprintf ppf "%g" v
+  | NVar x -> Format.pp_print_string ppf x
+  | NBin (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_nexpr a (Ast.binop_name op) pp_nexpr b
+  | NNot e -> Format.fprintf ppf "!%a" pp_nexpr e
+  | NIdx (a, i) -> Format.fprintf ppf "%s[%a]" a pp_nexpr i
+  | NMe -> Format.pp_print_string ppf "me()"
+  | NNprocs -> Format.pp_print_string ppf "nprocs()"
+  | NSqrt e -> Format.fprintf ppf "sqrt(%a)" pp_nexpr e
+  | NMod (a, b) -> Format.fprintf ppf "mod(%a, %a)" pp_nexpr a pp_nexpr b
+
+let pp_rexpr ppf = function
+  | RVar x -> Format.pp_print_string ppf x
+  | RIdx (a, i) -> Format.fprintf ppf "%s[%a]" a pp_nexpr i
+
+let mode_name = function Read -> "READ" | Write -> "WRITE"
+
+let call_suffix (a : ann) =
+  if a.removed then "  /* removed */"
+  else if a.direct then
+    Printf.sprintf "  /* direct: %s */" (String.concat "," a.protos)
+  else ""
+
+let rec pp_istmt ppf ~indent s =
+  let pad = String.make indent ' ' in
+  match s with
+  | IDeclArr (x, n) -> Format.fprintf ppf "%svar %s[%a];@." pad x pp_nexpr n
+  | IDeclRegArr (x, n) ->
+      Format.fprintf ppf "%sregion %s[%a];@." pad x pp_nexpr n
+  | IAssign (x, e) -> Format.fprintf ppf "%s%s = %a;@." pad x pp_nexpr e
+  | IStoreLocal (a, i, e) ->
+      Format.fprintf ppf "%s%s[%a] = %a;@." pad a pp_nexpr i pp_nexpr e
+  | INewSpace (x, p) -> Format.fprintf ppf "%sspace %s = newspace(%s);@." pad x p
+  | IRegAssign (x, r) -> Format.fprintf ppf "%s%s = %a;@." pad x pp_rexpr r
+  | IGmalloc (x, s, n) ->
+      Format.fprintf ppf "%s%s = gmalloc(%s, %a);@." pad x s pp_nexpr n
+  | IGlobalId (x, s, o, k) ->
+      Format.fprintf ppf "%s%s = globalid(%s, %a, %a);@." pad x s pp_nexpr o
+        pp_nexpr k
+  | IStoreReg (a, i, r) ->
+      Format.fprintf ppf "%s%s[%a] = %a;@." pad a pp_nexpr i pp_rexpr r
+  | IMap (t, r) -> Format.fprintf ppf "%s%s = ACE_MAP(%a);@." pad t pp_rexpr r
+  | IStart (m, t, a) ->
+      Format.fprintf ppf "%sACE_START_%s(%s);%s@." pad (mode_name m) t
+        (call_suffix a)
+  | IEnd (m, t, a) ->
+      Format.fprintf ppf "%sACE_END_%s(%s);%s@." pad (mode_name m) t
+        (call_suffix a)
+  | ILoadShared (x, t, i) ->
+      Format.fprintf ppf "%s%s = %s[%a];@." pad x t pp_nexpr i
+  | IStoreShared (t, i, e) ->
+      Format.fprintf ppf "%s%s[%a] = %a;@." pad t pp_nexpr i pp_nexpr e
+  | ISeq l -> List.iter (pp_istmt ppf ~indent) l
+  | IIf (c, a, b) ->
+      Format.fprintf ppf "%sif (%a) {@." pad pp_nexpr c;
+      pp_istmt ppf ~indent:(indent + 2) a;
+      (match b with
+      | ISeq [] -> ()
+      | _ ->
+          Format.fprintf ppf "%s} else {@." pad;
+          pp_istmt ppf ~indent:(indent + 2) b);
+      Format.fprintf ppf "%s}@." pad
+  | IWhile (c, b) ->
+      Format.fprintf ppf "%swhile (%a) {@." pad pp_nexpr c;
+      pp_istmt ppf ~indent:(indent + 2) b;
+      Format.fprintf ppf "%s}@." pad
+  | IFor (i, lo, hi, st, b) ->
+      Format.fprintf ppf "%sfor (%s = %a; %s < %a; %s += %a) {@." pad i
+        pp_nexpr lo i pp_nexpr hi i pp_nexpr st;
+      pp_istmt ppf ~indent:(indent + 2) b;
+      Format.fprintf ppf "%s}@." pad
+  | IBarrier s -> Format.fprintf ppf "%sbarrier(%s);@." pad s
+  | ILock (t, a) -> Format.fprintf ppf "%slock(%s);%s@." pad t (call_suffix a)
+  | IUnlock (t, a) ->
+      Format.fprintf ppf "%sunlock(%s);%s@." pad t (call_suffix a)
+  | IChangeProto (s, p) ->
+      Format.fprintf ppf "%schangeproto(%s, %s);@." pad s p
+  | IWork e -> Format.fprintf ppf "%swork(%a);@." pad pp_nexpr e
+  | ICallStmt (None, f, args) ->
+      Format.fprintf ppf "%s%s(%a);@." pad f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_nexpr)
+        args
+  | ICallStmt (Some x, f, args) ->
+      Format.fprintf ppf "%s%s = %s(%a);@." pad x f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_nexpr)
+        args
+  | IReturn None -> Format.fprintf ppf "%sreturn;@." pad
+  | IReturn (Some e) -> Format.fprintf ppf "%sreturn %a;@." pad pp_nexpr e
+
+let pp_program ppf (prog : iprogram) =
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "func %s(%s) {@." f.fname (String.concat ", " f.params);
+      pp_istmt ppf ~indent:2 f.body;
+      Format.fprintf ppf "}@.")
+    prog
+
+let to_string prog = Format.asprintf "%a" pp_program prog

@@ -1,0 +1,320 @@
+(* MiniAce sources for the Table 4 experiment: a kernel per benchmark,
+   written the way the paper's applications use the language — develop
+   under SC, then plug in the best protocol via changeproto. The kernels
+   carry the same shared-access structure as the full OCaml applications
+   (element-wise loops over regions for BSC, a counter loop for TSP,
+   sweep loops for Water, all-pairs reads for Barnes-Hut, neighbour sums
+   for EM3D), so each optimization pass finds the same opportunities the
+   paper reports (§5.3):
+
+   - BSC: heavy matrix-product loops -> loop invariance dominates;
+   - Water: repeated sections on one molecule -> merging dominates;
+   - EM3D: static update's null end handlers in a tight kernel -> direct
+     dispatch dominates;
+   - TSP / Barnes-Hut: a mix of all three. *)
+
+let em3d =
+  {|
+// EM3D kernel: bipartite ring, K nodes per side per processor, in-degree D
+// (D-1 local + 1 from the next processor). Best protocol: STATIC_UPDATE.
+func main() {
+  space eval = newspace(SC);
+  space hval = newspace(SC);
+  var K = 8;
+  var D = 4;
+  var steps = 8;
+  region e[K];
+  region h[K];
+  region r;
+  var i = 0; var d = 0; var t = 0; var j = 0;
+  for (i = 0; i < K; i += 1) {
+    r = gmalloc(eval, 1);
+    e[i] = r;
+    r[0] = me() * 100 + i;
+    r = gmalloc(hval, 1);
+    h[i] = r;
+    r[0] = me() * 100 + i + 0.5;
+  }
+  barrier(eval);
+  changeproto(eval, STATIC_UPDATE);
+  changeproto(hval, STATIC_UPDATE);
+  region enbr[K * D];
+  region hnbr[K * D];
+  var nb = me() + 1;
+  if (nb >= nprocs()) { nb = 0; }
+  for (i = 0; i < K; i += 1) {
+    for (d = 0; d < D - 1; d += 1) {
+      j = i + d;
+      if (j >= K) { j = j - K; }
+      enbr[i * D + d] = h[j];
+      hnbr[i * D + d] = e[j];
+    }
+    enbr[i * D + D - 1] = globalid(hval, nb, i);
+    hnbr[i * D + D - 1] = globalid(eval, nb, i);
+  }
+  barrier(eval);
+  var acc = 0;
+  for (t = 0; t < steps; t += 1) {
+    for (i = 0; i < K; i += 1) {
+      acc = e[i][0];
+      for (d = 0; d < D; d += 1) {
+        acc = acc - 0.05 * enbr[i * D + d][0];
+        work(8);
+      }
+      e[i][0] = acc;
+    }
+    barrier(eval);
+    for (i = 0; i < K; i += 1) {
+      acc = h[i][0];
+      for (d = 0; d < D; d += 1) {
+        acc = acc - 0.05 * hnbr[i * D + d][0];
+        work(8);
+      }
+      h[i][0] = acc;
+    }
+    barrier(hval);
+  }
+  return e[0][0];
+}
+|}
+
+let bsc =
+  {|
+// Blocked Cholesky kernel, block band 1 (tridiagonal blocks), column k
+// owned by processor k mod P. Best protocol: WRITE_ONCE.
+func main() {
+  space bs = newspace(SC);
+  var NB = 8;
+  var B = 6;
+  region diag[NB];
+  region sub[NB];
+  region r;
+  var k = 0; var i = 0; var j = 0; var x = 0; var s = 0; var t = 0;
+  for (k = 0; k < NB; k += 1) {
+    if (mod(k, nprocs()) == me()) {
+      r = gmalloc(bs, B * B);
+      diag[k] = r;
+      for (i = 0; i < B; i += 1) {
+        for (j = 0; j < B; j += 1) {
+          if (i == j) { r[i * B + j] = 10 + k; }
+          else { r[i * B + j] = 0.5 / (1 + i + j); }
+        }
+      }
+      r = gmalloc(bs, B * B);
+      sub[k] = r;
+      for (i = 0; i < B; i += 1) {
+        for (j = 0; j < B; j += 1) {
+          r[i * B + j] = 0.3 / (1 + i + j + k);
+        }
+      }
+    }
+  }
+  barrier(bs);
+  for (k = 0; k < NB; k += 1) {
+    t = (k - mod(k, nprocs())) / nprocs();
+    diag[k] = globalid(bs, mod(k, nprocs()), 2 * t);
+    sub[k] = globalid(bs, mod(k, nprocs()), 2 * t + 1);
+  }
+  barrier(bs);
+  changeproto(bs, WRITE_ONCE);
+  var dd = 0; var v = 0; var v2 = 0; var acc2 = 0;
+  for (k = 0; k < NB; k += 1) {
+    if (mod(k, nprocs()) == me()) {
+      // factor the diagonal block (dense Cholesky, element-wise)
+      for (j = 0; j < B; j += 1) {
+        dd = diag[k][j * B + j];
+        for (s = 0; s < j; s += 1) {
+          dd = dd - diag[k][j * B + s] * diag[k][j * B + s];
+          work(24);
+        }
+        dd = sqrt(dd);
+        diag[k][j * B + j] = dd;
+        for (i = j + 1; i < B; i += 1) {
+          v = diag[k][i * B + j];
+          for (s = 0; s < j; s += 1) {
+            v = v - diag[k][i * B + s] * diag[k][j * B + s];
+            work(24);
+          }
+          diag[k][i * B + j] = v / dd;
+        }
+        for (i = 0; i < j; i += 1) { diag[k][i * B + j] = 0; }
+      }
+      // triangular solve of the subdiagonal block
+      if (k + 1 < NB) {
+        for (x = 0; x < B; x += 1) {
+          for (j = 0; j < B; j += 1) {
+            v2 = sub[k][x * B + j];
+            for (s = 0; s < j; s += 1) {
+              v2 = v2 - sub[k][x * B + s] * diag[k][j * B + s];
+              work(24);
+            }
+            sub[k][x * B + j] = v2 / diag[k][j * B + j];
+          }
+        }
+      }
+    }
+    barrier(bs);
+    // fan-in update of the next column's diagonal block
+    if (k + 1 < NB) {
+      if (mod(k + 1, nprocs()) == me()) {
+        for (i = 0; i < B; i += 1) {
+          for (j = 0; j < B; j += 1) {
+            acc2 = 0;
+            for (s = 0; s < B; s += 1) {
+              acc2 = acc2 + sub[k][i * B + s] * sub[k][j * B + s];
+              work(24);
+            }
+            diag[k + 1][i * B + j] = diag[k + 1][i * B + j] - acc2;
+          }
+        }
+      }
+    }
+    barrier(bs);
+  }
+  return diag[NB - 1][0];
+}
+|}
+
+let tsp =
+  {|
+// TSP kernel: a shared job counter assigns work; a shared bound is read
+// per job and improved under its lock. Best protocol: COUNTER for the
+// counter space.
+func main() {
+  space cs = newspace(SC);
+  space bs = newspace(SC);
+  region counter;
+  region best;
+  if (me() == 0) {
+    counter = gmalloc(cs, 1);
+    best = gmalloc(bs, 1);
+    counter[0] = 0;
+    best[0] = 1000000;
+  }
+  barrier(cs);
+  counter = globalid(cs, 0, 0);
+  best = globalid(bs, 0, 0);
+  changeproto(cs, COUNTER);
+  var njobs = 160;
+  var j = 0; var running = 1; var bound = 0; var result = 0;
+  while (running == 1) {
+    lock(counter);
+    j = counter[0];
+    counter[0] = j + 1;
+    unlock(counter);
+    if (j >= njobs) { running = 0; }
+    else {
+      bound = best[0];
+      // branch-and-bound body (charged, data-independent here)
+      work(4000 + mod(j * 37, 29) * 400);
+      result = 900000 - j * 13;
+      if (result < bound) {
+        lock(best);
+        if (result < best[0]) { best[0] = result; }
+        unlock(best);
+      }
+    }
+  }
+  barrier(bs);
+  return best[0];
+}
+|}
+
+let water =
+  {|
+// Water kernel: intra-molecular sweeps on own molecules under NULL, then
+// force accumulation into the next processor's molecules under PIPELINE.
+func main() {
+  space ms = newspace(SC);
+  var K = 4;
+  var SW = 30;
+  var steps = 4;
+  region mol[K];
+  region r;
+  region other;
+  var i = 0; var s = 0; var t = 0; var p = 0;
+  for (i = 0; i < K; i += 1) {
+    r = gmalloc(ms, 4);
+    mol[i] = r;
+    r[0] = me() + i * 0.1 + 1;
+    r[1] = 0;
+  }
+  barrier(ms);
+  p = me() + 1;
+  if (p >= nprocs()) { p = 0; }
+  for (t = 0; t < steps; t += 1) {
+    changeproto(ms, NULL);
+    for (i = 0; i < K; i += 1) {
+      for (s = 0; s < SW; s += 1) {
+        mol[i][0] = mol[i][0] - 0.01 * mol[i][0];
+        work(30);
+      }
+    }
+    changeproto(ms, PIPELINE);
+    for (i = 0; i < K; i += 1) {
+      other = globalid(ms, p, i);
+      lock(other);
+      other[1] = other[1] + 0.5;
+      unlock(other);
+      work(40);
+    }
+    barrier(ms);
+  }
+  changeproto(ms, SC);
+  barrier(ms);
+  return mol[0][0] + mol[0][1];
+}
+|}
+
+let barnes_hut =
+  {|
+// Barnes-Hut kernel: every processor reads all body positions, computes
+// (direct) forces for its own bodies and publishes new positions.
+// Best protocol: DYN_UPDATE for the body space.
+func main() {
+  space bodies = newspace(SC);
+  var K = 4;
+  var steps = 4;
+  region mine[K];
+  region r;
+  var n = nprocs() * K;
+  region all[n];
+  var i = 0; var jj = 0; var t = 0; var o = 0; var fsum = 0; var x = 0;
+  for (i = 0; i < K; i += 1) {
+    r = gmalloc(bodies, 2);
+    mine[i] = r;
+    r[0] = me() * 10 + i;
+    r[1] = 1;
+  }
+  barrier(bodies);
+  for (o = 0; o < nprocs(); o += 1) {
+    for (i = 0; i < K; i += 1) {
+      all[o * K + i] = globalid(bodies, o, i);
+    }
+  }
+  changeproto(bodies, DYN_UPDATE);
+  barrier(bodies);
+  for (t = 0; t < steps; t += 1) {
+    for (i = 0; i < K; i += 1) {
+      fsum = 0;
+      x = mine[i][0];
+      for (jj = 0; jj < n; jj += 1) {
+        fsum = fsum + (all[jj][0] - x) * all[jj][1] * 0.001;
+        work(70);
+      }
+      mine[i][0] = x + fsum * 0.01;
+    }
+    barrier(bodies);
+  }
+  return mine[0][0];
+}
+|}
+
+let all =
+  [
+    ("Barnes-Hut", barnes_hut);
+    ("BSC", bsc);
+    ("EM3D", em3d);
+    ("TSP", tsp);
+    ("WATER", water);
+  ]

@@ -1,0 +1,110 @@
+(* Hand-written lexer for MiniAce. *)
+
+type token =
+  | TNum of float
+  | TIdent of string
+  | TKw of string (* keywords *)
+  | TPunct of string (* operators / punctuation *)
+  | TEof
+
+type t = { src : string; mutable pos : int; mutable line : int }
+
+exception Error of string * int (* message, line *)
+
+let keywords =
+  [
+    "func"; "var"; "region"; "space"; "newspace"; "if"; "else"; "while";
+    "for"; "barrier"; "lock"; "unlock"; "changeproto"; "work"; "return";
+  ]
+
+let create src = { src; pos = 0; line = 1 }
+
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let advance t =
+  (match peek_char t with Some '\n' -> t.line <- t.line + 1 | _ -> ());
+  t.pos <- t.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance t;
+      skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+      while peek_char t <> None && peek_char t <> Some '\n' do
+        advance t
+      done;
+      skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '*' ->
+      advance t;
+      advance t;
+      let rec close () =
+        match peek_char t with
+        | None -> raise (Error ("unterminated comment", t.line))
+        | Some '*' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/'
+          ->
+            advance t;
+            advance t
+        | Some _ ->
+            advance t;
+            close ()
+      in
+      close ();
+      skip_ws t
+  | Some _ | None -> ()
+
+let next t =
+  skip_ws t;
+  match peek_char t with
+  | None -> TEof
+  | Some c when is_digit c ->
+      let start = t.pos in
+      while
+        match peek_char t with
+        | Some c -> is_digit c || c = '.' || c = 'e' || c = 'E' || c = '-'
+                    && t.pos > start
+                    && (t.src.[t.pos - 1] = 'e' || t.src.[t.pos - 1] = 'E')
+        | None -> false
+      do
+        advance t
+      done;
+      let s = String.sub t.src start (t.pos - start) in
+      (try TNum (float_of_string s)
+       with Failure _ -> raise (Error ("bad number " ^ s, t.line)))
+  | Some c when is_ident_start c ->
+      let start = t.pos in
+      while match peek_char t with Some c -> is_ident c | None -> false do
+        advance t
+      done;
+      let s = String.sub t.src start (t.pos - start) in
+      if List.mem s keywords then TKw s else TIdent s
+  | Some c ->
+      let two =
+        if t.pos + 1 < String.length t.src then
+          String.sub t.src t.pos 2
+        else ""
+      in
+      if List.mem two [ "<="; ">="; "=="; "!="; "&&"; "||"; "+=" ] then begin
+        advance t;
+        advance t;
+        TPunct two
+      end
+      else begin
+        advance t;
+        TPunct (String.make 1 c)
+      end
+
+(* Tokenize the whole input, returning tokens with their lines. *)
+let tokenize src =
+  let t = create src in
+  let rec go acc =
+    let line = (skip_ws t; t.line) in
+    match next t with
+    | TEof -> List.rev ((TEof, line) :: acc)
+    | tok -> go ((tok, line) :: acc)
+  in
+  go []

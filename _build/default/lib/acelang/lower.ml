@@ -1,0 +1,240 @@
+(* AST -> annotated IR, the translation of Fig. 5: every shared access is
+   bracketed with ACE_MAP / ACE_START_* / access / ACE_END_* on compiler
+   temporaries, in evaluation order. *)
+
+type env = {
+  types : (string, Types.ty) Hashtbl.t;
+  mutable fresh : int;
+  mutable next_ann : int;
+}
+
+let fresh_tmp env =
+  let t = Printf.sprintf "t$%d" env.fresh in
+  env.fresh <- env.fresh + 1;
+  t
+
+let fresh_ann env =
+  let a = { Ir.aid = env.next_ann; protos = []; direct = false; removed = false } in
+  env.next_ann <- env.next_ann + 1;
+  a
+
+let ty env x =
+  match Hashtbl.find_opt env.types x with
+  | Some t -> t
+  | None -> raise (Types.Error ("lower: undeclared " ^ x))
+
+(* Lower an expression to (preceding statements, pure nexpr). Shared reads
+   and user-function calls are extracted into the statement list. *)
+let rec lower_expr env (e : Ast.expr) : Ir.istmt list * Ir.nexpr =
+  match e with
+  | Ast.Num v -> ([], Ir.NNum v)
+  | Ast.Var x -> ([], Ir.NVar x)
+  | Ast.Not e ->
+      let s, e' = lower_expr env e in
+      (s, Ir.NNot e')
+  | Ast.Binop (op, a, b) ->
+      let sa, a' = lower_expr env a in
+      let sb, b' = lower_expr env b in
+      (sa @ sb, Ir.NBin (op, a', b'))
+  | Ast.Index (x, i) -> (
+      let si, i' = lower_expr env i in
+      match ty env x with
+      | Types.NumArr -> (si, Ir.NIdx (x, i'))
+      | Types.Reg -> shared_read env si (Ir.RVar x) i'
+      | Types.RegArr ->
+          raise (Types.Error "region value used as a number")
+      | _ -> raise (Types.Error ("bad index base " ^ x)))
+  | Ast.Index2 (x, i, j) ->
+      let si, i' = lower_expr env i in
+      let sj, j' = lower_expr env j in
+      shared_read env (si @ sj) (Ir.RIdx (x, i')) j'
+  | Ast.Call ("me", []) -> ([], Ir.NMe)
+  | Ast.Call ("nprocs", []) -> ([], Ir.NNprocs)
+  | Ast.Call ("sqrt", [ e ]) ->
+      let s, e' = lower_expr env e in
+      (s, Ir.NSqrt e')
+  | Ast.Call ("mod", [ a; b ]) ->
+      let sa, a' = lower_expr env a in
+      let sb, b' = lower_expr env b in
+      (sa @ sb, Ir.NMod (a', b'))
+  | Ast.Call (f, args) ->
+      let stmts, args' =
+        List.fold_left
+          (fun (ss, aa) a ->
+            let s, a' = lower_expr env a in
+            (ss @ s, aa @ [ a' ]))
+          ([], []) args
+      in
+      let t = fresh_tmp env in
+      (stmts @ [ Ir.ICallStmt (Some t, f, args') ], Ir.NVar t)
+
+(* Fig. 5's load sequence. *)
+and shared_read env pre rexpr idx =
+  let t = fresh_tmp env and x = fresh_tmp env in
+  let a1 = fresh_ann env and a2 = fresh_ann env in
+  ( pre
+    @ [
+        Ir.IMap (t, rexpr);
+        Ir.IStart (Ir.Read, t, a1);
+        Ir.ILoadShared (x, t, idx);
+        Ir.IEnd (Ir.Read, t, a2);
+      ],
+    Ir.NVar x )
+
+(* Region-valued expressions stay pure (no pointer arithmetic exists). *)
+let lower_rexpr env (e : Ast.expr) : Ir.istmt list * Ir.rexpr =
+  match e with
+  | Ast.Var x -> ([], Ir.RVar x)
+  | Ast.Index (x, i) ->
+      let si, i' = lower_expr env i in
+      (si, Ir.RIdx (x, i'))
+  | _ -> raise (Types.Error "expected a region expression")
+
+let rec lower_stmt env (s : Ast.stmt) : Ir.istmt list =
+  match s with
+  | Ast.VarDecl (x, None) -> [ Ir.IAssign (x, Ir.NNum 0.) ]
+  | Ast.VarDecl (x, Some e) ->
+      let s, e' = lower_expr env e in
+      s @ [ Ir.IAssign (x, e') ]
+  | Ast.ArrDecl (x, n) ->
+      let s, n' = lower_expr env n in
+      s @ [ Ir.IDeclArr (x, n') ]
+  | Ast.RegionDecl _ -> []
+  | Ast.RegionArrDecl (x, n) ->
+      let s, n' = lower_expr env n in
+      s @ [ Ir.IDeclRegArr (x, n') ]
+  | Ast.SpaceDecl (x, proto) -> [ Ir.INewSpace (x, proto) ]
+  | Ast.Assign (x, e) -> (
+      match ty env x with
+      | Types.Reg -> (
+          match e with
+          | Ast.Call ("gmalloc", [ Ast.Var s; n ]) ->
+              let sn, n' = lower_expr env n in
+              sn @ [ Ir.IGmalloc (x, s, n') ]
+          | Ast.Call ("globalid", [ Ast.Var s; o; k ]) ->
+              let so, o' = lower_expr env o in
+              let sk, k' = lower_expr env k in
+              so @ sk @ [ Ir.IGlobalId (x, s, o', k') ]
+          | _ ->
+              let s, r = lower_rexpr env e in
+              s @ [ Ir.IRegAssign (x, r) ])
+      | _ ->
+          let s, e' = lower_expr env e in
+          s @ [ Ir.IAssign (x, e') ])
+  | Ast.StoreIdx (x, i, e) -> (
+      match ty env x with
+      | Types.NumArr ->
+          let si, i' = lower_expr env i in
+          let se, e' = lower_expr env e in
+          si @ se @ [ Ir.IStoreLocal (x, i', e') ]
+      | Types.Reg -> shared_write env (Ir.RVar x) i e
+      | Types.RegArr -> (
+          let si, i' = lower_expr env i in
+          match e with
+          | Ast.Call ("gmalloc", [ Ast.Var sp; n ]) ->
+              let sn, n' = lower_expr env n in
+              let t = fresh_tmp env in
+              si @ sn
+              @ [ Ir.IGmalloc (t, sp, n'); Ir.IStoreReg (x, i', Ir.RVar t) ]
+          | Ast.Call ("globalid", [ Ast.Var sp; o; k ]) ->
+              let so, o' = lower_expr env o in
+              let sk, k' = lower_expr env k in
+              let t = fresh_tmp env in
+              si @ so @ sk
+              @ [ Ir.IGlobalId (t, sp, o', k'); Ir.IStoreReg (x, i', Ir.RVar t) ]
+          | _ ->
+              let se, r = lower_rexpr env e in
+              si @ se @ [ Ir.IStoreReg (x, i', r) ])
+      | _ -> raise (Types.Error ("bad store base " ^ x)))
+  | Ast.StoreIdx2 (x, i, j, e) ->
+      let si, i' = lower_expr env i in
+      let rest = shared_write_idx env (Ir.RIdx (x, i')) j e in
+      si @ rest
+  | Ast.If (c, a, b) ->
+      let sc, c' = lower_expr env c in
+      sc @ [ Ir.IIf (c', Ir.ISeq (lower_block env a), Ir.ISeq (lower_block env b)) ]
+  | Ast.While (c, body) ->
+      (* condition side effects re-evaluated per round: disallow shared
+         reads in while conditions for simplicity *)
+      let sc, c' = lower_expr env c in
+      if sc <> [] then
+        raise (Types.Error "shared accesses not supported in while conditions");
+      [ Ir.IWhile (c', Ir.ISeq (lower_block env body)) ]
+  | Ast.For (i, lo, hi, step, body) ->
+      let sl, lo' = lower_expr env lo in
+      let sh, hi' = lower_expr env hi in
+      let ss, step' = lower_expr env step in
+      if sh <> [] || ss <> [] then
+        raise (Types.Error "shared accesses not supported in for bounds");
+      sl @ [ Ir.IFor (i, lo', hi', step', Ir.ISeq (lower_block env body)) ]
+  | Ast.Barrier s -> [ Ir.IBarrier s ]
+  | Ast.Lock e ->
+      let s, r = lower_rexpr env e in
+      let t = fresh_tmp env in
+      s @ [ Ir.IMap (t, r); Ir.ILock (t, fresh_ann env) ]
+  | Ast.Unlock e ->
+      let s, r = lower_rexpr env e in
+      let t = fresh_tmp env in
+      s @ [ Ir.IMap (t, r); Ir.IUnlock (t, fresh_ann env) ]
+  | Ast.ChangeProto (s, p) -> [ Ir.IChangeProto (s, p) ]
+  | Ast.Work e ->
+      let s, e' = lower_expr env e in
+      s @ [ Ir.IWork e' ]
+  | Ast.ExprStmt (Ast.Call (f, args)) when f <> "me" && f <> "nprocs" ->
+      let stmts, args' =
+        List.fold_left
+          (fun (ss, aa) a ->
+            let s, a' = lower_expr env a in
+            (ss @ s, aa @ [ a' ]))
+          ([], []) args
+      in
+      stmts @ [ Ir.ICallStmt (None, f, args') ]
+  | Ast.ExprStmt e ->
+      let s, _ = lower_expr env e in
+      s
+  | Ast.Return None -> [ Ir.IReturn None ]
+  | Ast.Return (Some e) ->
+      let s, e' = lower_expr env e in
+      s @ [ Ir.IReturn (Some e') ]
+
+(* Fig. 5's store sequence: value first, then MAP / START_WRITE / store /
+   END_WRITE. *)
+and shared_write env rexpr idx value =
+  let si, i' = lower_expr env idx in
+  shared_write_lowered env rexpr si i' value
+
+and shared_write_idx env rexpr idx value =
+  let si, i' = lower_expr env idx in
+  shared_write_lowered env rexpr si i' value
+
+and shared_write_lowered env rexpr pre idx value =
+  let sv, v' = lower_expr env value in
+  let t = fresh_tmp env in
+  let a1 = fresh_ann env and a2 = fresh_ann env in
+  pre @ sv
+  @ [
+      Ir.IMap (t, rexpr);
+      Ir.IStart (Ir.Write, t, a1);
+      Ir.IStoreShared (t, idx, v');
+      Ir.IEnd (Ir.Write, t, a2);
+    ]
+
+and lower_block env stmts = List.concat_map (lower_stmt env) stmts
+
+let lower_program (prog : Ast.program) : Ir.iprogram =
+  let tables = Types.check_program prog in
+  List.map
+    (fun f ->
+      let env =
+        {
+          types = Hashtbl.find tables f.Ast.fname;
+          fresh = 0;
+          next_ann = 0;
+        }
+      in
+      {
+        Ir.fname = f.Ast.fname;
+        params = f.Ast.params;
+        body = Ir.ISeq (lower_block env f.Ast.body);
+      })
+    prog

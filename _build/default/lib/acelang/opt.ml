@@ -1,0 +1,365 @@
+(* The three optimization passes of paper §4.2. All passes refuse to move
+   code past synchronization points, and only touch calls whose possible
+   protocols are all registered optimizable. *)
+
+let all_optimizable (reg : Registry.t) (a : Ir.ann) =
+  a.Ir.protos <> []
+  && List.for_all
+       (fun p ->
+         match Registry.find reg p with
+         | Some e -> e.Registry.optimizable
+         | None -> false)
+       a.Ir.protos
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: moving calls out of loops (loop-invariance).                 *)
+(* ACE_MAP and ACE_START_* whose region operand is loop-invariant move  *)
+(* above the loop; the matching ACE_END_* moves below it.               *)
+(* ------------------------------------------------------------------ *)
+
+let rec loop_invariance (reg : Registry.t) (s : Ir.istmt) : Ir.istmt =
+  match Ir.flatten_stmt s with
+  | Ir.ISeq l -> Ir.ISeq (Ir.flatten_list (List.map (loop_invariance reg) l))
+  | Ir.IIf (c, a, b) -> Ir.IIf (c, loop_invariance reg a, loop_invariance reg b)
+  | Ir.IWhile (c, body) ->
+      let body = loop_invariance reg body in
+      let pre, body, post = hoist_from_loop reg ~extra_killed:[] body in
+      Ir.ISeq (pre @ [ Ir.IWhile (c, body) ] @ post)
+  | Ir.IFor (i, lo, hi, st, body) ->
+      let body = loop_invariance reg body in
+      let pre, body, post = hoist_from_loop reg ~extra_killed:[ i ] body in
+      Ir.ISeq (pre @ [ Ir.IFor (i, lo, hi, st, body) ] @ post)
+  | Ir.IDeclArr _ | Ir.IDeclRegArr _ | Ir.IAssign _ | Ir.IStoreLocal _
+  | Ir.INewSpace _ | Ir.IRegAssign _ | Ir.IGmalloc _ | Ir.IGlobalId _
+  | Ir.IStoreReg _ | Ir.IMap _ | Ir.IStart _ | Ir.IEnd _ | Ir.ILoadShared _
+  | Ir.IStoreShared _ | Ir.IBarrier _ | Ir.ILock _ | Ir.IUnlock _
+  | Ir.IChangeProto _ | Ir.IWork _ | Ir.ICallStmt _ | Ir.IReturn _ ->
+      s
+
+and hoist_from_loop reg ~extra_killed body =
+  if Ir.has_sync body then ([], body, [])
+  else begin
+    let killed = extra_killed @ Ir.assigned [] body in
+    let invariant vars = List.for_all (fun v -> not (List.mem v killed)) vars in
+    match body with
+    | Ir.ISeq stmts ->
+        (* step 1: invariant maps at the top level of the body *)
+        let hoisted_maps = ref [] in
+        let stmts =
+          List.filter
+            (fun st ->
+              match st with
+              | Ir.IMap (_, re) when invariant (Ir.rexpr_vars re) ->
+                  hoisted_maps := st :: !hoisted_maps;
+                  false
+              | _ -> true)
+            stmts
+        in
+        (* lowering gives temps unique names, so a hoisted map's temp has a
+           single definition *)
+        let hoisted_tmps =
+          List.concat_map
+            (function Ir.IMap (t, _) -> [ t ] | _ -> [])
+            !hoisted_maps
+        in
+        (* step 2: START whose temp's map was hoisted, with a matching END
+           at the same level, all protocols optimizable *)
+        let pre = ref [] and post = ref [] in
+        let rec filter_starts acc = function
+          | [] -> List.rev acc
+          | Ir.IStart (m, t, a) :: rest
+            when List.mem t hoisted_tmps && all_optimizable reg a
+                 && List.exists
+                      (function Ir.IEnd (m', t', _) -> m' = m && t' = t | _ -> false)
+                      rest ->
+              pre := Ir.IStart (m, t, a) :: !pre;
+              let rest =
+                remove_first
+                  (function
+                    | Ir.IEnd (m', t', a') when m' = m && t' = t ->
+                        post := Ir.IEnd (m, t, a') :: !post;
+                        true
+                    | _ -> false)
+                  rest
+              in
+              filter_starts acc rest
+          | st :: rest -> filter_starts (st :: acc) rest
+        in
+        let stmts = filter_starts [] stmts in
+        ( List.rev !hoisted_maps @ List.rev !pre,
+          Ir.ISeq stmts,
+          List.rev !post )
+    | _ -> ([], body, [])
+  end
+
+and mapped_tmps acc = function Ir.IMap (t, _) -> t :: acc | _ -> acc
+
+and remove_first pred l =
+  match l with
+  | [] -> []
+  | x :: rest -> if pred x then rest else x :: remove_first pred rest
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: merging redundant protocol calls (Fig. 6).                   *)
+(* Available-expression analysis on ACE_MAP arguments within straight-  *)
+(* line code; then adjacent same-mode access sections on the same       *)
+(* handle are fused (highest START, lowest END).                        *)
+(* ------------------------------------------------------------------ *)
+
+let rexpr_key = function
+  | Ir.RVar x -> "v:" ^ x
+  | Ir.RIdx (a, i) -> Format.asprintf "i:%s[%a]" a Ir.pp_nexpr i
+
+(* substitute temp t -> t0 in a statement subtree *)
+let rec subst_tmp t t0 (s : Ir.istmt) : Ir.istmt =
+  let v x = if x = t then t0 else x in
+  match s with
+  | Ir.IStart (m, x, a) -> Ir.IStart (m, v x, a)
+  | Ir.IEnd (m, x, a) -> Ir.IEnd (m, v x, a)
+  | Ir.ILoadShared (x, h, i) -> Ir.ILoadShared (x, v h, i)
+  | Ir.IStoreShared (h, i, e) -> Ir.IStoreShared (v h, i, e)
+  | Ir.ILock (x, a) -> Ir.ILock (v x, a)
+  | Ir.IUnlock (x, a) -> Ir.IUnlock (v x, a)
+  | Ir.ISeq l -> Ir.ISeq (List.map (subst_tmp t t0) l)
+  | Ir.IIf (c, a, b) -> Ir.IIf (c, subst_tmp t t0 a, subst_tmp t t0 b)
+  | Ir.IWhile (c, b) -> Ir.IWhile (c, subst_tmp t t0 b)
+  | Ir.IFor (i, lo, hi, st, b) -> Ir.IFor (i, lo, hi, st, subst_tmp t t0 b)
+  | Ir.IDeclArr _ | Ir.IDeclRegArr _ | Ir.IAssign _ | Ir.IStoreLocal _
+  | Ir.INewSpace _ | Ir.IRegAssign _ | Ir.IGmalloc _ | Ir.IGlobalId _
+  | Ir.IStoreReg _ | Ir.IMap _ | Ir.IBarrier _ | Ir.IChangeProto _ | Ir.IWork _
+  | Ir.ICallStmt _ | Ir.IReturn _ ->
+      s
+
+let is_barrier_stmt = function
+  | Ir.IBarrier _ | Ir.ILock _ | Ir.IUnlock _ | Ir.IChangeProto _
+  | Ir.ICallStmt _ | Ir.IIf _ | Ir.IWhile _ | Ir.IFor _ | Ir.IReturn _
+  | Ir.ISeq _ ->
+      true
+  | Ir.IDeclArr _ | Ir.IDeclRegArr _ | Ir.IAssign _ | Ir.IStoreLocal _
+  | Ir.INewSpace _ | Ir.IRegAssign _ | Ir.IGmalloc _ | Ir.IGlobalId _
+  | Ir.IStoreReg _ | Ir.IMap _ | Ir.IStart _ | Ir.IEnd _ | Ir.ILoadShared _
+  | Ir.IStoreShared _ | Ir.IWork _ ->
+      false
+
+(* Merge redundant maps over a statement list. Availability is killed at
+   synchronization/control statements (basic-block behaviour, as the
+   paper's available-expression analysis), but when a map *is* merged its
+   temporary is renamed through the entire remainder — hoisted sections may
+   reference it from inside later loop bodies. *)
+let merge_maps_list stmts =
+  let available : (string * string) list ref = ref [] in
+  (* kill availability when any variable occurring in the key is assigned;
+     keys embed variable names, so a substring check is conservative *)
+  let contains key v =
+    let lk = String.length key and lv = String.length v in
+    let rec go i =
+      if i + lv > lk then false
+      else if String.sub key i lv = v then true
+      else go (i + 1)
+    in
+    lv > 0 && go 0
+  in
+  let kill vars =
+    available :=
+      List.filter
+        (fun (key, _) -> not (List.exists (fun v -> contains key v) vars))
+        !available
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | Ir.IMap (t, re) :: rest -> (
+        let key = rexpr_key re in
+        match List.assoc_opt key !available with
+        | Some t0 ->
+            (* reuse the earlier mapping; rename t -> t0 downstream *)
+            go acc (List.map (subst_tmp t t0) rest)
+        | None ->
+            available := (key, t) :: !available;
+            go (Ir.IMap (t, re) :: acc) rest)
+    | st :: rest ->
+        if is_barrier_stmt st then available := []
+        else kill (Ir.assigned [] st);
+        go (st :: acc) rest
+  in
+  go [] stmts
+
+(* fuse END(m,t) ... START(m,t) pairs with nothing conflicting between *)
+let merge_sections reg stmts =
+  let rec try_fuse before = function
+    | [] -> None
+    | (Ir.IEnd (m, t, a) as e) :: rest when all_optimizable reg a -> (
+        (* look ahead for a START on the same handle and mode with only
+           non-sync statements between *)
+        let rec scan mid = function
+          | Ir.IStart (m', t', a') :: rest' when m' = m && t' = t ->
+              if all_optimizable reg a' then
+                Some (List.rev before @ List.rev mid @ rest')
+              else None
+          | st :: rest' when not (is_barrier_stmt st) ->
+              (* the handle must not be remapped in between *)
+              (match st with
+              | Ir.IMap (t', _) when t' = t -> None
+              | Ir.IEnd (_, t', _) | Ir.IStart (_, t', _) when t' = t -> None
+              | _ -> scan (st :: mid) rest')
+          | _ -> None
+        in
+        match scan [] rest with
+        | Some fused -> Some fused
+        | None -> try_fuse (e :: before) rest)
+    | st :: rest -> try_fuse (st :: before) rest
+  in
+  let rec fix stmts =
+    match try_fuse [] stmts with Some s -> fix s | None -> stmts
+  in
+  (* "use the highest ACE_START_* and the lowest ACE_END_*, and remove the
+     rest": drop re-opened sections nested in an already-open same-mode
+     section on the same handle *)
+  let dedupe stmts =
+    let open_count : (string * Ir.mode, int) Hashtbl.t = Hashtbl.create 8 in
+    let to_drop : (string * Ir.mode, int) Hashtbl.t = Hashtbl.create 8 in
+    let get t k = match Hashtbl.find_opt t k with Some n -> n | None -> 0 in
+    List.filter
+      (fun st ->
+        match st with
+        | Ir.IStart (m, t, a) when all_optimizable reg a ->
+            let k = (t, m) in
+            if get open_count k > 0 then begin
+              Hashtbl.replace to_drop k (get to_drop k + 1);
+              false
+            end
+            else begin
+              Hashtbl.replace open_count k 1;
+              true
+            end
+        | Ir.IStart (m, t, _) ->
+            Hashtbl.replace open_count (t, m) (get open_count (t, m) + 1);
+            true
+        | Ir.IEnd (m, t, _) ->
+            let k = (t, m) in
+            if get to_drop k > 0 then begin
+              Hashtbl.replace to_drop k (get to_drop k - 1);
+              false
+            end
+            else begin
+              Hashtbl.replace open_count k (max 0 (get open_count k - 1));
+              true
+            end
+        | _ -> true)
+      stmts
+  in
+  dedupe (fix stmts)
+
+let rec merge_calls (reg : Registry.t) (s : Ir.istmt) : Ir.istmt =
+  match Ir.flatten_stmt s with
+  | Ir.ISeq l ->
+      let l = Ir.flatten_list (List.map (merge_calls reg) l) in
+      (* map merging over the whole list (renames propagate everywhere) *)
+      let l = merge_maps_list l in
+      (* section fusing per straight-line run between barrier statements *)
+      let rec runs acc current = function
+        | [] -> List.rev (List.rev current :: acc)
+        | st :: rest when is_barrier_stmt st ->
+            runs (List.rev (st :: current) :: acc) [] rest
+        | st :: rest -> runs acc (st :: current) rest
+      in
+      let segments = runs [] [] l in
+      let processed =
+        List.concat_map
+          (fun seg ->
+            (* a segment's trailing element may be the barrier itself *)
+            let body, tail =
+              match List.rev seg with
+              | last :: _ when is_barrier_stmt last ->
+                  (List.filteri (fun i _ -> i < List.length seg - 1) seg, [ last ])
+              | _ -> (seg, [])
+            in
+            merge_sections reg body @ tail)
+          segments
+      in
+      Ir.ISeq processed
+  | Ir.IIf (c, a, b) -> Ir.IIf (c, merge_calls reg a, merge_calls reg b)
+  | Ir.IWhile (c, b) -> Ir.IWhile (c, merge_calls reg b)
+  | Ir.IFor (i, lo, hi, st, b) -> Ir.IFor (i, lo, hi, st, merge_calls reg b)
+  | Ir.IDeclArr _ | Ir.IDeclRegArr _ | Ir.IAssign _ | Ir.IStoreLocal _
+  | Ir.INewSpace _ | Ir.IRegAssign _ | Ir.IGmalloc _ | Ir.IGlobalId _
+  | Ir.IStoreReg _ | Ir.IMap _ | Ir.IStart _ | Ir.IEnd _ | Ir.ILoadShared _
+  | Ir.IStoreShared _ | Ir.IBarrier _ | Ir.ILock _ | Ir.IUnlock _
+  | Ir.IChangeProto _ | Ir.IWork _ | Ir.ICallStmt _ | Ir.IReturn _ ->
+      s
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: direct dispatch. If an access has a unique possible          *)
+(* protocol, replace the dispatched call with a direct call; if that    *)
+(* protocol's handler for the point is null, delete the call.           *)
+(* ------------------------------------------------------------------ *)
+
+let direct_dispatch (reg : Registry.t) (prog : Ir.iprogram) : unit =
+  let visit_ann kind (a : Ir.ann) =
+    match a.Ir.protos with
+    | [ p ] -> (
+        a.Ir.direct <- true;
+        match Registry.find reg p with
+        | None -> ()
+        | Some e ->
+            let present =
+              match kind with
+              | `Start_read -> e.Registry.start_read
+              | `End_read -> e.Registry.end_read
+              | `Start_write -> e.Registry.start_write
+              | `End_write -> e.Registry.end_write
+              | `Lock -> e.Registry.lock
+              | `Unlock -> e.Registry.unlock
+            in
+            if not present then a.Ir.removed <- true)
+    | _ -> ()
+  in
+  let rec go = function
+    | Ir.IStart (Ir.Read, _, a) -> visit_ann `Start_read a
+    | Ir.IStart (Ir.Write, _, a) -> visit_ann `Start_write a
+    | Ir.IEnd (Ir.Read, _, a) -> visit_ann `End_read a
+    | Ir.IEnd (Ir.Write, _, a) -> visit_ann `End_write a
+    | Ir.ILock (_, a) -> visit_ann `Lock a
+    | Ir.IUnlock (_, a) -> visit_ann `Unlock a
+    | Ir.ISeq l -> List.iter go l
+    | Ir.IIf (_, a, b) ->
+        go a;
+        go b
+    | Ir.IWhile (_, b) | Ir.IFor (_, _, _, _, b) -> go b
+    | Ir.IDeclArr _ | Ir.IDeclRegArr _ | Ir.IAssign _ | Ir.IStoreLocal _
+    | Ir.INewSpace _ | Ir.IRegAssign _ | Ir.IGmalloc _ | Ir.IGlobalId _
+    | Ir.IStoreReg _ | Ir.IMap _ | Ir.ILoadShared _ | Ir.IStoreShared _
+    | Ir.IBarrier _ | Ir.IChangeProto _ | Ir.IWork _ | Ir.ICallStmt _
+    | Ir.IReturn _ ->
+        ()
+  in
+  List.iter (fun f -> go f.Ir.body) prog
+
+(* ------------------------------------------------------------------ *)
+
+type level = O0 | O1 (* +LI *) | O2 (* +LI+MC *) | O3 (* +LI+MC+DC *)
+
+let level_name = function
+  | O0 -> "base"
+  | O1 -> "+LI"
+  | O2 -> "+LI+MC"
+  | O3 -> "+LI+MC+DC"
+
+let map_bodies f prog =
+  List.map (fun fn -> { fn with Ir.body = f fn.Ir.body }) prog
+
+let optimize (reg : Registry.t) (level : level) (prog : Ir.iprogram) :
+    Ir.iprogram =
+  (* the space analysis gates LI and MC (only optimizable protocols move) *)
+  Analysis.analyze prog;
+  let prog =
+    match level with
+    | O0 -> prog
+    | O1 -> map_bodies (loop_invariance reg) prog
+    | O2 -> map_bodies (merge_calls reg) (map_bodies (loop_invariance reg) prog)
+    | O3 -> map_bodies (merge_calls reg) (map_bodies (loop_invariance reg) prog)
+  in
+  (* re-run the analysis on the transformed tree so direct dispatch sees
+     hoisted/merged call sites *)
+  Analysis.analyze prog;
+  if level = O3 then direct_dispatch reg prog;
+  prog

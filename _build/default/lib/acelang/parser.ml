@@ -1,0 +1,349 @@
+(* Recursive-descent parser for MiniAce. *)
+
+exception Error of string * int
+
+type t = { mutable toks : (Lexer.token * int) list }
+
+let peek p = match p.toks with [] -> (Lexer.TEof, 0) | tk :: _ -> tk
+let line p = snd (peek p)
+let advance p = match p.toks with [] -> () | _ :: rest -> p.toks <- rest
+
+let err p msg = raise (Error (msg, line p))
+
+let expect_punct p s =
+  match peek p with
+  | Lexer.TPunct x, _ when x = s -> advance p
+  | _ -> err p (Printf.sprintf "expected '%s'" s)
+
+let expect_kw p s =
+  match peek p with
+  | Lexer.TKw x, _ when x = s -> advance p
+  | _ -> err p (Printf.sprintf "expected keyword '%s'" s)
+
+let expect_ident p =
+  match peek p with
+  | Lexer.TIdent x, _ ->
+      advance p;
+      x
+  | _ -> err p "expected identifier"
+
+let eat_punct p s =
+  match peek p with
+  | Lexer.TPunct x, _ when x = s ->
+      advance p;
+      true
+  | _ -> false
+
+(* expression grammar: || < && < comparison < addsub < muldiv < unary < atom *)
+let rec parse_expr p = parse_or p
+
+and parse_or p =
+  let lhs = parse_and p in
+  if eat_punct p "||" then Ast.Binop (Ast.Or, lhs, parse_or p) else lhs
+
+and parse_and p =
+  let lhs = parse_cmp p in
+  if eat_punct p "&&" then Ast.Binop (Ast.And, lhs, parse_and p) else lhs
+
+and parse_cmp p =
+  let lhs = parse_addsub p in
+  let op =
+    match peek p with
+    | Lexer.TPunct "<", _ -> Some Ast.Lt
+    | Lexer.TPunct "<=", _ -> Some Ast.Le
+    | Lexer.TPunct ">", _ -> Some Ast.Gt
+    | Lexer.TPunct ">=", _ -> Some Ast.Ge
+    | Lexer.TPunct "==", _ -> Some Ast.Eq
+    | Lexer.TPunct "!=", _ -> Some Ast.Ne
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+      advance p;
+      Ast.Binop (op, lhs, parse_addsub p)
+  | None -> lhs
+
+and parse_addsub p =
+  let lhs = ref (parse_muldiv p) in
+  let rec go () =
+    if eat_punct p "+" then begin
+      lhs := Ast.Binop (Ast.Add, !lhs, parse_muldiv p);
+      go ()
+    end
+    else if eat_punct p "-" then begin
+      lhs := Ast.Binop (Ast.Sub, !lhs, parse_muldiv p);
+      go ()
+    end
+  in
+  go ();
+  !lhs
+
+and parse_muldiv p =
+  let lhs = ref (parse_unary p) in
+  let rec go () =
+    if eat_punct p "*" then begin
+      lhs := Ast.Binop (Ast.Mul, !lhs, parse_unary p);
+      go ()
+    end
+    else if eat_punct p "/" then begin
+      lhs := Ast.Binop (Ast.Div, !lhs, parse_unary p);
+      go ()
+    end
+  in
+  go ();
+  !lhs
+
+and parse_unary p =
+  if eat_punct p "!" then Ast.Not (parse_unary p)
+  else if eat_punct p "-" then Ast.Binop (Ast.Sub, Ast.Num 0., parse_unary p)
+  else parse_atom p
+
+and parse_atom p =
+  match peek p with
+  | Lexer.TNum v, _ ->
+      advance p;
+      Ast.Num v
+  | Lexer.TPunct "(", _ ->
+      advance p;
+      let e = parse_expr p in
+      expect_punct p ")";
+      e
+  | Lexer.TIdent x, _ -> (
+      advance p;
+      match peek p with
+      | Lexer.TPunct "(", _ ->
+          advance p;
+          let args = parse_args p in
+          Ast.Call (x, args)
+      | Lexer.TPunct "[", _ ->
+          advance p;
+          let i = parse_expr p in
+          expect_punct p "]";
+          if eat_punct p "[" then begin
+            let j = parse_expr p in
+            expect_punct p "]";
+            Ast.Index2 (x, i, j)
+          end
+          else Ast.Index (x, i)
+      | _ -> Ast.Var x)
+  | Lexer.TKw "newspace", _ -> err p "newspace only in space declarations"
+  | _ -> err p "expected expression"
+
+and parse_args p =
+  if eat_punct p ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_expr p in
+      if eat_punct p "," then go (e :: acc)
+      else begin
+        expect_punct p ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+let rec parse_stmt p : Ast.stmt =
+  match peek p with
+  | Lexer.TKw "var", _ -> (
+      advance p;
+      let x = expect_ident p in
+      match peek p with
+      | Lexer.TPunct "[", _ ->
+          advance p;
+          let n = parse_expr p in
+          expect_punct p "]";
+          expect_punct p ";";
+          Ast.ArrDecl (x, n)
+      | Lexer.TPunct "=", _ ->
+          advance p;
+          let e = parse_expr p in
+          expect_punct p ";";
+          Ast.VarDecl (x, Some e)
+      | _ ->
+          expect_punct p ";";
+          Ast.VarDecl (x, None))
+  | Lexer.TKw "region", _ -> (
+      advance p;
+      let x = expect_ident p in
+      match peek p with
+      | Lexer.TPunct "[", _ ->
+          advance p;
+          let n = parse_expr p in
+          expect_punct p "]";
+          expect_punct p ";";
+          Ast.RegionArrDecl (x, n)
+      | _ ->
+          expect_punct p ";";
+          Ast.RegionDecl x)
+  | Lexer.TKw "space", _ ->
+      advance p;
+      let x = expect_ident p in
+      expect_punct p "=";
+      expect_kw p "newspace";
+      expect_punct p "(";
+      let proto = expect_ident p in
+      expect_punct p ")";
+      expect_punct p ";";
+      Ast.SpaceDecl (x, proto)
+  | Lexer.TKw "if", _ ->
+      advance p;
+      expect_punct p "(";
+      let c = parse_expr p in
+      expect_punct p ")";
+      let thn = parse_block p in
+      let els =
+        match peek p with
+        | Lexer.TKw "else", _ ->
+            advance p;
+            parse_block p
+        | _ -> []
+      in
+      Ast.If (c, thn, els)
+  | Lexer.TKw "while", _ ->
+      advance p;
+      expect_punct p "(";
+      let c = parse_expr p in
+      expect_punct p ")";
+      Ast.While (c, parse_block p)
+  | Lexer.TKw "for", _ ->
+      advance p;
+      expect_punct p "(";
+      let i = expect_ident p in
+      expect_punct p "=";
+      let lo = parse_expr p in
+      expect_punct p ";";
+      let i2 = expect_ident p in
+      if i2 <> i then err p "for: condition variable differs";
+      expect_punct p "<";
+      let hi = parse_expr p in
+      expect_punct p ";";
+      let i3 = expect_ident p in
+      if i3 <> i then err p "for: step variable differs";
+      let step =
+        if eat_punct p "+=" then parse_expr p
+        else begin
+          expect_punct p "=";
+          let i4 = expect_ident p in
+          if i4 <> i then err p "for: step must be i = i + e";
+          expect_punct p "+";
+          parse_expr p
+        end
+      in
+      expect_punct p ")";
+      Ast.For (i, lo, hi, step, parse_block p)
+  | Lexer.TKw "barrier", _ ->
+      advance p;
+      expect_punct p "(";
+      let s = expect_ident p in
+      expect_punct p ")";
+      expect_punct p ";";
+      Ast.Barrier s
+  | Lexer.TKw "lock", _ ->
+      advance p;
+      expect_punct p "(";
+      let e = parse_expr p in
+      expect_punct p ")";
+      expect_punct p ";";
+      Ast.Lock e
+  | Lexer.TKw "unlock", _ ->
+      advance p;
+      expect_punct p "(";
+      let e = parse_expr p in
+      expect_punct p ")";
+      expect_punct p ";";
+      Ast.Unlock e
+  | Lexer.TKw "changeproto", _ ->
+      advance p;
+      expect_punct p "(";
+      let s = expect_ident p in
+      expect_punct p ",";
+      let proto = expect_ident p in
+      expect_punct p ")";
+      expect_punct p ";";
+      Ast.ChangeProto (s, proto)
+  | Lexer.TKw "work", _ ->
+      advance p;
+      expect_punct p "(";
+      let e = parse_expr p in
+      expect_punct p ")";
+      expect_punct p ";";
+      Ast.Work e
+  | Lexer.TKw "return", _ ->
+      advance p;
+      if eat_punct p ";" then Ast.Return None
+      else begin
+        let e = parse_expr p in
+        expect_punct p ";";
+        Ast.Return (Some e)
+      end
+  | Lexer.TIdent x, _ -> (
+      advance p;
+      match peek p with
+      | Lexer.TPunct "=", _ ->
+          advance p;
+          let e = parse_expr p in
+          expect_punct p ";";
+          Ast.Assign (x, e)
+      | Lexer.TPunct "[", _ -> (
+          advance p;
+          let i = parse_expr p in
+          expect_punct p "]";
+          match peek p with
+          | Lexer.TPunct "[", _ ->
+              advance p;
+              let j = parse_expr p in
+              expect_punct p "]";
+              expect_punct p "=";
+              let e = parse_expr p in
+              expect_punct p ";";
+              Ast.StoreIdx2 (x, i, j, e)
+          | _ ->
+              expect_punct p "=";
+              let e = parse_expr p in
+              expect_punct p ";";
+              Ast.StoreIdx (x, i, e))
+      | Lexer.TPunct "(", _ ->
+          advance p;
+          let args = parse_args p in
+          expect_punct p ";";
+          Ast.ExprStmt (Ast.Call (x, args))
+      | _ -> err p "expected statement")
+  | _ -> err p "expected statement"
+
+and parse_block p =
+  expect_punct p "{";
+  let rec go acc =
+    if eat_punct p "}" then List.rev acc else go (parse_stmt p :: acc)
+  in
+  go []
+
+let parse_func p =
+  expect_kw p "func";
+  let name = expect_ident p in
+  expect_punct p "(";
+  let params =
+    if eat_punct p ")" then []
+    else begin
+      let rec go acc =
+        let x = expect_ident p in
+        if eat_punct p "," then go (x :: acc)
+        else begin
+          expect_punct p ")";
+          List.rev (x :: acc)
+        end
+      in
+      go []
+    end
+  in
+  let body = parse_block p in
+  { Ast.fname = name; params; body }
+
+let parse_program src =
+  let p = { toks = Lexer.tokenize src } in
+  let rec go acc =
+    match peek p with
+    | Lexer.TEof, _ -> List.rev acc
+    | _ -> go (parse_func p :: acc)
+  in
+  go []

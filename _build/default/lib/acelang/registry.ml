@@ -1,0 +1,129 @@
+(* The protocol registration data of Fig. 1: for each protocol, which
+   access/synchronization points have (non-null) handlers and whether its
+   semantics allow the optimizer to touch its calls. The compiler reads
+   this "system configuration" to drive the direct-dispatch pass; it can be
+   derived from a live runtime registry or parsed from the textual format
+   the paper's Tcl script generates. *)
+
+type entry = {
+  name : string;
+  optimizable : bool;
+  start_read : bool;
+  end_read : bool;
+  start_write : bool;
+  end_write : bool;
+  barrier : bool;
+  lock : bool;
+  unlock : bool;
+}
+
+type t = entry list
+
+let find t name = List.find_opt (fun e -> e.name = name) t
+
+(* The four access points use the protocol's declared registration flags
+   (what the Fig. 1 script records — a protocol may install a debug-only
+   handler yet register the point as null, like WRITE_ONCE's write-side
+   assertion); the synchronization points are derived from the handlers
+   themselves. *)
+let of_protocol (p : Ace_runtime.Protocol.protocol) =
+  {
+    name = p.Ace_runtime.Protocol.name;
+    optimizable = p.Ace_runtime.Protocol.optimizable;
+    start_read = p.Ace_runtime.Protocol.has_start_read;
+    end_read = p.Ace_runtime.Protocol.has_end_read;
+    start_write = p.Ace_runtime.Protocol.has_start_write;
+    end_write = p.Ace_runtime.Protocol.has_end_write;
+    barrier = p.Ace_runtime.Protocol.barrier != Ace_runtime.Protocol.null_hook;
+    lock = p.Ace_runtime.Protocol.lock != Ace_runtime.Protocol.null_hook;
+    unlock = p.Ace_runtime.Protocol.unlock != Ace_runtime.Protocol.null_hook;
+  }
+
+let of_runtime rt = List.map of_protocol (Ace_runtime.Runtime.protocols rt)
+
+(* Textual configuration, one block per protocol (Fig. 1 flavoured):
+
+     protocol Update {
+       points: start_read start_write end_write barrier;
+       optimizable: yes;
+     }
+*)
+let to_text (t : t) =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (Printf.sprintf "protocol %s {\n  points:" e.name);
+      let point name present = if present then Buffer.add_string b (" " ^ name) in
+      point "start_read" e.start_read;
+      point "end_read" e.end_read;
+      point "start_write" e.start_write;
+      point "end_write" e.end_write;
+      point "barrier" e.barrier;
+      point "lock" e.lock;
+      point "unlock" e.unlock;
+      Buffer.add_string b
+        (Printf.sprintf ";\n  optimizable: %s;\n}\n"
+           (if e.optimizable then "yes" else "no")))
+    t;
+  Buffer.contents b
+
+exception Parse_error of string
+
+let parse_text text : t =
+  let tokens =
+    String.split_on_char '\n' text
+    |> List.concat_map (fun l -> String.split_on_char ' ' l)
+    |> List.concat_map (fun w ->
+           (* separate punctuation glued to words *)
+           let w = String.trim w in
+           let strip c w =
+             if String.length w > 0 && w.[String.length w - 1] = c then
+               [ String.sub w 0 (String.length w - 1); String.make 1 c ]
+             else [ w ]
+           in
+           List.concat_map (strip ';') (strip ':' w |> List.concat_map (strip ';')))
+    |> List.filter (fun w -> w <> "")
+  in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "protocol" :: name :: "{" :: rest ->
+        let rec block e = function
+          | "points" :: ":" :: rest ->
+              let rec points e = function
+                | ";" :: rest -> block e rest
+                | "start_read" :: rest -> points { e with start_read = true } rest
+                | "end_read" :: rest -> points { e with end_read = true } rest
+                | "start_write" :: rest ->
+                    points { e with start_write = true } rest
+                | "end_write" :: rest -> points { e with end_write = true } rest
+                | "barrier" :: rest -> points { e with barrier = true } rest
+                | "lock" :: rest -> points { e with lock = true } rest
+                | "unlock" :: rest -> points { e with unlock = true } rest
+                | w :: _ -> raise (Parse_error ("unknown point " ^ w))
+                | [] -> raise (Parse_error "unterminated points")
+              in
+              points e rest
+          | "optimizable" :: ":" :: v :: ";" :: rest ->
+              block { e with optimizable = v = "yes" || v = "true" } rest
+          | "}" :: rest -> (e, rest)
+          | w :: _ -> raise (Parse_error ("unexpected " ^ w))
+          | [] -> raise (Parse_error "unterminated protocol block")
+        in
+        let empty =
+          {
+            name;
+            optimizable = false;
+            start_read = false;
+            end_read = false;
+            start_write = false;
+            end_write = false;
+            barrier = false;
+            lock = false;
+            unlock = false;
+          }
+        in
+        let e, rest = block empty rest in
+        parse (e :: acc) rest
+    | w :: _ -> raise (Parse_error ("expected 'protocol', got " ^ w))
+  in
+  parse [] tokens

@@ -1,0 +1,186 @@
+(* MiniAce type checking. The key rules come from paper §3.1: shared data
+   is reached only through region handles, and arithmetic on region values
+   is forbidden (no pointer into the middle of a region can exist), which
+   is what makes every shared access syntactically recognizable for the
+   annotation-inserting compiler. *)
+
+type ty = Num | Reg | NumArr | RegArr | Space
+
+exception Error of string
+
+let show = function
+  | Num -> "num"
+  | Reg -> "region"
+  | NumArr -> "num array"
+  | RegArr -> "region array"
+  | Space -> "space"
+
+type fenv = {
+  vars : (string, ty) Hashtbl.t; (* function-scoped *)
+  mutable returns_value : bool;
+}
+
+(* name -> declared arity of user functions *)
+type genv = (string, int) Hashtbl.t
+
+let builtin_arity =
+  [ ("me", 0); ("nprocs", 0); ("gmalloc", 2); ("globalid", 3); ("sqrt", 1); ("mod", 2) ]
+
+let declare fe x ty =
+  if Hashtbl.mem fe.vars x then raise (Error ("duplicate declaration of " ^ x));
+  Hashtbl.add fe.vars x ty
+
+let lookup fe x =
+  match Hashtbl.find_opt fe.vars x with
+  | Some ty -> ty
+  | None -> raise (Error ("undeclared variable " ^ x))
+
+let rec type_of_expr (ge : genv) fe (e : Ast.expr) : ty =
+  match e with
+  | Ast.Num _ -> Num
+  | Ast.Var x -> lookup fe x
+  | Ast.Not e ->
+      check ge fe e Num;
+      Num
+  | Ast.Binop (op, a, b) ->
+      (* arithmetic on regions is a type error — the paper's no-pointer-
+         arithmetic rule *)
+      let ta = type_of_expr ge fe a and tb = type_of_expr ge fe b in
+      if ta <> Num || tb <> Num then
+        raise
+          (Error
+             (Printf.sprintf "operator %s requires numbers, got %s and %s"
+                (Ast.binop_name op) (show ta) (show tb)));
+      Num
+  | Ast.Index (x, i) -> (
+      check ge fe i Num;
+      match lookup fe x with
+      | NumArr -> Num
+      | Reg -> Num (* shared access *)
+      | RegArr -> Reg
+      | t -> raise (Error (x ^ " is not indexable (a " ^ show t ^ ")")))
+  | Ast.Index2 (x, i, j) -> (
+      check ge fe i Num;
+      check ge fe j Num;
+      match lookup fe x with
+      | RegArr -> Num (* shared access through a region array *)
+      | t -> raise (Error (x ^ "[i][j] requires a region array, got " ^ show t)))
+  | Ast.Call ("me", []) | Ast.Call ("nprocs", []) -> Num
+  | Ast.Call ("sqrt", [ e ]) ->
+      check ge fe e Num;
+      Num
+  | Ast.Call ("mod", [ a; b ]) ->
+      check ge fe a Num;
+      check ge fe b Num;
+      Num
+  | Ast.Call ("gmalloc", [ s; n ]) ->
+      check ge fe s Space;
+      check ge fe n Num;
+      Reg
+  | Ast.Call ("globalid", [ s; owner; k ]) ->
+      check ge fe s Space;
+      check ge fe owner Num;
+      check ge fe k Num;
+      Reg
+  | Ast.Call (f, args) -> (
+      match List.assoc_opt f builtin_arity with
+      | Some n ->
+          raise
+            (Error (Printf.sprintf "%s expects %d argument(s)" f n))
+      | None -> (
+          match Hashtbl.find_opt ge f with
+          | None -> raise (Error ("unknown function " ^ f))
+          | Some arity ->
+              if List.length args <> arity then
+                raise (Error ("wrong arity calling " ^ f));
+              List.iter (fun a -> check ge fe a Num) args;
+              Num))
+
+and check ge fe e ty =
+  let t = type_of_expr ge fe e in
+  if t <> ty then
+    raise (Error (Printf.sprintf "expected %s, got %s" (show ty) (show t)))
+
+let rec check_stmt ge fe (s : Ast.stmt) =
+  match s with
+  | Ast.VarDecl (x, init) ->
+      (match init with Some e -> check ge fe e Num | None -> ());
+      declare fe x Num
+  | Ast.ArrDecl (x, n) ->
+      check ge fe n Num;
+      declare fe x NumArr
+  | Ast.RegionDecl x -> declare fe x Reg
+  | Ast.RegionArrDecl (x, n) ->
+      check ge fe n Num;
+      declare fe x RegArr
+  | Ast.SpaceDecl (x, _proto) -> declare fe x Space
+  | Ast.Assign (x, e) -> (
+      match lookup fe x with
+      | Num -> check ge fe e Num
+      | Reg -> check ge fe e Reg
+      | t -> raise (Error ("cannot assign to " ^ x ^ " of type " ^ show t)))
+  | Ast.StoreIdx (x, i, e) -> (
+      check ge fe i Num;
+      match lookup fe x with
+      | NumArr | Reg -> check ge fe e Num
+      | RegArr -> check ge fe e Reg
+      | t -> raise (Error (x ^ " is not indexable (a " ^ show t ^ ")")))
+  | Ast.StoreIdx2 (x, i, j, e) -> (
+      check ge fe i Num;
+      check ge fe j Num;
+      match lookup fe x with
+      | RegArr -> check ge fe e Num
+      | t -> raise (Error (x ^ "[i][j] requires a region array, got " ^ show t)))
+  | Ast.If (c, a, b) ->
+      check ge fe c Num;
+      List.iter (check_stmt ge fe) a;
+      List.iter (check_stmt ge fe) b
+  | Ast.While (c, body) ->
+      check ge fe c Num;
+      List.iter (check_stmt ge fe) body
+  | Ast.For (i, lo, hi, step, body) ->
+      (match Hashtbl.find_opt fe.vars i with
+      | Some Num -> ()
+      | Some t -> raise (Error ("loop variable " ^ i ^ " is a " ^ show t))
+      | None -> declare fe i Num);
+      check ge fe lo Num;
+      check ge fe hi Num;
+      check ge fe step Num;
+      List.iter (check_stmt ge fe) body
+  | Ast.Barrier s -> (
+      match lookup fe s with
+      | Space -> ()
+      | t -> raise (Error ("barrier requires a space, got " ^ show t)))
+  | Ast.Lock e | Ast.Unlock e -> check ge fe e Reg
+  | Ast.ChangeProto (s, _proto) -> (
+      match lookup fe s with
+      | Space -> ()
+      | t -> raise (Error ("changeproto requires a space, got " ^ show t)))
+  | Ast.Work e -> check ge fe e Num
+  | Ast.ExprStmt e -> ignore (type_of_expr ge fe e)
+  | Ast.Return (Some e) ->
+      check ge fe e Num;
+      fe.returns_value <- true
+  | Ast.Return None -> ()
+
+(* Check a program; returns the per-function variable type tables used by
+   the lowering pass. *)
+let check_program (prog : Ast.program) =
+  let ge : genv = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem ge f.Ast.fname then
+        raise (Error ("duplicate function " ^ f.Ast.fname));
+      if List.mem_assoc f.Ast.fname builtin_arity then
+        raise (Error (f.Ast.fname ^ " is a builtin"));
+      Hashtbl.add ge f.Ast.fname (List.length f.Ast.params))
+    prog;
+  let tables = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      let fe = { vars = Hashtbl.create 16; returns_value = false } in
+      List.iter (fun x -> declare fe x Num) f.Ast.params;
+      List.iter (check_stmt ge fe) f.Ast.body;
+      Hashtbl.add tables f.Ast.fname fe.vars)
+    prog;
+  tables

@@ -1,0 +1,1 @@
+lib/apps/barnes_hut.ml: Ace_engine Ace_region Array Bh_tree

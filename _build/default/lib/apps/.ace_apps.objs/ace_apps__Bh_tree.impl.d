@@ -1,0 +1,1 @@
+lib/apps/bh_tree.ml: Array

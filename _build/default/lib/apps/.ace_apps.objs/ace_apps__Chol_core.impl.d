@@ -1,0 +1,1 @@
+lib/apps/chol_core.ml: Ace_engine Array Hashtbl

@@ -1,0 +1,1 @@
+lib/apps/cholesky.ml: Ace_region Array Chol_core Hashtbl

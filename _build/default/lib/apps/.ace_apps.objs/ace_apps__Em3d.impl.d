@@ -1,0 +1,1 @@
+lib/apps/em3d.ml: Ace_engine Ace_region Array List

@@ -1,0 +1,1 @@
+lib/apps/tsp.ml: Ace_region Array Tsp_core

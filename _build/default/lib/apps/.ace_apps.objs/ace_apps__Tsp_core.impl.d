@@ -1,0 +1,1 @@
+lib/apps/tsp_core.ml: Ace_engine Array

@@ -1,0 +1,1 @@
+lib/apps/water.ml: Ace_region Array Water_core

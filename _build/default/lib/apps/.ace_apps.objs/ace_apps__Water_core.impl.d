@@ -1,0 +1,1 @@
+lib/apps/water_core.ml: Ace_engine Array Float

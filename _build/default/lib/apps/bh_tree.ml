@@ -1,0 +1,226 @@
+(* Barnes-Hut octree (Barnes & Hut, Nature 1986): O(N log N) force
+   calculation. Pure local computation over flat position/mass arrays; the
+   SPMD application and the sequential reference share it. *)
+
+type t = {
+  (* nodes stored in growable arrays; node 0 is the root *)
+  mutable n_nodes : int;
+  mutable kind : int array; (* -1 empty, 0 internal, 1 leaf *)
+  mutable body : int array; (* leaf: body index *)
+  mutable child : int array; (* internal: 8 children, -1 = none *)
+  mutable mass : float array;
+  mutable comx : float array;
+  mutable comy : float array;
+  mutable comz : float array;
+  mutable cx : float array; (* cell centers *)
+  mutable cy : float array;
+  mutable cz : float array;
+  mutable half : float array; (* half-width *)
+}
+
+let create () =
+  {
+    n_nodes = 0;
+    kind = Array.make 64 (-1);
+    body = Array.make 64 (-1);
+    child = Array.make 512 (-1);
+    mass = Array.make 64 0.;
+    comx = Array.make 64 0.;
+    comy = Array.make 64 0.;
+    comz = Array.make 64 0.;
+    cx = Array.make 64 0.;
+    cy = Array.make 64 0.;
+    cz = Array.make 64 0.;
+    half = Array.make 64 0.;
+  }
+
+let grow t =
+  let n = Array.length t.kind in
+  let g a fill =
+    let b = Array.make (2 * n) fill in
+    Array.blit a 0 b 0 n;
+    b
+  in
+  t.kind <- g t.kind (-1);
+  t.body <- g t.body (-1);
+  t.mass <- g t.mass 0.;
+  t.comx <- g t.comx 0.;
+  t.comy <- g t.comy 0.;
+  t.comz <- g t.comz 0.;
+  t.cx <- g t.cx 0.;
+  t.cy <- g t.cy 0.;
+  t.cz <- g t.cz 0.;
+  t.half <- g t.half 0.;
+  let c = Array.make (2 * 8 * n) (-1) in
+  Array.blit t.child 0 c 0 (8 * n);
+  t.child <- c
+
+let new_node t ~cx ~cy ~cz ~half =
+  if t.n_nodes = Array.length t.kind then grow t;
+  let i = t.n_nodes in
+  t.n_nodes <- i + 1;
+  t.kind.(i) <- -1;
+  t.body.(i) <- -1;
+  for k = 0 to 7 do
+    t.child.((8 * i) + k) <- -1
+  done;
+  t.mass.(i) <- 0.;
+  t.cx.(i) <- cx;
+  t.cy.(i) <- cy;
+  t.cz.(i) <- cz;
+  t.half.(i) <- half;
+  i
+
+let octant t i x y z =
+  (if x >= t.cx.(i) then 1 else 0)
+  lor (if y >= t.cy.(i) then 2 else 0)
+  lor if z >= t.cz.(i) then 4 else 0
+
+(* Build a tree over bodies [0, n): positions in [px], [py], [pz], masses in
+   [m]. The bounding cube is computed from the data. *)
+let build ~px ~py ~pz ~m n =
+  let t = create () in
+  if n = 0 then t
+  else begin
+    let lo = ref infinity and hi = ref neg_infinity in
+    for i = 0 to n - 1 do
+      let update v =
+        if v < !lo then lo := v;
+        if v > !hi then hi := v
+      in
+      update px.(i);
+      update py.(i);
+      update pz.(i)
+    done;
+    let half = (0.5 *. (!hi -. !lo)) +. 1e-9 in
+    let mid = 0.5 *. (!hi +. !lo) in
+    let root = new_node t ~cx:mid ~cy:mid ~cz:mid ~half in
+    let rec insert i b =
+      match t.kind.(i) with
+      | -1 ->
+          t.kind.(i) <- 1;
+          t.body.(i) <- b
+      | 1 ->
+          (* split: push existing body down, then re-insert b *)
+          let b0 = t.body.(i) in
+          t.kind.(i) <- 0;
+          t.body.(i) <- -1;
+          if
+            abs_float (px.(b0) -. px.(b)) < 1e-12
+            && abs_float (py.(b0) -. py.(b)) < 1e-12
+            && abs_float (pz.(b0) -. pz.(b)) < 1e-12
+          then begin
+            (* coincident bodies: keep as a merged leaf to avoid infinite
+               splitting; mass accounted in the com pass *)
+            t.kind.(i) <- 1;
+            t.body.(i) <- b0
+          end
+          else begin
+            descend i b0;
+            descend i b
+          end
+      | 0 -> descend i b
+      | _ -> assert false
+    and descend i b =
+      let o = octant t i px.(b) py.(b) pz.(b) in
+      let c = t.child.((8 * i) + o) in
+      if c >= 0 then insert c b
+      else begin
+        let h = 0.5 *. t.half.(i) in
+        let cx = t.cx.(i) +. (if o land 1 <> 0 then h else -.h) in
+        let cy = t.cy.(i) +. (if o land 2 <> 0 then h else -.h) in
+        let cz = t.cz.(i) +. if o land 4 <> 0 then h else -.h in
+        let c = new_node t ~cx ~cy ~cz ~half:h in
+        t.child.((8 * i) + o) <- c;
+        insert c b
+      end
+    in
+    for b = 0 to n - 1 do
+      insert root b
+    done;
+    (* centre-of-mass pass *)
+    let rec com i =
+      match t.kind.(i) with
+      | 1 ->
+          let b = t.body.(i) in
+          t.mass.(i) <- m.(b);
+          t.comx.(i) <- px.(b);
+          t.comy.(i) <- py.(b);
+          t.comz.(i) <- pz.(b)
+      | 0 ->
+          let mm = ref 0. and sx = ref 0. and sy = ref 0. and sz = ref 0. in
+          for k = 0 to 7 do
+            let c = t.child.((8 * i) + k) in
+            if c >= 0 then begin
+              com c;
+              mm := !mm +. t.mass.(c);
+              sx := !sx +. (t.mass.(c) *. t.comx.(c));
+              sy := !sy +. (t.mass.(c) *. t.comy.(c));
+              sz := !sz +. (t.mass.(c) *. t.comz.(c))
+            end
+          done;
+          t.mass.(i) <- !mm;
+          if !mm > 0. then begin
+            t.comx.(i) <- !sx /. !mm;
+            t.comy.(i) <- !sy /. !mm;
+            t.comz.(i) <- !sz /. !mm
+          end
+      | _ -> ()
+    in
+    com root;
+    t
+  end
+
+(* Gravitational acceleration on body [b]; returns (ax, ay, az,
+   interaction_count). [theta] is the opening angle, [eps] the softening. *)
+let force t ~px ~py ~pz ~theta ~eps b =
+  let ax = ref 0. and ay = ref 0. and az = ref 0. in
+  let count = ref 0 in
+  let xb = px.(b) and yb = py.(b) and zb = pz.(b) in
+  let add m x y z =
+    let dx = x -. xb and dy = y -. yb and dz = z -. zb in
+    let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. (eps *. eps) in
+    let r = sqrt r2 in
+    let f = m /. (r2 *. r) in
+    ax := !ax +. (f *. dx);
+    ay := !ay +. (f *. dy);
+    az := !az +. (f *. dz);
+    incr count
+  in
+  let rec visit i =
+    if i >= 0 && t.kind.(i) >= 0 then
+      match t.kind.(i) with
+      | 1 -> if t.body.(i) <> b then add t.mass.(i) t.comx.(i) t.comy.(i) t.comz.(i)
+      | 0 ->
+          let dx = t.comx.(i) -. xb
+          and dy = t.comy.(i) -. yb
+          and dz = t.comz.(i) -. zb in
+          let d = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) +. 1e-12 in
+          if 2. *. t.half.(i) /. d < theta then
+            add t.mass.(i) t.comx.(i) t.comy.(i) t.comz.(i)
+          else
+            for k = 0 to 7 do
+              visit t.child.((8 * i) + k)
+            done
+      | _ -> ()
+  in
+  if t.n_nodes > 0 then visit 0;
+  (!ax, !ay, !az, !count)
+
+(* Direct O(N^2) acceleration, for accuracy tests. *)
+let direct_force ~px ~py ~pz ~m ~eps n b =
+  let ax = ref 0. and ay = ref 0. and az = ref 0. in
+  for j = 0 to n - 1 do
+    if j <> b then begin
+      let dx = px.(j) -. px.(b)
+      and dy = py.(j) -. py.(b)
+      and dz = pz.(j) -. pz.(b) in
+      let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. (eps *. eps) in
+      let r = sqrt r2 in
+      let f = m.(j) /. (r2 *. r) in
+      ax := !ax +. (f *. dx);
+      ay := !ay +. (f *. dy);
+      az := !az +. (f *. dz)
+    end
+  done;
+  (!ax, !ay, !az)

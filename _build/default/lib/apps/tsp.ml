@@ -1,0 +1,82 @@
+(* Travelling Salesman (CRL 1.0 distribution, 12 cities in the paper).
+   Workers pull tour-prefix jobs off a shared counter and run branch and
+   bound with a shared best bound.
+
+   The custom protocol of Fig. 7b is COUNTER on the job counter: under SC
+   every counter bump migrates the region exclusively (a three-hop recall
+   plus invalidations per increment, serialized across all workers); the
+   counter protocol turns it into a home-serialized read-modify-write. *)
+
+type config = {
+  core : Tsp_core.config;
+  counter_protocol : string option; (* Some "COUNTER" *)
+  seed_unused : unit;
+}
+
+let default =
+  { core = { Tsp_core.n_cities = 10; seed = 3 }; counter_protocol = None; seed_unused = () }
+
+let n_spaces = 2
+
+module Make (D : Ace_region.Dsm_intf.S) = struct
+  (* space 0: the job counter; space 1: the best-tour bound *)
+
+  let run cfg (ctx : D.ctx) =
+    let me = D.me ctx in
+    let d = Tsp_core.generate cfg.core in
+    let n = cfg.core.Tsp_core.n_cities in
+    let jobs = Tsp_core.jobs cfg.core in
+    let njobs = Array.length jobs in
+    let rids =
+      D.bcast ctx ~root:0 (fun () ->
+          let counter = D.alloc ctx ~space:0 ~len:1 in
+          let best = D.alloc ctx ~space:1 ~len:1 in
+          D.start_write ctx best;
+          (D.data ctx best).(0) <- Tsp_core.greedy_bound d;
+          D.end_write ctx best;
+          [| D.rid counter; D.rid best |])
+    in
+    let counter = D.map ctx rids.(0) and best = D.map ctx rids.(1) in
+    D.barrier ctx ~space:0;
+    (match cfg.counter_protocol with
+    | Some p -> D.change_protocol ctx ~space:0 p
+    | None -> ());
+    let lb_cycles = 8. *. float_of_int (n * n) in
+    let next_job () =
+      D.start_write ctx counter;
+      let v = (D.data ctx counter).(0) in
+      (D.data ctx counter).(0) <- v +. 1.;
+      D.end_write ctx counter;
+      int_of_float v
+    in
+    let rec work_loop () =
+      let j = next_job () in
+      if j < njobs then begin
+        D.start_read ctx best;
+        let bound = (D.data ctx best).(0) in
+        D.end_read ctx best;
+        let my_best = ref bound and nodes = ref 0 in
+        Tsp_core.run_job d ~job:jobs.(j) ~best:my_best ~nodes;
+        D.work ctx (lb_cycles *. float_of_int !nodes);
+        if !my_best < bound then begin
+          (* improved: publish under the bound's lock *)
+          D.lock ctx best;
+          D.start_write ctx best;
+          if !my_best < (D.data ctx best).(0) then
+            (D.data ctx best).(0) <- !my_best;
+          D.end_write ctx best;
+          D.unlock ctx best
+        end;
+        work_loop ()
+      end
+    in
+    work_loop ();
+    D.barrier ctx ~space:0;
+    if me = 0 then begin
+      D.start_read ctx best;
+      let v = (D.data ctx best).(0) in
+      D.end_read ctx best;
+      v
+    end
+    else 0.
+end

@@ -1,0 +1,104 @@
+(* Water kernels (SPLASH MDG lineage, simplified per DESIGN.md): molecules
+   with positions, velocities, short-range pairwise forces with a cutoff
+   (the inter-molecular phase) and a local vibrational update (the
+   intra-molecular phase). The SPMD program and the sequential reference
+   share these kernels, so coherent runs reproduce the reference bit for
+   bit. *)
+
+module Rng = Ace_engine.Det_rng
+
+type config = {
+  n_mol : int;
+  steps : int;
+  dt : float;
+  cutoff : float;
+  box : float;
+  intra_sweeps : int; (* vibration sub-steps per step (local compute) *)
+  seed : int;
+}
+
+(* Region layout per molecule (len 12):
+   0-2 position, 3-5 velocity, 6-8 force accumulator, 9-11 internal mode. *)
+let region_len = 12
+
+let init cfg =
+  let rng = Rng.create cfg.seed in
+  Array.init cfg.n_mol (fun _ ->
+      let m = Array.make region_len 0. in
+      for k = 0 to 2 do
+        m.(k) <- Rng.float rng *. cfg.box;
+        m.(9 + k) <- (Rng.float rng -. 0.5) *. 0.1
+      done;
+      m)
+
+(* Minimum-image distance in a periodic box. *)
+let min_image cfg dx =
+  let half = cfg.box /. 2. in
+  if dx > half then dx -. cfg.box else if dx < -.half then dx +. cfg.box else dx
+
+(* Lennard-Jones-ish pair force between molecules at p1 and p2; returns
+   (fx, fy, fz) on p1 (p2 gets the negation) or None beyond the cutoff. *)
+let pair_force cfg p1 p2 =
+  let dx = min_image cfg (p1.(0) -. p2.(0))
+  and dy = min_image cfg (p1.(1) -. p2.(1))
+  and dz = min_image cfg (p1.(2) -. p2.(2)) in
+  let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+  if r2 > cfg.cutoff *. cfg.cutoff || r2 < 1e-12 then None
+  else begin
+    let inv2 = 1. /. r2 in
+    let inv6 = inv2 *. inv2 *. inv2 in
+    let f = 24. *. inv6 *. ((2. *. inv6) -. 1.) *. inv2 in
+    (* clamp to keep the explicit integrator stable on random initial data *)
+    let f = if f > 100. then 100. else if f < -100. then -100. else f in
+    Some (f *. dx, f *. dy, f *. dz)
+  end
+
+(* Intra-molecular vibration: a damped harmonic update of the internal mode,
+   [sweeps] times (pure local compute). *)
+let intra cfg mol =
+  for _ = 1 to cfg.intra_sweeps do
+    for k = 9 to 11 do
+      mol.(k) <- mol.(k) -. (0.1 *. cfg.dt *. mol.(k))
+    done
+  done
+
+(* Position/velocity update from accumulated forces; clears the forces. *)
+let advance cfg mol =
+  for k = 0 to 2 do
+    mol.(3 + k) <- mol.(3 + k) +. (mol.(6 + k) *. cfg.dt);
+    let p = mol.(k) +. (mol.(3 + k) *. cfg.dt) in
+    let p = Float.rem p cfg.box in
+    mol.(k) <- (if p < 0. then p +. cfg.box else p);
+    mol.(6 + k) <- 0.
+  done
+
+(* Sequential reference. *)
+let reference cfg =
+  let mols = init cfg in
+  let n = cfg.n_mol in
+  for _ = 1 to cfg.steps do
+    Array.iter (intra cfg) mols;
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        match pair_force cfg mols.(i) mols.(j) with
+        | None -> ()
+        | Some (fx, fy, fz) ->
+            mols.(i).(6) <- mols.(i).(6) +. fx;
+            mols.(i).(7) <- mols.(i).(7) +. fy;
+            mols.(i).(8) <- mols.(i).(8) +. fz;
+            mols.(j).(6) <- mols.(j).(6) -. fx;
+            mols.(j).(7) <- mols.(j).(7) -. fy;
+            mols.(j).(8) <- mols.(j).(8) -. fz
+      done
+    done;
+    Array.iter (advance cfg) mols
+  done;
+  mols
+
+let checksum mols =
+  Array.fold_left
+    (fun acc m -> acc +. m.(0) +. m.(1) +. m.(2) +. m.(9) +. m.(10) +. m.(11))
+    0. mols
+
+let pair_cycles = 40.
+let intra_cycles_per_sweep = 30.

@@ -1,0 +1,1 @@
+lib/crl/crl.ml: Ace_engine Ace_net Ace_region

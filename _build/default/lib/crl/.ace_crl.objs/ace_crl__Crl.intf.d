@@ -1,0 +1,1 @@
+lib/crl/crl.mli: Ace_engine Ace_net Ace_region

@@ -1,0 +1,149 @@
+(* A CRL-like region DSM (Johnson, Kaashoek, Wallach, SOSP '95): the same
+   region API as Ace but with one fixed, compiled-in protocol — home-based
+   sequentially consistent invalidation — and CRL's cost profile (a hash
+   lookup on every rgn_map, no dispatch indirection). This is the baseline
+   of the paper's Figure 7a. *)
+
+module Machine = Ace_engine.Machine
+module Store = Ace_region.Store
+module Blocks = Ace_region.Blocks
+module Cost_model = Ace_net.Cost_model
+
+type t = {
+  machine : Machine.t;
+  am : Ace_net.Am.t;
+  cost : Cost_model.t;
+  store : Store.t;
+  base_barrier : Machine.Barrier.b;
+  coll : Ace_region.Collective.t;
+}
+
+let create ?(cost = Cost_model.cm5_crl) ~nprocs () =
+  let machine = Machine.create ~nprocs in
+  {
+    machine;
+    am = Ace_net.Am.create machine cost;
+    cost;
+    store = Ace_region.Store.create ~nprocs;
+    base_barrier =
+      Machine.Barrier.create machine ~cost:(fun p -> Cost_model.barrier_cost cost p);
+    coll = Ace_region.Collective.create ~nprocs;
+  }
+
+type ctx = {
+  sys : t;
+  proc : Machine.proc;
+  bctx : Blocks.ctx;
+  mutable coll_ctr : int;
+}
+
+let make_ctx sys proc =
+  { sys; proc; bctx = Blocks.make_ctx sys.am sys.store proc; coll_ctr = 0 }
+
+let run sys program = Machine.run sys.machine (fun proc -> program (make_ctx sys proc))
+
+let machine sys = sys.machine
+let store sys = sys.store
+
+let time_seconds sys =
+  Machine.seconds sys.machine ~cycles_per_sec:sys.cost.Cost_model.cycles_per_sec
+
+type h = Store.meta
+
+let me ctx = ctx.proc.Machine.id
+let nprocs ctx = Machine.nprocs ctx.sys.machine
+let rid (h : h) = h.Store.rid
+let charge ctx c = Machine.advance ctx.proc c
+
+(* rgn_create: CRL regions are homed at their creator; [space] is ignored
+   (CRL has no spaces). *)
+let alloc ctx ~space:_ ~len =
+  let meta = Store.alloc ctx.sys.store ~home:(me ctx) ~len ~space:(-1) in
+  charge ctx ctx.sys.cost.Cost_model.map_miss;
+  meta
+
+(* rgn_map: a region-table hash lookup on every call. *)
+let map ctx r =
+  let meta = Store.get ctx.sys.store r in
+  let _, existed = Store.ensure_copy meta ~node:(me ctx) in
+  let c = ctx.sys.cost in
+  charge ctx (if existed then c.Cost_model.map_hit else c.Cost_model.map_miss);
+  meta
+
+let unmap ctx (_ : h) = charge ctx ctx.sys.cost.Cost_model.unmap
+
+let data ctx (h : h) =
+  match Store.copy_of h ~node:(me ctx) with
+  | Some c -> c.Store.cdata
+  | None -> invalid_arg "Crl.data: region not mapped on this node"
+
+let start_read ctx h =
+  charge ctx ctx.sys.cost.Cost_model.start_hit;
+  Blocks.fetch_shared ctx.bctx h;
+  Blocks.begin_access ctx.bctx h ~write:false
+
+let end_read ctx h =
+  charge ctx ctx.sys.cost.Cost_model.end_op;
+  Blocks.end_access ctx.bctx h ~write:false
+
+let start_write ctx h =
+  charge ctx ctx.sys.cost.Cost_model.start_hit;
+  Blocks.fetch_exclusive ctx.bctx h;
+  Blocks.begin_access ctx.bctx h ~write:true
+
+let end_write ctx h =
+  charge ctx ctx.sys.cost.Cost_model.end_op;
+  Blocks.end_access ctx.bctx h ~write:true
+
+let lock ctx h =
+  charge ctx ctx.sys.cost.Cost_model.lock_base;
+  Blocks.home_lock ctx.bctx h
+
+let unlock ctx h =
+  charge ctx ctx.sys.cost.Cost_model.lock_base;
+  Blocks.home_unlock ctx.bctx h
+
+let barrier ctx ~space:_ = Machine.Barrier.wait ctx.sys.base_barrier ctx.proc
+
+(* CRL has one fixed protocol; protocol changes are performance hints that a
+   single-protocol system safely ignores. *)
+let change_protocol _ctx ~space:_ _name = ()
+
+let work ctx cycles = charge ctx cycles
+
+let bcast ctx ~root f =
+  let ctr = ref ctx.coll_ctr in
+  let out = Ace_region.Collective.bcast ctx.sys.coll ctx.bctx ~ctr ~root f in
+  ctx.coll_ctr <- !ctr;
+  out
+
+let allgather ctx mine =
+  let ctr = ref ctx.coll_ctr in
+  let out = Ace_region.Collective.allgather ctx.sys.coll ctx.bctx ~ctr mine in
+  ctx.coll_ctr <- !ctr;
+  out
+
+module Api : Ace_region.Dsm_intf.S with type ctx = ctx and type h = Store.meta =
+struct
+  type nonrec ctx = ctx
+  type nonrec h = h
+
+  let me = me
+  let nprocs = nprocs
+  let alloc = alloc
+  let rid = rid
+  let map = map
+  let unmap = unmap
+  let data = data
+  let start_read = start_read
+  let end_read = end_read
+  let start_write = start_write
+  let end_write = end_write
+  let lock = lock
+  let unlock = unlock
+  let barrier = barrier
+  let change_protocol = change_protocol
+  let work = work
+  let bcast = bcast
+  let allgather = allgather
+end

@@ -1,0 +1,1 @@
+lib/engine/det_rng.mli:

@@ -1,0 +1,1 @@
+lib/engine/machine.ml: Array Effect Event_queue Float Ivar Printf Stats

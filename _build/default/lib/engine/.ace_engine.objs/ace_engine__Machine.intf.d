@@ -1,0 +1,1 @@
+lib/engine/machine.mli: Ivar Stats

@@ -1,0 +1,22 @@
+(** Deterministic seeded pseudo-random numbers (splitmix64).
+
+    The simulator must never consult wall-clock entropy; every randomized
+    workload generator takes one of these. *)
+
+type t
+
+val create : int -> t
+
+(** Uniform in [0, bound). Raises [Invalid_argument] if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** An independent stream derived from this one. *)
+val split : t -> t
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

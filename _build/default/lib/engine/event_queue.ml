@@ -1,0 +1,65 @@
+type entry = { time : float; seq : int; thunk : unit -> unit }
+
+type t = {
+  mutable heap : entry array; (* binary min-heap on (time, seq) *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.; seq = -1; thunk = ignore }
+
+let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0 }
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~time thunk =
+  if not (Float.is_finite time) || time < 0. then
+    invalid_arg "Event_queue.push: bad time";
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- { time; seq = t.next_seq; thunk };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let e = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    if t.size > 0 then sift_down t 0;
+    Some (e.time, e.thunk)
+  end
+
+let is_empty t = t.size = 0
+let length t = t.size
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time

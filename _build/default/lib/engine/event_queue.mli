@@ -1,0 +1,21 @@
+(** A deterministic priority queue of timestamped thunks.
+
+    Events are ordered by timestamp; ties are broken by insertion order, so a
+    simulation run is bit-reproducible. *)
+
+type t
+
+val create : unit -> t
+
+(** [push t ~time f] schedules [f] to run at virtual time [time].
+    Raises [Invalid_argument] if [time] is negative or not finite. *)
+val push : t -> time:float -> (unit -> unit) -> unit
+
+(** [pop t] removes and returns the earliest event, or [None] if empty. *)
+val pop : t -> (float * (unit -> unit)) option
+
+val is_empty : t -> bool
+val length : t -> int
+
+(** Timestamp of the earliest pending event. *)
+val peek_time : t -> float option

@@ -1,0 +1,22 @@
+type 'a state =
+  | Empty of (time:float -> 'a -> unit) list (* waiters, reverse order *)
+  | Full of float * 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let fill t ~time v =
+  match t.state with
+  | Full _ -> failwith "Ivar.fill: already filled"
+  | Empty waiters ->
+      t.state <- Full (time, v);
+      List.iter (fun f -> f ~time v) (List.rev waiters)
+
+let peek t = match t.state with Empty _ -> None | Full (time, v) -> Some (time, v)
+let is_filled t = match t.state with Empty _ -> false | Full _ -> true
+
+let on_fill t f =
+  match t.state with
+  | Full (time, v) -> f ~time v
+  | Empty waiters -> t.state <- Empty (f :: waiters)

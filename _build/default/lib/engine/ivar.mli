@@ -1,0 +1,20 @@
+(** Write-once synchronization cells.
+
+    An ivar is filled exactly once, at a virtual time; waiters registered
+    before the fill are notified with the fill time and value. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [fill t ~time v] fills the ivar and notifies all waiters.
+    Raises [Failure] if already filled. *)
+val fill : 'a t -> time:float -> 'a -> unit
+
+(** [peek t] returns [Some (time, v)] if filled. *)
+val peek : 'a t -> (float * 'a) option
+
+val is_filled : 'a t -> bool
+
+(** [on_fill t f] calls [f ~time v] now if filled, otherwise when filled. *)
+val on_fill : 'a t -> (time:float -> 'a -> unit) -> unit

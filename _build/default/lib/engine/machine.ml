@@ -1,0 +1,115 @@
+type t = {
+  nprocs : int;
+  events : Event_queue.t;
+  stats : Stats.t;
+  mutable live : int; (* fibers spawned and not yet returned *)
+  mutable max_clock : float;
+}
+
+and proc = { id : int; mutable clock : float; machine : t }
+
+type _ Effect.t += Advance : proc * float -> unit Effect.t
+type _ Effect.t += Await : proc * 'a Ivar.t -> 'a Effect.t
+
+let create ~nprocs =
+  if nprocs <= 0 then invalid_arg "Machine.create: nprocs <= 0";
+  { nprocs; events = Event_queue.create (); stats = Stats.create (); live = 0; max_clock = 0. }
+
+let nprocs t = t.nprocs
+let stats t = t.stats
+let schedule t ~time f = Event_queue.push t.events ~time f
+
+let advance p cycles =
+  if cycles < 0. || not (Float.is_finite cycles) then
+    invalid_arg "Machine.advance: bad cycle count";
+  if cycles > 0. then Effect.perform (Advance (p, cycles))
+
+let await p iv = Effect.perform (Await (p, iv))
+
+(* Run one fiber under a deep handler. The handler turns Advance into a
+   rescheduled resumption (so processors interleave in timestamp order) and
+   Await into an ivar waiter. *)
+let spawn_fiber t (body : unit -> unit) =
+  let open Effect.Deep in
+  t.live <- t.live + 1;
+  match_with body ()
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Advance (p, cycles) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  p.clock <- p.clock +. cycles;
+                  Event_queue.push t.events ~time:p.clock (fun () -> continue k ()))
+          | Await (p, iv) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  match Ivar.peek iv with
+                  | Some (time, v) ->
+                      if time > p.clock then p.clock <- time;
+                      continue k v
+                  | None ->
+                      Ivar.on_fill iv (fun ~time v ->
+                          if time > p.clock then p.clock <- time;
+                          Event_queue.push t.events ~time:p.clock (fun () ->
+                              continue k v)))
+          | _ -> None);
+    }
+
+let run t program =
+  let procs = Array.init t.nprocs (fun id -> { id; clock = t.max_clock; machine = t }) in
+  Array.iter
+    (fun p ->
+      Event_queue.push t.events ~time:p.clock (fun () ->
+          spawn_fiber t (fun () -> program p)))
+    procs;
+  let rec loop () =
+    match Event_queue.pop t.events with
+    | Some (time, thunk) ->
+        if time > t.max_clock then t.max_clock <- time;
+        thunk ();
+        loop ()
+    | None ->
+        if t.live > 0 then
+          failwith
+            (Printf.sprintf "Machine.run: deadlock (%d fibers blocked forever)" t.live)
+  in
+  loop ();
+  Array.iter (fun p -> if p.clock > t.max_clock then t.max_clock <- p.clock) procs
+
+let time t = t.max_clock
+let seconds t ~cycles_per_sec = t.max_clock /. cycles_per_sec
+
+module Barrier = struct
+  type b = {
+    owner : t;
+    cost : int -> float;
+    mutable arrived : int;
+    mutable latest : float;
+    mutable gen : unit Ivar.t;
+  }
+
+  let create owner ~cost =
+    { owner; cost; arrived = 0; latest = 0.; gen = Ivar.create () }
+
+  (* Every arrival awaits the current generation's ivar; the last arrival
+     fills it at [latest + cost P], which releases (and time-advances)
+     everyone, including itself. *)
+  let wait b p =
+    let t = b.owner in
+    let gen = b.gen in
+    b.arrived <- b.arrived + 1;
+    if p.clock > b.latest then b.latest <- p.clock;
+    if b.arrived = t.nprocs then begin
+      let release = b.latest +. b.cost t.nprocs in
+      b.arrived <- 0;
+      b.latest <- 0.;
+      b.gen <- Ivar.create ();
+      Ivar.fill gen ~time:release ()
+    end;
+    await p gen;
+    Stats.incr t.stats "barrier.arrivals"
+end

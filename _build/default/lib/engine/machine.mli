@@ -1,0 +1,59 @@
+(** A deterministic discrete-event simulation of an N-processor
+    distributed-memory machine.
+
+    Each simulated processor runs an OCaml function as a cooperative fiber
+    (OCaml 5 effects). A fiber advances its private virtual clock with
+    {!advance} and blocks on {!await}; the run loop always executes the
+    earliest-timestamped pending work, so execution is sequentially
+    deterministic. *)
+
+type t
+
+type proc = private {
+  id : int;
+  mutable clock : float; (* virtual cycles *)
+  machine : t;
+}
+
+val create : nprocs:int -> t
+val nprocs : t -> int
+val stats : t -> Stats.t
+
+(** [schedule t ~time f] runs [f] at virtual [time] on the event loop
+    (used for message deliveries; [f] must not block). *)
+val schedule : t -> time:float -> (unit -> unit) -> unit
+
+(** {2 Fiber operations} — may only be called from inside a running fiber. *)
+
+(** Advance the calling processor's clock by [cycles] (>= 0). *)
+val advance : proc -> float -> unit
+
+(** Block the calling fiber until the ivar is filled; the processor clock is
+    advanced to at least the fill time. Returns the value. *)
+val await : proc -> 'a Ivar.t -> 'a
+
+(** {2 Running} *)
+
+(** [run t program] spawns [program proc] on every processor at time 0 and
+    runs to completion. Raises [Failure] on deadlock (fibers alive, no
+    events). May be called repeatedly (e.g., successive phases). *)
+val run : t -> (proc -> unit) -> unit
+
+(** Maximum processor clock observed (total simulated time, cycles). *)
+val time : t -> float
+
+(** Convenience: simulated time in seconds at a given clock rate. *)
+val seconds : t -> cycles_per_sec:float -> float
+
+(** {2 Global synchronization primitives} *)
+
+module Barrier : sig
+  type b
+
+  (** [create t ~cost] makes a reusable barrier whose release adds
+      [cost nprocs] cycles after the last arrival. *)
+  val create : t -> cost:(int -> float) -> b
+
+  (** Block until all processors have arrived at this generation. *)
+  val wait : b -> proc -> unit
+end

@@ -1,0 +1,14 @@
+(** Named counters accumulated during a simulation run. *)
+
+type t
+
+val create : unit -> t
+val add : t -> string -> float -> unit
+val incr : t -> string -> unit
+val get : t -> string -> float
+val reset : t -> unit
+
+(** All counters, sorted by name. *)
+val to_list : t -> (string * float) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Ace_crl Ace_protocols Ace_region Ace_runtime

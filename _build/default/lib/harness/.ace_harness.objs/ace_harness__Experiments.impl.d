@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Ace_apps Driver List Printf String

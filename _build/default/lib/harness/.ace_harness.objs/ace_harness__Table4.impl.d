@@ -1,0 +1,1 @@
+lib/harness/table4.ml: Ace_engine Ace_lang Ace_protocols Ace_runtime Array List Printf

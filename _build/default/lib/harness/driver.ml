@@ -1,0 +1,52 @@
+(* Generic drivers: run any application (functorized over the DSM facade) on
+   the CRL baseline or on the Ace runtime, returning simulated seconds and
+   the node-0 result value. *)
+
+module type APP = sig
+  type config
+
+  val n_spaces : int
+
+  module Make (D : Ace_region.Dsm_intf.S) : sig
+    val run : config -> D.ctx -> float
+  end
+end
+
+type outcome = { seconds : float; result : float }
+
+let run_crl (type cfg) ~nprocs (module App : APP with type config = cfg)
+    (cfg : cfg) =
+  let sys = Ace_crl.Crl.create ~nprocs () in
+  let module A = App.Make (Ace_crl.Crl.Api) in
+  let result = ref nan in
+  Ace_crl.Crl.run sys (fun ctx ->
+      let r = A.run cfg ctx in
+      if Ace_crl.Crl.me ctx = 0 then result := r);
+  { seconds = Ace_crl.Crl.time_seconds sys; result = !result }
+
+let run_ace (type cfg) ~nprocs (module App : APP with type config = cfg)
+    (cfg : cfg) =
+  let rt = Ace_runtime.Runtime.create ~nprocs () in
+  Ace_protocols.Proto_lib.register_all rt;
+  for _ = 1 to App.n_spaces do
+    ignore (Ace_runtime.Runtime.new_space rt "SC")
+  done;
+  let module A = App.Make (Ace_runtime.Ops.Api) in
+  let result = ref nan in
+  Ace_runtime.Runtime.run rt (fun ctx ->
+      let r = A.run cfg ctx in
+      if Ace_runtime.Ops.me ctx = 0 then result := r);
+  { seconds = Ace_runtime.Runtime.time_seconds rt; result = !result }
+
+(* Per-iteration timing as in the paper ("average time per iteration ...
+   discard the first iteration"): run once with a single step and once with
+   [1 + iters] steps; the difference isolates the steady-state iterations,
+   cancelling setup and cold-start costs exactly (the simulator is
+   deterministic). *)
+let per_iteration ~run_with_steps ~iters =
+  let warm = run_with_steps 1 in
+  let full = run_with_steps (1 + iters) in
+  {
+    seconds = (full.seconds -. warm.seconds) /. float_of_int iters;
+    result = full.result;
+  }

@@ -1,0 +1,253 @@
+(* The paper's evaluation (Section 5), regenerated. Every row reports
+   simulated seconds on the modelled 32-node CM-5. *)
+
+module Em3d = Ace_apps.Em3d
+module Barnes_hut = Ace_apps.Barnes_hut
+module Cholesky = Ace_apps.Cholesky
+module Tsp = Ace_apps.Tsp
+module Water = Ace_apps.Water
+
+type scale = { nprocs : int; factor : int }
+
+let default_scale = { nprocs = 32; factor = 1 }
+
+(* Benchmark instances, scaled-down versions of Table 3's inputs (see
+   DESIGN.md). [factor] multiplies the dominant size dimension. *)
+let em3d_cfg s steps =
+  { Em3d.default with Em3d.n_nodes = 800 * s.factor; steps }
+
+let bh_cfg s steps =
+  { Barnes_hut.default with Barnes_hut.n_bodies = 512 * s.factor; steps }
+
+let water_cfg s steps =
+  {
+    Water.default with
+    Water.core = { Water.default.Water.core with Ace_apps.Water_core.n_mol = 128 * s.factor; steps };
+  }
+
+let bsc_cfg s =
+  {
+    Cholesky.default with
+    Cholesky.core =
+      { Cholesky.default.Cholesky.core with Ace_apps.Chol_core.nb = 12 * s.factor };
+  }
+
+let tsp_cfg _s = Tsp.default
+
+(* Branch-and-bound timing depends on work assignment, so TSP times are
+   averaged over three instances, as the paper averages three runs. *)
+let tsp_seeds = [ 3; 5; 7 ]
+
+let tsp_avg run =
+  let outcomes =
+    List.map
+      (fun seed ->
+        run
+          {
+            Tsp.default with
+            Tsp.core = { Tsp.default.Tsp.core with Ace_apps.Tsp_core.seed = seed };
+          })
+      tsp_seeds
+  in
+  let n = float_of_int (List.length outcomes) in
+  ( List.fold_left (fun a o -> a +. o.Driver.seconds) 0. outcomes /. n,
+    (List.hd outcomes).Driver.result )
+
+type row = {
+  name : string;
+  baseline : float; (* seconds *)
+  ace : float;
+  base_result : float;
+  ace_result : float;
+  per_iteration : bool;
+}
+
+let speedup r = r.baseline /. r.ace
+
+(* Fig. 7a: Ace runtime vs CRL, both under the SC invalidation protocol. *)
+let fig7a ?(scale = default_scale) () =
+  let iters = 4 in
+  let em3d =
+    let run sys steps =
+      let cfg = em3d_cfg scale steps in
+      match sys with
+      | `Crl -> Driver.run_crl ~nprocs:scale.nprocs (module Em3d) cfg
+      | `Ace -> Driver.run_ace ~nprocs:scale.nprocs (module Em3d) cfg
+    in
+    let c = Driver.per_iteration ~run_with_steps:(run `Crl) ~iters in
+    let a = Driver.per_iteration ~run_with_steps:(run `Ace) ~iters in
+    {
+      name = "EM3D";
+      baseline = c.Driver.seconds;
+      ace = a.Driver.seconds;
+      base_result = c.Driver.result;
+      ace_result = a.Driver.result;
+      per_iteration = true;
+    }
+  in
+  let bh =
+    let run sys steps =
+      let cfg = bh_cfg scale steps in
+      match sys with
+      | `Crl -> Driver.run_crl ~nprocs:scale.nprocs (module Barnes_hut) cfg
+      | `Ace -> Driver.run_ace ~nprocs:scale.nprocs (module Barnes_hut) cfg
+    in
+    let c = Driver.per_iteration ~run_with_steps:(run `Crl) ~iters in
+    let a = Driver.per_iteration ~run_with_steps:(run `Ace) ~iters in
+    {
+      name = "Barnes-Hut";
+      baseline = c.Driver.seconds;
+      ace = a.Driver.seconds;
+      base_result = c.Driver.result;
+      ace_result = a.Driver.result;
+      per_iteration = true;
+    }
+  in
+  let water =
+    let run sys steps =
+      let cfg = water_cfg scale steps in
+      match sys with
+      | `Crl -> Driver.run_crl ~nprocs:scale.nprocs (module Water) cfg
+      | `Ace -> Driver.run_ace ~nprocs:scale.nprocs (module Water) cfg
+    in
+    let c = Driver.per_iteration ~run_with_steps:(run `Crl) ~iters in
+    let a = Driver.per_iteration ~run_with_steps:(run `Ace) ~iters in
+    {
+      name = "Water";
+      baseline = c.Driver.seconds;
+      ace = a.Driver.seconds;
+      base_result = c.Driver.result;
+      ace_result = a.Driver.result;
+      per_iteration = true;
+    }
+  in
+  let bsc =
+    let cfg = bsc_cfg scale in
+    let c = Driver.run_crl ~nprocs:scale.nprocs (module Cholesky) cfg in
+    let a = Driver.run_ace ~nprocs:scale.nprocs (module Cholesky) cfg in
+    {
+      name = "BSC";
+      baseline = c.Driver.seconds;
+      ace = a.Driver.seconds;
+      base_result = c.Driver.result;
+      ace_result = a.Driver.result;
+      per_iteration = false;
+    }
+  in
+  let tsp =
+    let ct, cr = tsp_avg (Driver.run_crl ~nprocs:scale.nprocs (module Tsp)) in
+    let at, ar = tsp_avg (Driver.run_ace ~nprocs:scale.nprocs (module Tsp)) in
+    {
+      name = "TSP";
+      baseline = ct;
+      ace = at;
+      base_result = cr;
+      ace_result = ar;
+      per_iteration = false;
+    }
+  in
+  [ bh; bsc; em3d; tsp; water ]
+
+(* Fig. 7b: single (SC) protocol vs application-specific protocols, both on
+   the Ace runtime. *)
+let fig7b ?(scale = default_scale) () =
+  let iters = 4 in
+  let nprocs = scale.nprocs in
+  let em3d =
+    let run proto steps =
+      Driver.run_ace ~nprocs (module Em3d)
+        { (em3d_cfg scale steps) with Em3d.protocol = proto }
+    in
+    let sc = Driver.per_iteration ~run_with_steps:(run None) ~iters in
+    let cu =
+      Driver.per_iteration ~run_with_steps:(run (Some "STATIC_UPDATE")) ~iters
+    in
+    {
+      name = "EM3D (static update)";
+      baseline = sc.Driver.seconds;
+      ace = cu.Driver.seconds;
+      base_result = sc.Driver.result;
+      ace_result = cu.Driver.result;
+      per_iteration = true;
+    }
+  in
+  let bh =
+    let run proto steps =
+      Driver.run_ace ~nprocs (module Barnes_hut)
+        { (bh_cfg scale steps) with Barnes_hut.protocol = proto }
+    in
+    let sc = Driver.per_iteration ~run_with_steps:(run None) ~iters in
+    let cu =
+      Driver.per_iteration ~run_with_steps:(run (Some "DYN_UPDATE")) ~iters
+    in
+    {
+      name = "Barnes-Hut (dyn update)";
+      baseline = sc.Driver.seconds;
+      ace = cu.Driver.seconds;
+      base_result = sc.Driver.result;
+      ace_result = cu.Driver.result;
+      per_iteration = true;
+    }
+  in
+  let water =
+    let run protos steps =
+      Driver.run_ace ~nprocs (module Water)
+        { (water_cfg scale steps) with Water.phase_protocols = protos }
+    in
+    let sc = Driver.per_iteration ~run_with_steps:(run None) ~iters in
+    let cu =
+      Driver.per_iteration
+        ~run_with_steps:(run (Some ("NULL", "PIPELINE")))
+        ~iters
+    in
+    {
+      name = "Water (null+pipeline)";
+      baseline = sc.Driver.seconds;
+      ace = cu.Driver.seconds;
+      base_result = sc.Driver.result;
+      ace_result = cu.Driver.result;
+      per_iteration = true;
+    }
+  in
+  let bsc =
+    let run proto =
+      Driver.run_ace ~nprocs (module Cholesky)
+        { (bsc_cfg scale) with Cholesky.protocol = proto }
+    in
+    let sc = run None and cu = run (Some "WRITE_ONCE") in
+    {
+      name = "BSC (write-once)";
+      baseline = sc.Driver.seconds;
+      ace = cu.Driver.seconds;
+      base_result = sc.Driver.result;
+      ace_result = cu.Driver.result;
+      per_iteration = false;
+    }
+  in
+  let tsp =
+    let run proto cfg =
+      Driver.run_ace ~nprocs (module Tsp) { cfg with Tsp.counter_protocol = proto }
+    in
+    let st, sr = tsp_avg (run None) in
+    let ct, cr = tsp_avg (run (Some "COUNTER")) in
+    {
+      name = "TSP (counter)";
+      baseline = st;
+      ace = ct;
+      base_result = sr;
+      ace_result = cr;
+      per_iteration = false;
+    }
+  in
+  [ bh; bsc; em3d; tsp; water ]
+
+let print_rows ~left ~right rows =
+  Printf.printf "%-26s %12s %12s %9s  %s\n" "benchmark" left right "speedup"
+    "unit";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%-26s %12.6f %12.6f %8.2fx  %s\n" r.name r.baseline r.ace
+        (speedup r)
+        (if r.per_iteration then "s/iter" else "s total"))
+    rows

@@ -1,0 +1,1 @@
+lib/net/am.ml: Ace_engine Cost_model

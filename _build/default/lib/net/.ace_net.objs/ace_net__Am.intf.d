@@ -1,0 +1,1 @@
+lib/net/am.mli: Ace_engine Cost_model

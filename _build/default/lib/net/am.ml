@@ -1,0 +1,39 @@
+module Machine = Ace_engine.Machine
+module Ivar = Ace_engine.Ivar
+module Stats = Ace_engine.Stats
+
+type t = {
+  machine : Machine.t;
+  cost : Cost_model.t;
+  mutable messages : int;
+  mutable bytes_sent : int;
+}
+
+let create machine cost = { machine; cost; messages = 0; bytes_sent = 0 }
+let machine t = t.machine
+let cost t = t.cost
+
+let send t ~now ~src ~dst ~bytes handler =
+  ignore src;
+  ignore dst;
+  if bytes < 0 then invalid_arg "Am.send: negative size";
+  t.messages <- t.messages + 1;
+  t.bytes_sent <- t.bytes_sent + bytes;
+  Stats.incr (Machine.stats t.machine) "net.messages";
+  Stats.add (Machine.stats t.machine) "net.bytes" (float_of_int bytes);
+  let arrival =
+    now +. Cost_model.transit t.cost ~bytes +. t.cost.Cost_model.am_recv_overhead
+  in
+  Machine.schedule t.machine ~time:arrival (fun () -> handler ~time:arrival)
+
+let send_from t (p : Machine.proc) ~dst ~bytes handler =
+  Machine.advance p t.cost.Cost_model.am_send_overhead;
+  send t ~now:p.Machine.clock ~src:p.Machine.id ~dst ~bytes handler
+
+let rpc t p ~dst ~bytes handler =
+  let reply = Ivar.create () in
+  send_from t p ~dst ~bytes (fun ~time -> handler reply ~time);
+  Machine.await p reply
+
+let messages t = t.messages
+let bytes_sent t = t.bytes_sent

@@ -1,0 +1,34 @@
+(** Active Messages over the simulated network.
+
+    A message carries a handler closure that executes atomically at the
+    destination at delivery time — the same restriction as real Active
+    Messages (von Eicken et al.): handlers must not block; they may send
+    further messages and fill ivars. Payload size is declared for the cost
+    model; the closure carries the actual data. *)
+
+type t
+
+val create : Ace_engine.Machine.t -> Cost_model.t -> t
+
+val machine : t -> Ace_engine.Machine.t
+val cost : t -> Cost_model.t
+
+(** [send t ~now ~src ~dst ~bytes h] injects a message at time [now]; the
+    handler [h ~time] runs at the destination at delivery time. Does not
+    charge sender processor overhead (see {!send_from}). Usable from inside
+    message handlers. *)
+val send : t -> now:float -> src:int -> dst:int -> bytes:int -> (time:float -> unit) -> unit
+
+(** [send_from t proc ~dst ~bytes h] charges the calling fiber the send
+    overhead, then injects. *)
+val send_from : t -> Ace_engine.Machine.proc -> dst:int -> bytes:int -> (time:float -> unit) -> unit
+
+(** Send, and block the calling fiber until the handler's reply fills the
+    returned value: [h] receives an ivar to fill (possibly after further
+    messaging). *)
+val rpc :
+  t -> Ace_engine.Machine.proc -> dst:int -> bytes:int ->
+  ('a Ace_engine.Ivar.t -> time:float -> unit) -> 'a
+
+val messages : t -> int
+val bytes_sent : t -> int

@@ -1,0 +1,64 @@
+type t = {
+  cycles_per_sec : float;
+  am_send_overhead : float;
+  am_recv_overhead : float;
+  wire_latency : float;
+  per_byte : float;
+  map_miss : float;
+  map_hit : float;
+  dispatch : float;
+  start_hit : float;
+  end_op : float;
+  null_hook : float;
+  miss_overhead : float;
+  unmap : float;
+  barrier_base : float;
+  barrier_per_log2 : float;
+  lock_base : float;
+}
+
+(* CM-5 at 33 MHz: an active message costs a few microseconds end to end
+   (~1.6 us injection, ~3 us transit for small messages); CMMD-style bulk
+   transfer sustains ~8 MB/s per node => ~4 cycles/byte. CRL's published
+   null start_read hit is ~1.2 us (~40 cycles on the CM-5 port); its map is
+   a hash lookup on every call. The Ace paper credits its gains to a
+   "careful redesign of the SC protocol and a more efficient mapping
+   technique", which we model as a cheap cached map plus a per-call
+   dispatch indirection through the space table. *)
+
+let base =
+  {
+    cycles_per_sec = 33.0e6;
+    am_send_overhead = 55.;
+    am_recv_overhead = 45.;
+    wire_latency = 150.;
+    per_byte = 4.;
+    map_miss = 220.;
+    map_hit = 48.; (* overridden per system *)
+    dispatch = 0.;
+    start_hit = 40.;
+    end_op = 20.;
+    null_hook = 4.;
+    miss_overhead = 500.; (* protocol state-machine work per miss *)
+    unmap = 10.;
+    barrier_base = 150.;
+    barrier_per_log2 = 60.;
+    lock_base = 30.;
+  }
+
+(* CRL 1.0: hash-table map on every call, a general-purpose protocol state
+   machine with every transition case (heavier per-miss processing), no
+   dispatch indirection. Ace: cached mapping, redesigned lean SC protocol,
+   but each call dispatches through the region's space. *)
+let cm5_crl =
+  { base with map_hit = 48.; dispatch = 0.; start_hit = 42.; miss_overhead = 800. }
+
+let cm5_ace =
+  { base with map_hit = 14.; dispatch = 9.; start_hit = 30.; miss_overhead = 500. }
+
+let transit t ~bytes =
+  t.wire_latency +. (t.per_byte *. float_of_int bytes)
+
+let barrier_cost t nprocs =
+  let log2 = log (float_of_int nprocs) /. log 2. in
+  t.barrier_base +. (t.barrier_per_log2 *. log2)

@@ -1,0 +1,38 @@
+(** Machine cost parameters, in 33 MHz SPARC cycles (CM-5 flavoured).
+
+    Two runtime-system profiles are provided: [cm5_crl] models CRL 1.0
+    (per-call hash-table region mapping, fixed protocol compiled in) and
+    [cm5_ace] models the Ace runtime (cached mapping, but an extra
+    indirection to dispatch through the region's space — the paper's §5.1
+    trade-off). All protocol-level message costs are shared. *)
+
+type t = {
+  cycles_per_sec : float;
+  (* Active messages *)
+  am_send_overhead : float;  (** processor cycles to inject a message *)
+  am_recv_overhead : float;  (** handler dispatch cost at the receiver *)
+  wire_latency : float;      (** network transit, cycles *)
+  per_byte : float;          (** inverse bandwidth, cycles/byte *)
+  (* Region runtime *)
+  map_miss : float;          (** map when the region is not in the node table *)
+  map_hit : float;           (** map when already known (cached mapping) *)
+  dispatch : float;          (** per protocol-call dispatch indirection *)
+  start_hit : float;         (** start_read/start_write when no messages needed *)
+  end_op : float;            (** end_read / end_write bookkeeping *)
+  null_hook : float;         (** a registered null protocol handler *)
+  miss_overhead : float;     (** requester-side protocol processing per miss *)
+  unmap : float;
+  (* Synchronization *)
+  barrier_base : float;
+  barrier_per_log2 : float;  (** scaled by log2(nprocs) *)
+  lock_base : float;
+}
+
+val cm5_ace : t
+val cm5_crl : t
+
+(** Full latency of one message of [bytes] payload, excluding sender and
+    receiver processor overheads. *)
+val transit : t -> bytes:int -> float
+
+val barrier_cost : t -> int -> float

@@ -1,0 +1,1 @@
+lib/protocols/proto_counter.ml: Ace_engine Ace_net Ace_region Ace_runtime

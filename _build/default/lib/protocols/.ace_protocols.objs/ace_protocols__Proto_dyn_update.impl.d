@@ -1,0 +1,1 @@
+lib/protocols/proto_dyn_update.ml: Ace_engine Ace_net Ace_region Ace_runtime

@@ -1,0 +1,1 @@
+lib/protocols/proto_migratory.ml: Ace_net Ace_region Ace_runtime

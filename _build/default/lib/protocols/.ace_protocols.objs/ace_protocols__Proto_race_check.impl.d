@@ -1,0 +1,1 @@
+lib/protocols/proto_race_check.ml: Ace_engine Ace_region Ace_runtime Array Hashtbl List

@@ -1,0 +1,54 @@
+(* Counter protocol (the TSP protocol of paper §5.2: "better management of
+   accesses to a counter that is used to assign jobs to processors").
+
+   The region never migrates and nobody caches it: a write becomes a
+   home-serialized read-modify-write (lock at home, fetch the fresh value,
+   store it back, release), and a read is a single uncached fetch. Under
+   contention this avoids the invalidation storms and three-hop recalls
+   that ping-pong an SC counter between writers. *)
+
+module Protocol = Ace_runtime.Protocol
+module Blocks = Ace_region.Blocks
+
+let start_read (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.start_hit;
+  Blocks.read_home ctx.Protocol.bctx meta
+
+(* Ship the operation: the home executes the increment atomically in its
+   message handler and replies with the old value (one round trip, no lock
+   held across it). The protocol asserts the application's read-modify-write
+   on this space is exactly "+1" — the kind of application-specific
+   assertion that shrinks a custom protocol's state space (paper §6). A
+   remote caller's local store of v+1 is then redundant and discarded. The
+   home node's copy aliases the master, so there the protocol brackets the
+   application's in-place RMW with the (local, message-free) region lock,
+   which remote fetch-and-adds also serialize with. *)
+let start_write (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.start_hit;
+  if ctx.Protocol.proc.Ace_engine.Machine.id = meta.Ace_region.Store.home then
+    Blocks.home_rmw_begin ctx.Protocol.bctx meta
+  else Blocks.fetch_add ctx.Protocol.bctx meta ~delta:1.0
+
+let end_write (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.end_op;
+  if ctx.Protocol.proc.Ace_engine.Machine.id = meta.Ace_region.Store.home then
+    Blocks.home_rmw_end ctx.Protocol.bctx meta
+
+let lock = Ace_runtime.Proto_sc.lock
+let unlock = Ace_runtime.Proto_sc.unlock
+
+let protocol =
+  {
+    Protocol.null_protocol with
+    Protocol.name = "COUNTER";
+    optimizable = false; (* RMW atomicity must not be reordered *)
+    has_start_read = true;
+    has_start_write = true;
+    has_end_write = true;
+    start_read;
+    start_write;
+    end_write;
+    lock;
+    unlock;
+    detach = Ace_runtime.Proto_sc.detach;
+  }

@@ -1,0 +1,40 @@
+(* Dynamic update protocol (paper §2.1, §3.3): writes to a region are
+   propagated to all sharers immediately after the write — the handler runs
+   *after* the store, which is exactly the case access-fault control cannot
+   express and full access control can.
+
+   A writer does not acquire exclusive access (paper §6: "a writer need not
+   acquire exclusive access before proceeding with a write, as long as the
+   result of the write is propagated to all sharers"); the protocol assumes
+   each region has a single writer at a time (producer-consumer sharing). *)
+
+module Protocol = Ace_runtime.Protocol
+module Blocks = Ace_region.Blocks
+module Store = Ace_region.Store
+module Machine = Ace_engine.Machine
+
+let ensure_valid (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.start_hit;
+  Blocks.fetch_shared ctx.Protocol.bctx meta
+
+let end_write (ctx : Protocol.ctx) meta =
+  Machine.await ctx.Protocol.proc (Blocks.push_update ctx.Protocol.bctx meta)
+
+let lock = Ace_runtime.Proto_sc.lock
+let unlock = Ace_runtime.Proto_sc.unlock
+
+let protocol =
+  {
+    Protocol.null_protocol with
+    Protocol.name = "DYN_UPDATE";
+    optimizable = true;
+    has_start_read = true;
+    has_start_write = true;
+    has_end_write = true;
+    start_read = ensure_valid;
+    start_write = ensure_valid;
+    end_write;
+    lock;
+    unlock;
+    detach = Ace_runtime.Proto_sc.detach;
+  }

@@ -1,0 +1,19 @@
+(* The protocol library shipped with this reproduction. [register_all]
+   plays the role of the paper's registration scripts plus link step: after
+   it runs, every library protocol is available to Ace_NewSpace /
+   Ace_ChangeProtocol by name (SC and NULL are built into the runtime). *)
+
+let all =
+  [
+    Proto_dyn_update.protocol;
+    Proto_static_update.protocol;
+    Proto_migratory.protocol;
+    Proto_write_once.protocol;
+    Proto_counter.protocol;
+    Proto_pipeline.protocol;
+    Proto_race_check.protocol;
+  ]
+
+let register_all rt = List.iter (Ace_runtime.Runtime.register rt) all
+
+let names = List.map (fun p -> p.Ace_runtime.Protocol.name) all

@@ -1,0 +1,27 @@
+(* Migratory protocol: data accessed in exclusive bursts by one processor at
+   a time. Both reads and writes migrate ownership, so the second and later
+   accesses of a burst are free and no separate invalidation is ever needed
+   (the next migration recalls the single owner). *)
+
+module Protocol = Ace_runtime.Protocol
+module Blocks = Ace_region.Blocks
+
+let migrate (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.start_hit;
+  Blocks.fetch_exclusive ctx.Protocol.bctx meta
+let lock = Ace_runtime.Proto_sc.lock
+let unlock = Ace_runtime.Proto_sc.unlock
+
+let protocol =
+  {
+    Protocol.null_protocol with
+    Protocol.name = "MIGRATORY";
+    optimizable = false;
+    has_start_read = true;
+    has_start_write = true;
+    start_read = migrate;
+    start_write = migrate;
+    lock;
+    unlock;
+    detach = Ace_runtime.Proto_sc.detach;
+  }

@@ -1,0 +1,117 @@
+(* Pipelined-writes protocol (the Water inter-molecular protocol of paper
+   §5.2: "we improve performance by pipelining writes to a molecule during
+   the inter-molecular calculation phase").
+
+   Accumulations happen under the region lock, as the application writes
+   them. The protocol specializes every step of that pattern:
+
+   - lock: takes the home lock and drops the (possibly stale) local copy,
+     so the read inside the critical section fetches the freshly
+     accumulated master;
+   - start_write: ensures a valid copy (a hit right after that read);
+   - end_write: ships the new value home *asynchronously* — the processor
+     moves on to the next molecule while the update is in flight;
+   - unlock: rides the in-flight update — the home releases the lock the
+     moment the data lands (a combined update+release message), so the
+     caller never blocks and the next lock holder always sees the
+     accumulated value;
+   - barrier: drains outstanding updates and drops cached copies so the
+     next phase reads fresh data.
+
+   Under the default SC protocol the same source pays a blocking exclusive
+   fetch (with an invalidation storm of every position reader) per
+   accumulation; here it pays one lock round trip and one data fetch, with
+   the write and the release pipelined. *)
+
+module Protocol = Ace_runtime.Protocol
+module Blocks = Ace_region.Blocks
+module Store = Ace_region.Store
+module Machine = Ace_engine.Machine
+module Ivar = Ace_engine.Ivar
+
+type pipe_state = {
+  mutable outstanding : unit Ivar.t list;
+  last_push : (int, unit Ivar.t) Hashtbl.t; (* rid -> in-flight update *)
+}
+
+type Protocol.pstate += Pipe of pipe_state
+
+let state (ctx : Protocol.ctx) (sp : Protocol.space) =
+  let node = ctx.Protocol.proc.Machine.id in
+  match sp.Protocol.pstate.(node) with
+  | Pipe s -> s
+  | _ ->
+      let s = { outstanding = []; last_push = Hashtbl.create 32 } in
+      sp.Protocol.pstate.(node) <- Pipe s;
+      s
+
+let space_of (ctx : Protocol.ctx) meta =
+  ctx.Protocol.rt.Protocol.spaces.(meta.Store.space)
+
+let start_read (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.start_hit;
+  Blocks.fetch_shared ctx.Protocol.bctx meta
+
+let start_write (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.start_hit;
+  Blocks.fetch_shared ctx.Protocol.bctx meta
+
+let end_write (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.end_op;
+  let s = state ctx (space_of ctx meta) in
+  let iv = Blocks.write_home_async ctx.Protocol.bctx meta in
+  s.outstanding <- iv :: s.outstanding;
+  Hashtbl.replace s.last_push meta.Store.rid iv
+
+(* The grant carries the freshly accumulated master, so the critical
+   section's read and write hit locally: lock + value in one round trip. *)
+let lock (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.lock_base;
+  Blocks.lock_fetch ctx.Protocol.bctx meta
+
+let unlock (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.lock_base;
+  let s = state ctx (space_of ctx meta) in
+  match Hashtbl.find_opt s.last_push meta.Store.rid with
+  | Some iv when not (Ivar.is_filled iv) ->
+      (* combined update+release: the home unlocks when the data lands *)
+      Blocks.unlock_after ctx.Protocol.bctx meta iv
+  | Some _ | None -> Blocks.home_unlock ctx.Protocol.bctx meta
+
+let barrier (ctx : Protocol.ctx) (sp : Protocol.space) =
+  let s = state ctx sp in
+  List.iter (fun iv -> Machine.await ctx.Protocol.proc iv) s.outstanding;
+  s.outstanding <- [];
+  Hashtbl.reset s.last_push;
+  (* Cached reader copies may be stale after remote accumulation: drop them
+     so post-barrier readers refetch the final values. *)
+  let node = ctx.Protocol.proc.Machine.id in
+  List.iter
+    (fun rid ->
+      let meta = Store.get ctx.Protocol.rt.Protocol.store rid in
+      if node <> meta.Store.home then
+        match Store.copy_of meta ~node with
+        | Some c -> c.Store.cstate <- Store.Invalid
+        | None -> ())
+    sp.Protocol.rids
+
+let detach (ctx : Protocol.ctx) (sp : Protocol.space) =
+  barrier ctx sp;
+  Ace_runtime.Proto_sc.detach ctx sp
+
+let protocol =
+  {
+    Protocol.null_protocol with
+    Protocol.name = "PIPELINE";
+    optimizable = true;
+    has_start_read = true;
+    has_start_write = true;
+    has_end_write = true;
+    start_read;
+    start_write;
+    end_write;
+    lock;
+    unlock;
+    barrier;
+    detach;
+  }

@@ -1,0 +1,125 @@
+(* Data-race checking protocol (paper §2.1 cites Larus et al.'s LCM race
+   checker as a protocol that "can be executed either before or after
+   accesses"). It piggybacks coherence from the default SC protocol and
+   additionally logs every access; at each barrier it reports regions that
+   were written by one node and independently accessed by another within
+   the epoch without both holding the region lock.
+
+   The per-epoch log lives at the region's home conceptually; in the
+   simulator it is a table shared by all per-node pstate slots. *)
+
+module Protocol = Ace_runtime.Protocol
+module Blocks = Ace_region.Blocks
+module Store = Ace_region.Store
+module Machine = Ace_engine.Machine
+
+type access = { node : int; writer : bool; locked : bool }
+
+type report = { rid : int; epoch : int; nodes : int list }
+
+type shared_log = {
+  mutable epoch : int;
+  accesses : (int, access list) Hashtbl.t; (* rid -> epoch accesses *)
+  mutable reports : report list;
+  mutable holding : (int * int, unit) Hashtbl.t; (* (node, rid) -> lock held *)
+  mutable arrived : int; (* barrier arrivals this epoch *)
+}
+
+type Protocol.pstate += Race of shared_log
+
+let shared (sp : Protocol.space) =
+  match sp.Protocol.pstate.(0) with
+  | Race s -> s
+  | _ ->
+      let s =
+        {
+          epoch = 0;
+          accesses = Hashtbl.create 64;
+          reports = [];
+          holding = Hashtbl.create 16;
+          arrived = 0;
+        }
+      in
+      sp.Protocol.pstate.(0) <- Race s;
+      s
+
+let space_of (ctx : Protocol.ctx) meta =
+  ctx.Protocol.rt.Protocol.spaces.(meta.Store.space)
+
+let record (ctx : Protocol.ctx) meta ~writer =
+  let s = shared (space_of ctx meta) in
+  let node = ctx.Protocol.proc.Machine.id in
+  let locked = Hashtbl.mem s.holding (node, meta.Store.rid) in
+  let prev =
+    match Hashtbl.find_opt s.accesses meta.Store.rid with Some l -> l | None -> []
+  in
+  Hashtbl.replace s.accesses meta.Store.rid ({ node; writer; locked } :: prev)
+
+let start_read (ctx : Protocol.ctx) meta =
+  Blocks.fetch_shared ctx.Protocol.bctx meta;
+  record ctx meta ~writer:false
+
+let start_write (ctx : Protocol.ctx) meta =
+  Blocks.fetch_exclusive ctx.Protocol.bctx meta;
+  record ctx meta ~writer:true
+
+let lock (ctx : Protocol.ctx) meta =
+  Ace_runtime.Proto_sc.lock ctx meta;
+  let s = shared (space_of ctx meta) in
+  Hashtbl.replace s.holding (ctx.Protocol.proc.Machine.id, meta.Store.rid) ()
+
+let unlock (ctx : Protocol.ctx) meta =
+  let s = shared (space_of ctx meta) in
+  Hashtbl.remove s.holding (ctx.Protocol.proc.Machine.id, meta.Store.rid);
+  Ace_runtime.Proto_sc.unlock ctx meta
+
+(* An epoch has a race on a region iff some unlocked access conflicts with
+   an access from a different node (write/any or any/write). *)
+let racy accesses =
+  let conflict a b =
+    a.node <> b.node && (a.writer || b.writer) && not (a.locked && b.locked)
+  in
+  let rec scan = function
+    | [] -> false
+    | a :: rest -> List.exists (conflict a) rest || scan rest
+  in
+  scan accesses
+
+(* The epoch log is swept by the last processor to reach the barrier, so
+   every access of the epoch has been recorded. *)
+let barrier (ctx : Protocol.ctx) (sp : Protocol.space) =
+  let s = shared sp in
+  s.arrived <- s.arrived + 1;
+  if s.arrived = Machine.nprocs ctx.Protocol.rt.Protocol.machine then begin
+    s.arrived <- 0;
+    Hashtbl.iter
+      (fun rid accesses ->
+        if racy accesses then
+          s.reports <-
+            {
+              rid;
+              epoch = s.epoch;
+              nodes = List.sort_uniq compare (List.map (fun a -> a.node) accesses);
+            }
+            :: s.reports)
+      s.accesses;
+    Hashtbl.reset s.accesses;
+    s.epoch <- s.epoch + 1
+  end
+
+let reports (sp : Protocol.space) = (shared sp).reports
+
+let protocol =
+  {
+    Protocol.null_protocol with
+    Protocol.name = "RACE_CHECK";
+    optimizable = false;
+    has_start_read = true;
+    has_start_write = true;
+    start_read;
+    start_write;
+    barrier;
+    lock;
+    unlock;
+    detach = Ace_runtime.Proto_sc.detach;
+  }

@@ -1,0 +1,40 @@
+(* Owner-writes protocol (the BSC protocol of paper §5.2: "we take advantage
+   of the fact that data are written only by the processors that created
+   them"). Writes require no coherence action at all — the creator is the
+   home, so stores land directly in the master. Reads fetch on a miss and
+   then stay valid, because the program order guarantees a region is never
+   written again once a remote node reads it.
+
+   The write handlers are null, so the compiler's direct-dispatch pass
+   deletes write-side protocol calls entirely (paper §4.2). *)
+
+module Protocol = Ace_runtime.Protocol
+module Blocks = Ace_region.Blocks
+module Store = Ace_region.Store
+
+let start_read (ctx : Protocol.ctx) meta =
+  Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.start_hit;
+  Blocks.fetch_shared ctx.Protocol.bctx meta
+
+let start_write (ctx : Protocol.ctx) meta =
+  (* Enforce the protocol's assertion in debug builds: only the home may
+     write under this protocol. *)
+  assert (ctx.Protocol.proc.Ace_engine.Machine.id = meta.Store.home)
+
+let lock = Ace_runtime.Proto_sc.lock
+let unlock = Ace_runtime.Proto_sc.unlock
+
+let protocol =
+  {
+    Protocol.null_protocol with
+    Protocol.name = "WRITE_ONCE";
+    optimizable = true;
+    has_start_read = true;
+    (* start_write is an assertion only; registered as null for dispatch. *)
+    has_start_write = false;
+    start_read;
+    start_write;
+    lock;
+    unlock;
+    detach = Ace_runtime.Proto_sc.detach;
+  }

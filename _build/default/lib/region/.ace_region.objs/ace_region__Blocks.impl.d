@@ -1,0 +1,1 @@
+lib/region/blocks.ml: Ace_engine Ace_net Array Float List Queue Store

@@ -1,0 +1,1 @@
+lib/region/blocks.mli: Ace_engine Ace_net Store

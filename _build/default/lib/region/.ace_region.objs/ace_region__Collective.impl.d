@@ -1,0 +1,1 @@
+lib/region/collective.ml: Ace_engine Ace_net Array Blocks Hashtbl

@@ -1,0 +1,1 @@
+lib/region/dsm_intf.ml:

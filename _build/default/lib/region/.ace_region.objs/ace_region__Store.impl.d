@@ -1,0 +1,1 @@
+lib/region/store.ml: Array Queue

@@ -1,0 +1,589 @@
+module Machine = Ace_engine.Machine
+module Ivar = Ace_engine.Ivar
+module Am = Ace_net.Am
+
+type ctx = { am : Am.t; store : Store.t; proc : Machine.proc }
+
+let make_ctx am store proc = { am; store; proc }
+let node ctx = ctx.proc.Machine.id
+let ctl_bytes = 16
+let data_bytes meta = Store.bytes meta + ctl_bytes
+
+(* Home-side transaction serialization. A transaction runs as a chain of
+   message handlers; [dir_enter] starts it when the directory is free and
+   [dir_exit] starts the next queued one. *)
+let dir_enter (meta : Store.meta) ~time k =
+  let d = meta.Store.dir in
+  if d.Store.busy then Queue.push k d.Store.pending
+  else begin
+    d.Store.busy <- true;
+    k time
+  end
+
+let dir_exit (meta : Store.meta) ~time =
+  let d = meta.Store.dir in
+  match Queue.take_opt d.Store.pending with
+  | Some k -> k time
+  | None -> d.Store.busy <- false
+
+(* CRL-style access atomicity: between start_* and the matching end_*, a
+   copy's data must stay stable and valid, so coherence actions that arrive
+   mid-access are parked on the copy and run when the access ends (at no
+   earlier virtual time than they arrived). *)
+
+let begin_access ctx meta ~write =
+  let c, _ = Store.ensure_copy meta ~node:(node ctx) in
+  if write then c.Store.writers <- c.Store.writers + 1
+  else c.Store.readers <- c.Store.readers + 1
+
+let end_access ctx meta ~write =
+  match Store.copy_of meta ~node:(node ctx) with
+  | None -> ()
+  | Some c ->
+      if write then c.Store.writers <- c.Store.writers - 1
+      else c.Store.readers <- c.Store.readers - 1;
+      if c.Store.readers = 0 && c.Store.writers = 0 then begin
+        let ds = List.rev c.Store.deferred in
+        c.Store.deferred <- [];
+        List.iter (fun f -> f ctx.proc.Machine.clock) ds
+      end
+
+let run_or_defer (c : Store.copy) ~time f =
+  if c.Store.readers > 0 || c.Store.writers > 0 then
+    c.Store.deferred <- (fun tend -> f (Float.max tend time)) :: c.Store.deferred
+  else f time
+
+(* Run [body] as a home-side directory transaction on behalf of the calling
+   fiber. At the home the request leg is free (a local table operation);
+   remotely it is a real request message. [body ~time finish] must call
+   [finish ~time] exactly once; the fiber resumes at that time. The finish
+   at the requester doubles as the transaction-closing ack (equivalent to an
+   instantaneous ack message; it prevents a later invalidation from
+   overtaking the data grant without paying a fourth network hop). *)
+let transact ctx meta body =
+  let n = node ctx in
+  let home = meta.Store.home in
+  if n = home then begin
+    let iv = Ivar.create () in
+    dir_enter meta ~time:ctx.proc.Machine.clock (fun time ->
+        body ~time (fun ~time ->
+            Ivar.fill iv ~time ();
+            dir_exit meta ~time));
+    Machine.await ctx.proc iv
+  end
+  else
+    Am.rpc ctx.am ctx.proc ~dst:home ~bytes:ctl_bytes (fun reply ~time ->
+        dir_enter meta ~time (fun time ->
+            body ~time (fun ~time ->
+                Ivar.fill reply ~time ();
+                dir_exit meta ~time)))
+
+(* Recall the exclusive owner's data into the master. [downgrade] is the
+   state the owner's copy is left in. Calls [k] at the home once the master
+   is fresh. Must run inside a directory transaction. *)
+let recall_owner ctx meta ~time ~downgrade k =
+  let d = meta.Store.dir in
+  let o = d.Store.owner in
+  if o < 0 then k time
+  else begin
+    let home = meta.Store.home in
+    let finish time =
+      d.Store.owner <- -1;
+      (match Store.copy_of meta ~node:home with
+      | Some c -> c.Store.cstate <- Store.Shared
+      | None -> ());
+      d.Store.sharers.(home) <- true;
+      k time
+    in
+    if o = home then begin
+      (* The master already aliases the owner's data. *)
+      let c =
+        match Store.copy_of meta ~node:o with Some c -> c | None -> assert false
+      in
+      run_or_defer c ~time (fun time ->
+          c.Store.cstate <- downgrade;
+          if downgrade = Store.Invalid then d.Store.sharers.(o) <- false;
+          d.Store.owner <- -1;
+          k time)
+    end
+    else
+      Am.send ctx.am ~now:time ~src:home ~dst:o ~bytes:ctl_bytes (fun ~time ->
+          let oc =
+            match Store.copy_of meta ~node:o with
+            | Some c -> c
+            | None -> assert false
+          in
+          run_or_defer oc ~time (fun time ->
+              assert (oc.Store.cstate = Store.Exclusive);
+              oc.Store.cstate <- downgrade;
+              if downgrade = Store.Invalid then d.Store.sharers.(o) <- false;
+              let snapshot = Array.copy oc.Store.cdata in
+              Am.send ctx.am ~now:time ~src:o ~dst:home ~bytes:(data_bytes meta)
+                (fun ~time ->
+                  Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
+                  finish time)))
+  end
+
+let stats ctx = Machine.stats (Am.machine ctx.am)
+
+let fetch_shared ctx meta =
+  let n = node ctx in
+  let copy, _ = Store.ensure_copy meta ~node:n in
+  if copy.Store.cstate <> Store.Invalid then ()
+  else begin
+    let home = meta.Store.home in
+    Ace_engine.Stats.incr (stats ctx) "coh.read_miss";
+    Machine.advance ctx.proc (Am.cost ctx.am).Ace_net.Cost_model.miss_overhead;
+    transact ctx meta (fun ~time finish ->
+        recall_owner ctx meta ~time ~downgrade:Store.Shared (fun time ->
+            meta.Store.dir.Store.sharers.(n) <- true;
+            if n = home then begin
+              (* master aliased: fresh after the recall *)
+              copy.Store.cstate <- Store.Shared;
+              finish ~time
+            end
+            else begin
+              let snapshot = Array.copy meta.Store.master in
+              Am.send ctx.am ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
+                (fun ~time ->
+                  Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
+                  copy.Store.cstate <- Store.Shared;
+                  finish ~time)
+            end))
+  end
+
+let fetch_exclusive ctx meta =
+  let n = node ctx in
+  let copy, _ = Store.ensure_copy meta ~node:n in
+  let d = meta.Store.dir in
+  if copy.Store.cstate = Store.Exclusive && d.Store.owner = n then ()
+  else begin
+    let home = meta.Store.home in
+    Ace_engine.Stats.incr (stats ctx) "coh.write_miss";
+    Machine.advance ctx.proc (Am.cost ctx.am).Ace_net.Cost_model.miss_overhead;
+    transact ctx meta (fun ~time finish ->
+        recall_owner ctx meta ~time ~downgrade:Store.Invalid (fun time ->
+            (* Invalidate every sharer except the requester, gathering acks;
+               a sharer mid-access defers its invalidation (and thus its
+               ack) until the access ends. *)
+            let victims =
+              List.filter (fun s -> s <> home) (Store.sharers meta ~except:n)
+            in
+            let invalidate_home = d.Store.sharers.(home) && home <> n in
+            let had_valid_copy = copy.Store.cstate = Store.Shared in
+            let grant time =
+              d.Store.owner <- n;
+              d.Store.sharers.(n) <- true;
+              if n = home then begin
+                copy.Store.cstate <- Store.Exclusive;
+                finish ~time
+              end
+              else begin
+                let bytes = if had_valid_copy then ctl_bytes else data_bytes meta in
+                let snapshot =
+                  if had_valid_copy then [||] else Array.copy meta.Store.master
+                in
+                Am.send ctx.am ~now:time ~src:home ~dst:n ~bytes (fun ~time ->
+                    if not had_valid_copy then
+                      Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
+                    copy.Store.cstate <- Store.Exclusive;
+                    finish ~time)
+              end
+            in
+            let outstanding =
+              ref (List.length victims + if invalidate_home then 1 else 0)
+            in
+            let acked time =
+              decr outstanding;
+              if !outstanding = 0 then grant time
+            in
+            if !outstanding = 0 then grant time
+            else begin
+              if invalidate_home then begin
+                match Store.copy_of meta ~node:home with
+                | Some c ->
+                    run_or_defer c ~time (fun time ->
+                        c.Store.cstate <- Store.Invalid;
+                        d.Store.sharers.(home) <- false;
+                        acked time)
+                | None ->
+                    d.Store.sharers.(home) <- false;
+                    acked time
+              end;
+              List.iter
+                (fun s ->
+                  Am.send ctx.am ~now:time ~src:home ~dst:s ~bytes:ctl_bytes
+                    (fun ~time ->
+                      let act time =
+                        (match Store.copy_of meta ~node:s with
+                        | Some c -> c.Store.cstate <- Store.Invalid
+                        | None -> ());
+                        d.Store.sharers.(s) <- false;
+                        Am.send ctx.am ~now:time ~src:s ~dst:home ~bytes:ctl_bytes
+                          (fun ~time -> acked time)
+                      in
+                      match Store.copy_of meta ~node:s with
+                      | Some c -> run_or_defer c ~time act
+                      | None -> act time))
+                victims
+            end))
+  end
+
+let writeback ctx meta =
+  let n = node ctx in
+  let d = meta.Store.dir in
+  if d.Store.owner <> n then ()
+  else begin
+    let copy =
+      match Store.copy_of meta ~node:n with Some c -> c | None -> assert false
+    in
+    let home = meta.Store.home in
+    if n = home then
+      transact ctx meta (fun ~time finish ->
+          d.Store.owner <- -1;
+          copy.Store.cstate <- Store.Shared;
+          finish ~time)
+    else begin
+      let snapshot = Array.copy copy.Store.cdata in
+      Am.rpc ctx.am ctx.proc ~dst:home ~bytes:(data_bytes meta)
+        (fun reply ~time ->
+          dir_enter meta ~time (fun time ->
+              Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
+              d.Store.owner <- -1;
+              copy.Store.cstate <- Store.Shared;
+              (match Store.copy_of meta ~node:home with
+              | Some c -> c.Store.cstate <- Store.Shared
+              | None -> ());
+              d.Store.sharers.(home) <- true;
+              Ivar.fill reply ~time ();
+              dir_exit meta ~time))
+    end
+  end
+
+let flush ctx meta =
+  let n = node ctx in
+  writeback ctx meta;
+  if n <> meta.Store.home then begin
+    match Store.copy_of meta ~node:n with
+    | None -> ()
+    | Some copy ->
+        if copy.Store.cstate <> Store.Invalid then begin
+          copy.Store.cstate <- Store.Invalid;
+          transact ctx meta (fun ~time finish ->
+              meta.Store.dir.Store.sharers.(n) <- false;
+              finish ~time)
+        end
+  end
+
+(* Forward [snapshot] to every current sharer except [n] and the home,
+   refreshing their caches. Runs at the home inside a transaction; calls
+   [all_delivered ~time] once every forward has landed (immediately when
+   there is nothing to forward). *)
+let forward_to_sharers ctx meta ~time ~snapshot ~n ~all_delivered =
+  let home = meta.Store.home in
+  let dsts =
+    List.filter (fun s -> s <> home) (Store.sharers meta ~except:n)
+  in
+  let outstanding = ref (List.length dsts) in
+  if !outstanding = 0 then all_delivered ~time
+  else
+    List.iter
+      (fun s ->
+        Am.send ctx.am ~now:time ~src:home ~dst:s ~bytes:(data_bytes meta)
+          (fun ~time ->
+            (match Store.copy_of meta ~node:s with
+            | Some c ->
+                run_or_defer c ~time (fun _ ->
+                    Array.blit snapshot 0 c.Store.cdata 0 meta.Store.len;
+                    if c.Store.cstate = Store.Invalid then
+                      c.Store.cstate <- Store.Shared)
+            | None -> ());
+            decr outstanding;
+            if !outstanding = 0 then all_delivered ~time))
+      dsts
+
+(* The ivar fills once every consumer copy has been refreshed, so a writer
+   awaiting it cannot race its own update past a barrier. *)
+let push_update ctx meta =
+  let n = node ctx in
+  let copy, _ = Store.ensure_copy meta ~node:n in
+  let home = meta.Store.home in
+  let snapshot = Array.copy copy.Store.cdata in
+  let done_iv = Ivar.create () in
+  Ace_engine.Stats.incr (stats ctx) "coh.update_push";
+  let all_delivered ~time = Ivar.fill done_iv ~time () in
+  if n = home then
+    (* Home writes land in the master via aliasing: only forward. *)
+    dir_enter meta ~time:ctx.proc.Machine.clock (fun time ->
+        forward_to_sharers ctx meta ~time ~snapshot ~n ~all_delivered;
+        dir_exit meta ~time)
+  else
+    Am.send_from ctx.am ctx.proc ~dst:home ~bytes:(data_bytes meta)
+      (fun ~time ->
+        dir_enter meta ~time (fun time ->
+            Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
+            (match Store.copy_of meta ~node:home with
+            | Some c ->
+                if c.Store.cstate = Store.Invalid then
+                  c.Store.cstate <- Store.Shared
+            | None -> ());
+            meta.Store.dir.Store.sharers.(home) <- true;
+            forward_to_sharers ctx meta ~time ~snapshot ~n ~all_delivered;
+            dir_exit meta ~time));
+  done_iv
+
+let push_to ctx meta ~dsts =
+  let n = node ctx in
+  let copy, _ = Store.ensure_copy meta ~node:n in
+  let home = meta.Store.home in
+  let snapshot = Array.copy copy.Store.cdata in
+  let done_iv = Ivar.create () in
+  let remote_targets =
+    List.sort_uniq compare (List.filter (fun d -> d <> n) (home :: dsts))
+  in
+  let remote_targets = List.filter (fun d -> d <> n) remote_targets in
+  Ace_engine.Stats.incr (stats ctx) "coh.static_push";
+  (* When the writer is the home, the master is already fresh (aliasing)
+     and only remote consumers appear in [remote_targets]. *)
+  let outstanding = ref (List.length remote_targets) in
+  if !outstanding = 0 then Ivar.fill done_iv ~time:ctx.proc.Machine.clock ()
+  else
+    List.iter
+      (fun dst ->
+        Am.send_from ctx.am ctx.proc ~dst ~bytes:(data_bytes meta)
+          (fun ~time ->
+            (if dst = home then begin
+               Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
+               match Store.copy_of meta ~node:home with
+               | Some c ->
+                   if c.Store.cstate = Store.Invalid then
+                     c.Store.cstate <- Store.Shared
+               | None -> ()
+             end
+             else begin
+               let c, _ = Store.ensure_copy meta ~node:dst in
+               run_or_defer c ~time (fun _ ->
+                   Array.blit snapshot 0 c.Store.cdata 0 meta.Store.len;
+                   if c.Store.cstate = Store.Invalid then
+                     c.Store.cstate <- Store.Shared)
+             end);
+            meta.Store.dir.Store.sharers.(dst) <- true;
+            decr outstanding;
+            if !outstanding = 0 then Ivar.fill done_iv ~time ()))
+      remote_targets;
+  done_iv
+
+let read_home ctx meta =
+  let n = node ctx in
+  let copy, _ = Store.ensure_copy meta ~node:n in
+  if n = meta.Store.home then ()
+  else begin
+    let home = meta.Store.home in
+    transact ctx meta (fun ~time finish ->
+        recall_owner ctx meta ~time ~downgrade:Store.Shared (fun time ->
+            let snapshot = Array.copy meta.Store.master in
+            Am.send ctx.am ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
+              (fun ~time ->
+                Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
+                finish ~time)))
+  end
+
+let write_home_async ctx meta =
+  let n = node ctx in
+  let copy, _ = Store.ensure_copy meta ~node:n in
+  let done_iv = Ivar.create () in
+  if n = meta.Store.home then Ivar.fill done_iv ~time:ctx.proc.Machine.clock ()
+  else begin
+    let home = meta.Store.home in
+    let snapshot = Array.copy copy.Store.cdata in
+    Am.send_from ctx.am ctx.proc ~dst:home ~bytes:(data_bytes meta)
+      (fun ~time ->
+        dir_enter meta ~time (fun time ->
+            Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
+            Ivar.fill done_iv ~time ();
+            dir_exit meta ~time))
+  end;
+  done_iv
+
+let write_home ctx meta = Machine.await ctx.proc (write_home_async ctx meta)
+
+(* Queued locks serialized at the region's home. Grant closures either send
+   a grant message (remote waiter) or fill the local waiter's ivar. *)
+let home_lock ctx meta =
+  let n = node ctx in
+  let l = meta.Store.lock in
+  let home = meta.Store.home in
+  if n = home then begin
+    if l.Store.held_by < 0 then l.Store.held_by <- n
+    else begin
+      let iv = Ivar.create () in
+      Queue.push (n, fun time -> Ivar.fill iv ~time ()) l.Store.waiting;
+      Machine.await ctx.proc iv
+    end
+  end
+  else
+    Am.rpc ctx.am ctx.proc ~dst:home ~bytes:ctl_bytes (fun reply ~time ->
+        let grant time =
+          Am.send ctx.am ~now:time ~src:home ~dst:n ~bytes:ctl_bytes
+            (fun ~time -> Ivar.fill reply ~time ())
+        in
+        if l.Store.held_by < 0 then begin
+          l.Store.held_by <- n;
+          grant time
+        end
+        else Queue.push (n, grant) l.Store.waiting)
+
+let release_lock (l : Store.hlock) ~time =
+  match Queue.take_opt l.Store.waiting with
+  | Some (m, grant) ->
+      l.Store.held_by <- m;
+      grant time
+  | None -> l.Store.held_by <- -1
+
+let home_unlock ctx meta =
+  let n = node ctx in
+  let l = meta.Store.lock in
+  if n = meta.Store.home then begin
+    assert (l.Store.held_by = n);
+    release_lock l ~time:ctx.proc.Machine.clock
+  end
+  else
+    Am.send_from ctx.am ctx.proc ~dst:meta.Store.home ~bytes:ctl_bytes
+      (fun ~time ->
+        assert (l.Store.held_by = n);
+        release_lock l ~time)
+
+(* Home-executed read-modify-write: one blocking round trip acquires the
+   region's lock *and* returns the current master value; the release ships
+   the new value and unlocks in a single one-way message. This is the
+   fetch-and-add building block behind the TSP counter protocol. *)
+let rmw_acquire ctx meta =
+  let n = node ctx in
+  let copy, _ = Store.ensure_copy meta ~node:n in
+  let l = meta.Store.lock in
+  if n = meta.Store.home then begin
+    if l.Store.held_by < 0 then l.Store.held_by <- n
+    else begin
+      let iv = Ivar.create () in
+      Queue.push (n, fun time -> Ivar.fill iv ~time ()) l.Store.waiting;
+      Machine.await ctx.proc iv
+    end
+  end
+  else begin
+    let home = meta.Store.home in
+    Am.rpc ctx.am ctx.proc ~dst:home ~bytes:ctl_bytes (fun reply ~time ->
+        let grant time =
+          let snapshot = Array.copy meta.Store.master in
+          Am.send ctx.am ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
+            (fun ~time ->
+              Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
+              Ivar.fill reply ~time ())
+        in
+        if l.Store.held_by < 0 then begin
+          l.Store.held_by <- n;
+          grant time
+        end
+        else Queue.push (n, grant) l.Store.waiting)
+  end
+
+let rmw_release ctx meta =
+  let n = node ctx in
+  let l = meta.Store.lock in
+  let done_iv = Ivar.create () in
+  if n = meta.Store.home then begin
+    assert (l.Store.held_by = n);
+    release_lock l ~time:ctx.proc.Machine.clock;
+    Ivar.fill done_iv ~time:ctx.proc.Machine.clock ()
+  end
+  else begin
+    let copy =
+      match Store.copy_of meta ~node:n with Some c -> c | None -> assert false
+    in
+    let snapshot = Array.copy copy.Store.cdata in
+    Am.send_from ctx.am ctx.proc ~dst:meta.Store.home ~bytes:(data_bytes meta)
+      (fun ~time ->
+        assert (l.Store.held_by = n);
+        Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
+        release_lock l ~time;
+        Ivar.fill done_iv ~time ())
+  end;
+  done_iv
+
+(* Ship-the-operation fetch-and-add: the home's message handler applies the
+   increment and replies with the old value — one round trip, no lock held
+   across the requester's round trip; home occupancy is one handler
+   execution. The old value is deposited in slot 0 of the caller's local
+   copy. The operation serializes with the region's home lock, so a
+   home-resident caller can instead take the lock and modify the (aliased)
+   master in place — see the COUNTER protocol. Must not be called from the
+   home node (the local copy aliases the master there). *)
+let fetch_add ctx meta ~delta =
+  let n = node ctx in
+  let copy, _ = Store.ensure_copy meta ~node:n in
+  assert (n <> meta.Store.home);
+  Am.rpc ctx.am ctx.proc ~dst:meta.Store.home ~bytes:ctl_bytes
+    (fun reply ~time ->
+      dir_enter meta ~time (fun time ->
+          let old = meta.Store.master.(0) in
+          meta.Store.master.(0) <- old +. delta;
+          Am.send ctx.am ~now:time ~src:meta.Store.home ~dst:n ~bytes:ctl_bytes
+            (fun ~time ->
+              copy.Store.cdata.(0) <- old;
+              Ivar.fill reply ~time ());
+          dir_exit meta ~time))
+
+(* Bracket a home-resident in-place read-modify-write of the (aliased)
+   master so it serializes with remote fetch_adds and other directory
+   transactions — deliberately NOT the user-visible region lock, which the
+   application may already hold around the access. Home node only. *)
+let home_rmw_begin ctx meta =
+  assert (node ctx = meta.Store.home);
+  let iv = Ivar.create () in
+  dir_enter meta ~time:ctx.proc.Machine.clock (fun time -> Ivar.fill iv ~time ());
+  Machine.await ctx.proc iv
+
+let home_rmw_end ctx meta =
+  assert (node ctx = meta.Store.home);
+  dir_exit meta ~time:ctx.proc.Machine.clock
+
+(* Release the region lock as soon as [after] fills (e.g. when an in-flight
+   update lands at the home), modelling a combined update+release message.
+   The caller does not block. *)
+let unlock_after ctx meta (after : unit Ivar.t) =
+  let n = node ctx in
+  let l = meta.Store.lock in
+  Ivar.on_fill after (fun ~time () ->
+      assert (l.Store.held_by = n);
+      release_lock l ~time)
+
+(* Acquire the region's home lock with the grant carrying the master data
+   (one round trip for lock + fresh value). The local copy becomes a valid
+   snapshot of the master as of grant time. *)
+let lock_fetch ctx meta =
+  let n = node ctx in
+  let copy, _ = Store.ensure_copy meta ~node:n in
+  let l = meta.Store.lock in
+  let home = meta.Store.home in
+  if n = home then begin
+    if l.Store.held_by < 0 then l.Store.held_by <- n
+    else begin
+      let iv = Ivar.create () in
+      Queue.push (n, fun time -> Ivar.fill iv ~time ()) l.Store.waiting;
+      Machine.await ctx.proc iv
+    end
+  end
+  else
+    Am.rpc ctx.am ctx.proc ~dst:home ~bytes:ctl_bytes (fun reply ~time ->
+        let grant time =
+          let snapshot = Array.copy meta.Store.master in
+          Am.send ctx.am ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
+            (fun ~time ->
+              Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
+              copy.Store.cstate <- Store.Shared;
+              Ivar.fill reply ~time ())
+        in
+        if l.Store.held_by < 0 then begin
+          l.Store.held_by <- n;
+          grant time
+        end
+        else Queue.push (n, grant) l.Store.waiting)

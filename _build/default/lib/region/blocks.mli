@@ -1,0 +1,107 @@
+(** Coherence building blocks.
+
+    The paper's §6 calls for "a library of protocol building blocks (for
+    example, a routine for invalidating a cache block)"; this module is that
+    library. Protocols (and the CRL baseline) are written by composing these
+    primitives. All blocking entry points must be called from a simulated
+    processor fiber; home-side transactions are serialized per region by the
+    directory's busy/pending queue. *)
+
+type ctx = { am : Ace_net.Am.t; store : Store.t; proc : Ace_engine.Machine.proc }
+
+val make_ctx : Ace_net.Am.t -> Store.t -> Ace_engine.Machine.proc -> ctx
+val node : ctx -> int
+
+(** Size in bytes of a small control message. *)
+val ctl_bytes : int
+
+(** {2 Access sections}
+
+    CRL-style access atomicity: a runtime brackets every access between
+    [begin_access] and [end_access]; coherence actions (invalidations,
+    recalls, update pushes) that arrive mid-access are deferred to the
+    matching [end_access], so the data a program is reading or writing
+    never changes underneath it. *)
+
+val begin_access : ctx -> Store.meta -> write:bool -> unit
+val end_access : ctx -> Store.meta -> write:bool -> unit
+
+(** {2 Invalidation-protocol legs} *)
+
+(** Obtain a valid [Shared] copy (3-hop recall from an exclusive owner if
+    needed). No-op when the local copy is already valid. *)
+val fetch_shared : ctx -> Store.meta -> unit
+
+(** Obtain the [Exclusive] copy: recalls the owner, invalidates all other
+    sharers (gathering acks), then grants ownership. *)
+val fetch_exclusive : ctx -> Store.meta -> unit
+
+(** If this node owns the region, send the data home and downgrade to
+    [Shared]; otherwise no messages. *)
+val writeback : ctx -> Store.meta -> unit
+
+(** Writeback if owner, then drop the local copy ([Invalid]) and leave the
+    sharer set. Used by [change_protocol]'s flush-to-base semantics. *)
+val flush : ctx -> Store.meta -> unit
+
+(** {2 Update-protocol legs} *)
+
+(** Send this node's copy to the home; the home refreshes the master and
+    forwards the update to every current sharer. The returned ivar fills
+    when the home has forwarded (await it for a blocking update; ignore it
+    to pipeline). *)
+val push_update : ctx -> Store.meta -> unit Ace_engine.Ivar.t
+
+(** Send this node's copy directly to an explicit set of nodes (plus the
+    home master), the static-update pattern. Fills when all data messages
+    have been delivered. *)
+val push_to : ctx -> Store.meta -> dsts:int list -> unit Ace_engine.Ivar.t
+
+(** {2 Home-mediated uncached access (counters, pipelined writes)} *)
+
+(** Copy the master into the local buffer without joining the sharer set. *)
+val read_home : ctx -> Store.meta -> unit
+
+(** Blocking master update from the local buffer. *)
+val write_home : ctx -> Store.meta -> unit
+
+(** Non-blocking master update; fills on home arrival. *)
+val write_home_async : ctx -> Store.meta -> unit Ace_engine.Ivar.t
+
+(** {2 Region locks (queued at the home)} *)
+
+val home_lock : ctx -> Store.meta -> unit
+val home_unlock : ctx -> Store.meta -> unit
+
+(** {2 Home-executed read-modify-write}
+
+    [rmw_acquire] takes the region lock and fetches the fresh master in one
+    blocking round trip; [rmw_release] ships the updated value and releases
+    in a single one-way message. Together they implement fetch-and-add
+    without migrating or caching the region. *)
+
+val rmw_acquire : ctx -> Store.meta -> unit
+
+(** Returns an ivar filled when the value+release lands at the home (for
+    pipelined drains); the caller is never blocked. *)
+val rmw_release : ctx -> Store.meta -> unit Ace_engine.Ivar.t
+
+(** Home-executed fetch-and-add on slot 0: one round trip; the old value is
+    left in slot 0 of the caller's local copy. Not for the home node (its
+    copy aliases the master) — see {!home_rmw_begin}. *)
+val fetch_add : ctx -> Store.meta -> delta:float -> unit
+
+(** Bracket a home-resident in-place read-modify-write of the master so it
+    serializes with remote {!fetch_add}s (directory-transaction mutual
+    exclusion, independent of the user-visible region lock). *)
+val home_rmw_begin : ctx -> Store.meta -> unit
+
+val home_rmw_end : ctx -> Store.meta -> unit
+
+(** Release the region's lock when [after] fills (combined update+release);
+    never blocks the caller. *)
+val unlock_after : ctx -> Store.meta -> unit Ace_engine.Ivar.t -> unit
+
+(** Home lock acquire whose grant carries the fresh master data (one round
+    trip for lock + value). *)
+val lock_fetch : ctx -> Store.meta -> unit

@@ -1,0 +1,49 @@
+(* SPMD collectives for distributing region ids (the bootstrap role that a
+   startup broadcast plays in CRL). Every processor must execute the same
+   sequence of collective calls; ops are matched by a per-processor call
+   counter. *)
+
+module Machine = Ace_engine.Machine
+module Ivar = Ace_engine.Ivar
+module Am = Ace_net.Am
+
+type t = {
+  slots : (int, int array Ivar.t array) Hashtbl.t; (* op id -> per-node ivar *)
+  nprocs : int;
+}
+
+let create ~nprocs = { slots = Hashtbl.create 16; nprocs }
+
+let entry t op =
+  match Hashtbl.find_opt t.slots op with
+  | Some e -> e
+  | None ->
+      let e = Array.init t.nprocs (fun _ -> Ivar.create ()) in
+      Hashtbl.add t.slots op e;
+      e
+
+(* [bcast t bctx ~ctr ~root f]: the root evaluates [f ()] and sends the
+   array to every other node; everyone returns the array. *)
+let bcast t (bctx : Blocks.ctx) ~ctr ~root f =
+  let p = bctx.Blocks.proc in
+  let me = p.Machine.id in
+  let op = !ctr in
+  incr ctr;
+  let e = entry t op in
+  if me = root then begin
+    let arr = f () in
+    let bytes = (8 * Array.length arr) + Blocks.ctl_bytes in
+    for dst = 0 to t.nprocs - 1 do
+      if dst <> root then
+        Am.send_from bctx.Blocks.am p ~dst ~bytes (fun ~time ->
+            Ivar.fill e.(dst) ~time arr)
+    done;
+    Ivar.fill e.(root) ~time:p.Machine.clock arr;
+    arr
+  end
+  else Machine.await p e.(me)
+
+(* [allgather t bctx ~ctr mine] returns an array of every node's
+   contribution, indexed by node. Implemented as P rooted broadcasts. *)
+let allgather t bctx ~ctr mine =
+  Array.init t.nprocs (fun root -> bcast t bctx ~ctr ~root (fun () -> mine))

@@ -1,0 +1,47 @@
+(* The region-DSM operations shared by the Ace runtime and the CRL baseline
+   (paper §5.1 ports applications between the two systems by replacing the
+   corresponding primitives; we functorize the applications over this
+   signature instead, so both backends run identical source). *)
+
+module type S = sig
+  type ctx
+
+  val me : ctx -> int
+  val nprocs : ctx -> int
+
+  type h
+  (** A mapped region handle. *)
+
+  (** Allocate a region homed at the calling node from [space] ([space] is
+      ignored by the CRL backend, which has no spaces). *)
+  val alloc : ctx -> space:int -> len:int -> h
+
+  val rid : h -> int
+  val map : ctx -> int -> h
+  val unmap : ctx -> h -> unit
+
+  (** The calling node's view of the region payload. Only valid between a
+      [start_*] and the matching [end_*]. *)
+  val data : ctx -> h -> float array
+
+  val start_read : ctx -> h -> unit
+  val end_read : ctx -> h -> unit
+  val start_write : ctx -> h -> unit
+  val end_write : ctx -> h -> unit
+  val lock : ctx -> h -> unit
+  val unlock : ctx -> h -> unit
+  val barrier : ctx -> space:int -> unit
+
+  (** Collective. No-op on CRL (protocol changes are performance hints; a
+      correct program stays correct when they are ignored). *)
+  val change_protocol : ctx -> space:int -> string -> unit
+
+  (** Charge local computation cycles. *)
+  val work : ctx -> float -> unit
+
+  (** Collective broadcast of an int array computed at [root]. *)
+  val bcast : ctx -> root:int -> (unit -> int array) -> int array
+
+  (** Collective all-gather of one int array per node, indexed by node. *)
+  val allgather : ctx -> int array -> int array array
+end

@@ -1,0 +1,124 @@
+type state = Invalid | Shared | Exclusive
+
+type copy = {
+  cdata : float array;
+  mutable cstate : state;
+  mutable readers : int;
+  mutable writers : int;
+  mutable deferred : (float -> unit) list; (* coherence actions parked
+                                              until the access ends *)
+}
+
+type dir = {
+  mutable owner : int;
+  sharers : bool array;
+  mutable busy : bool;
+  pending : (float -> unit) Queue.t;
+}
+
+type hlock = { mutable held_by : int; waiting : (int * (float -> unit)) Queue.t }
+
+type meta = {
+  rid : int;
+  home : int;
+  len : int;
+  mutable space : int;
+  master : float array;
+  copies : copy option array;
+  dir : dir;
+  lock : hlock;
+}
+
+type t = { nprocs : int; mutable regions : meta array; mutable n : int }
+
+let create ~nprocs =
+  if nprocs <= 0 then invalid_arg "Store.create";
+  { nprocs; regions = [||]; n = 0 }
+
+let nprocs t = t.nprocs
+
+let alloc t ~home ~len ~space =
+  if home < 0 || home >= t.nprocs then invalid_arg "Store.alloc: bad home";
+  if len <= 0 then invalid_arg "Store.alloc: bad length";
+  let master = Array.make len 0. in
+  let meta =
+    {
+      rid = t.n;
+      home;
+      len;
+      space;
+      master;
+      copies = Array.make t.nprocs None;
+      dir =
+        {
+          owner = -1;
+          sharers = Array.make t.nprocs false;
+          busy = false;
+          pending = Queue.create ();
+        };
+      lock = { held_by = -1; waiting = Queue.create () };
+    }
+  in
+  meta.copies.(home) <-
+    Some { cdata = master; cstate = Shared; readers = 0; writers = 0; deferred = [] };
+  meta.dir.sharers.(home) <- true;
+  if t.n = Array.length t.regions then begin
+    let regions = Array.make (max 64 (2 * t.n)) meta in
+    Array.blit t.regions 0 regions 0 t.n;
+    t.regions <- regions
+  end;
+  t.regions.(t.n) <- meta;
+  t.n <- t.n + 1;
+  meta
+
+let get t rid =
+  if rid < 0 || rid >= t.n then invalid_arg "Store.get: bad rid";
+  t.regions.(rid)
+
+let count t = t.n
+let bytes meta = 8 * meta.len
+
+let ensure_copy meta ~node =
+  match meta.copies.(node) with
+  | Some c -> (c, true)
+  | None ->
+      let c =
+        {
+          cdata = Array.make meta.len 0.;
+          cstate = Invalid;
+          readers = 0;
+          writers = 0;
+          deferred = [];
+        }
+      in
+      meta.copies.(node) <- Some c;
+      (c, false)
+
+let copy_of meta ~node = meta.copies.(node)
+
+let sharers meta ~except =
+  let out = ref [] in
+  for node = Array.length meta.dir.sharers - 1 downto 0 do
+    if meta.dir.sharers.(node) && node <> except then out := node :: !out
+  done;
+  !out
+
+let check_invariants meta =
+  let d = meta.dir in
+  if d.owner >= 0 then begin
+    (* The owner must be a marked sharer and be the only Exclusive copy. *)
+    assert (d.sharers.(d.owner));
+    Array.iteri
+      (fun node c ->
+        match c with
+        | Some { cstate = Exclusive; _ } -> assert (node = d.owner)
+        | Some _ | None -> ())
+      meta.copies
+  end
+  else
+    Array.iter
+      (fun c ->
+        match c with
+        | Some { cstate = Exclusive; _ } -> assert false
+        | Some _ | None -> ())
+      meta.copies

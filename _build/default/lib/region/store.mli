@@ -1,0 +1,70 @@
+(** Region naming, per-node cached copies, and home directories.
+
+    A region is an arbitrarily-sized coherence unit (user-specified
+    granularity, paper §2.3). Every region has a home node; the home holds
+    the authoritative [master] copy except while some node holds the region
+    exclusively (recorded in the directory). *)
+
+type state = Invalid | Shared | Exclusive
+
+type copy = {
+  cdata : float array;     (** node-local cached data *)
+  mutable cstate : state;
+  mutable readers : int;   (** active start_read..end_read sections *)
+  mutable writers : int;   (** active start_write..end_write sections
+                               (compiled code may nest them after hoisting) *)
+  mutable deferred : (float -> unit) list;
+      (** coherence actions (invalidation, recall) that arrived during an
+          active access, run at the matching end_* — CRL's access
+          atomicity guarantee *)
+}
+
+type dir = {
+  mutable owner : int;             (** node holding a modified copy; -1 = none *)
+  sharers : bool array;            (** nodes with a (possibly) valid copy *)
+  mutable busy : bool;             (** home transaction in progress *)
+  pending : (float -> unit) Queue.t; (** queued transactions, by arrival *)
+}
+
+type hlock = {
+  mutable held_by : int;           (** -1 = free *)
+  waiting : (int * (float -> unit)) Queue.t;
+}
+
+type meta = {
+  rid : int;
+  home : int;
+  len : int;                       (** payload length, floats *)
+  mutable space : int;             (** owning space id; -1 = none (CRL) *)
+  master : float array;            (** authoritative copy at home *)
+  copies : copy option array;      (** per-node cache entries *)
+  dir : dir;
+  lock : hlock;
+}
+
+type t
+
+val create : nprocs:int -> t
+val nprocs : t -> int
+
+(** [alloc t ~home ~len ~space] creates a region homed at [home]. The home's
+    cache entry aliases [master] and starts [Shared]. *)
+val alloc : t -> home:int -> len:int -> space:int -> meta
+
+val get : t -> int -> meta
+val count : t -> int
+val bytes : meta -> int
+
+(** The node's cache entry, creating an [Invalid] zeroed one if absent.
+    Returns whether it already existed (a "map hit"). *)
+val ensure_copy : meta -> node:int -> copy * bool
+
+(** Cache entry if present. *)
+val copy_of : meta -> node:int -> copy option
+
+(** Current sharer nodes, excluding [except]. *)
+val sharers : meta -> except:int -> int list
+
+(** Directory invariant checks (used by tests and debug assertions):
+    at most one owner; an owner implies no other sharer marked Exclusive. *)
+val check_invariants : meta -> unit

@@ -1,0 +1,1 @@
+test/test_ace.ml: Ace_engine Ace_protocols Ace_region Ace_runtime Alcotest Array List

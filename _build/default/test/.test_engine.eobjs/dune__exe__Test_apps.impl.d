@@ -1,0 +1,1 @@
+test/test_apps.ml: Ace_apps Ace_harness Alcotest Array List Printf

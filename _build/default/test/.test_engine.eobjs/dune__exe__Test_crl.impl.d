@@ -1,0 +1,1 @@
+test/test_crl.ml: Ace_crl Ace_engine Alcotest Array

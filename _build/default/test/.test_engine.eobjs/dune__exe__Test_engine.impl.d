@@ -1,0 +1,1 @@
+test/test_engine.ml: Ace_engine Alcotest Array Buffer Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lang.ml: Ace_lang Ace_protocols Ace_runtime Alcotest List Option Str_find

@@ -1,0 +1,1 @@
+test/test_net.ml: Ace_engine Ace_net Alcotest List QCheck QCheck_alcotest

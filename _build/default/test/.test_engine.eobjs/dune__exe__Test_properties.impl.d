@@ -1,0 +1,1 @@
+test/test_properties.ml: Ace_apps Ace_engine Ace_lang Ace_protocols Ace_runtime Alcotest Array List QCheck QCheck_alcotest

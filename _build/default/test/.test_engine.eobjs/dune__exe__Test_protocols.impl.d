@@ -1,0 +1,1 @@
+test/test_protocols.ml: Ace_engine Ace_protocols Ace_region Ace_runtime Alcotest Array Hashtbl List

@@ -1,0 +1,1 @@
+test/test_region.ml: Ace_engine Ace_net Ace_region Alcotest Array Hashtbl Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_shapes.ml: Ace_harness Alcotest Lazy List

@@ -1,0 +1,28 @@
+(* Tiny substring helpers for golden-ish tests (no Str dependency). *)
+
+let find haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i =
+    if i + ln > lh then -1
+    else if String.sub haystack i ln = needle then i
+    else go (i + 1)
+  in
+  if ln = 0 then 0 else go 0
+
+let find_last haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i best =
+    if i + ln > lh then best
+    else if String.sub haystack i ln = needle then go (i + 1) i
+    else go (i + 1) best
+  in
+  if ln = 0 then 0 else go 0 (-1)
+
+let count haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i acc =
+    if i + ln > lh then acc
+    else if String.sub haystack i ln = needle then go (i + ln) (acc + 1)
+    else go (i + 1) acc
+  in
+  if ln = 0 then 0 else go 0 0

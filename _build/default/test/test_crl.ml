@@ -1,0 +1,126 @@
+(* Tests for the CRL-like baseline DSM. *)
+
+module Crl = Ace_crl.Crl
+module Machine = Ace_engine.Machine
+
+let check = Alcotest.(check bool)
+
+let run ~nprocs f =
+  let sys = Crl.create ~nprocs () in
+  Crl.run sys f;
+  sys
+
+let shared_counter () =
+  let captured = ref 0. in
+  let _ =
+    run ~nprocs:6 (fun ctx ->
+        let rids =
+          Crl.bcast ctx ~root:0 (fun () ->
+              [| Crl.rid (Crl.alloc ctx ~space:0 ~len:1) |])
+        in
+        let h = Crl.map ctx rids.(0) in
+        for _ = 1 to 4 do
+          Crl.lock ctx h;
+          Crl.start_write ctx h;
+          (Crl.data ctx h).(0) <- (Crl.data ctx h).(0) +. 1.;
+          Crl.end_write ctx h;
+          Crl.unlock ctx h
+        done;
+        Crl.barrier ctx ~space:0;
+        Crl.start_read ctx h;
+        let v = (Crl.data ctx h).(0) in
+        Crl.end_read ctx h;
+        if Crl.me ctx = 0 then captured := v)
+  in
+  check "6 procs x 4 increments" true (!captured = 24.)
+
+let unsynchronized_rmw_atomic_via_sections () =
+  (* CRL semantics: start_write..end_write is atomic even without locks,
+     because recalls are deferred until end_write *)
+  let captured = ref 0. in
+  let _ =
+    run ~nprocs:8 (fun ctx ->
+        let rids =
+          Crl.bcast ctx ~root:0 (fun () ->
+              [| Crl.rid (Crl.alloc ctx ~space:0 ~len:1) |])
+        in
+        let h = Crl.map ctx rids.(0) in
+        for _ = 1 to 5 do
+          Crl.start_write ctx h;
+          (Crl.data ctx h).(0) <- (Crl.data ctx h).(0) +. 1.;
+          Crl.end_write ctx h
+        done;
+        Crl.barrier ctx ~space:0;
+        Crl.start_read ctx h;
+        let v = (Crl.data ctx h).(0) in
+        Crl.end_read ctx h;
+        if Crl.me ctx = 0 then captured := v)
+  in
+  check "40 atomic increments" true (!captured = 40.)
+
+let producer_consumer_phases () =
+  let disagreements = ref 0 in
+  let _ =
+    run ~nprocs:4 (fun ctx ->
+        let me = Crl.me ctx in
+        let mine = Crl.alloc ctx ~space:0 ~len:2 in
+        let parts = Crl.allgather ctx [| Crl.rid mine |] in
+        Crl.barrier ctx ~space:0;
+        for round = 1 to 3 do
+          Crl.start_write ctx mine;
+          (Crl.data ctx mine).(0) <- float_of_int ((me * 10) + round);
+          Crl.end_write ctx mine;
+          Crl.barrier ctx ~space:0;
+          for o = 0 to 3 do
+            let h = Crl.map ctx parts.(o).(0) in
+            Crl.start_read ctx h;
+            if (Crl.data ctx h).(0) <> float_of_int ((o * 10) + round) then
+              incr disagreements;
+            Crl.end_read ctx h
+          done;
+          Crl.barrier ctx ~space:0
+        done)
+  in
+  check "coherent across rounds" true (!disagreements = 0)
+
+let change_protocol_is_noop () =
+  (* a single-protocol system safely ignores protocol hints *)
+  let captured = ref 0. in
+  let _ =
+    run ~nprocs:2 (fun ctx ->
+        let rids =
+          Crl.bcast ctx ~root:0 (fun () ->
+              [| Crl.rid (Crl.alloc ctx ~space:0 ~len:1) |])
+        in
+        let h = Crl.map ctx rids.(0) in
+        Crl.change_protocol ctx ~space:0 "DYN_UPDATE";
+        Crl.lock ctx h;
+        Crl.start_write ctx h;
+        (Crl.data ctx h).(0) <- (Crl.data ctx h).(0) +. 1.;
+        Crl.end_write ctx h;
+        Crl.unlock ctx h;
+        Crl.barrier ctx ~space:0;
+        Crl.start_read ctx h;
+        let v = (Crl.data ctx h).(0) in
+        Crl.end_read ctx h;
+        if Crl.me ctx = 0 then captured := v)
+  in
+  check "still coherent" true (!captured = 2.)
+
+let time_advances () =
+  let sys = run ~nprocs:2 (fun ctx -> Crl.work ctx 330.) in
+  Alcotest.(check (float 1e-12)) "10 us at 33 MHz" 1e-5 (Crl.time_seconds sys)
+
+let () =
+  Alcotest.run "crl"
+    [
+      ( "crl",
+        [
+          Alcotest.test_case "shared counter" `Quick shared_counter;
+          Alcotest.test_case "rmw via sections" `Quick
+            unsynchronized_rmw_atomic_via_sections;
+          Alcotest.test_case "producer/consumer" `Quick producer_consumer_phases;
+          Alcotest.test_case "change_protocol noop" `Quick change_protocol_is_noop;
+          Alcotest.test_case "time" `Quick time_advances;
+        ] );
+    ]

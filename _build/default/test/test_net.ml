@@ -1,0 +1,111 @@
+(* Tests for the cost model and the Active Messages layer. *)
+
+module Machine = Ace_engine.Machine
+module Ivar = Ace_engine.Ivar
+module Cost_model = Ace_net.Cost_model
+module Am = Ace_net.Am
+
+let check = Alcotest.(check bool)
+
+let transit_monotone =
+  QCheck.Test.make ~name:"transit grows with size" ~count:200
+    QCheck.(pair (int_range 0 10000) (int_range 0 10000))
+    (fun (a, b) ->
+      let small = min a b and big = max a b in
+      Cost_model.transit Cost_model.cm5_ace ~bytes:small
+      <= Cost_model.transit Cost_model.cm5_ace ~bytes:big)
+
+let barrier_cost_grows () =
+  let c = Cost_model.cm5_ace in
+  check "log growth" true
+    (Cost_model.barrier_cost c 32 > Cost_model.barrier_cost c 2)
+
+let profiles_differ () =
+  check "CRL maps cost more" true
+    Cost_model.(cm5_crl.map_hit > cm5_ace.map_hit);
+  check "Ace dispatches cost more" true
+    Cost_model.(cm5_ace.dispatch > cm5_crl.dispatch);
+  check "CRL misses cost more" true
+    Cost_model.(cm5_crl.miss_overhead > cm5_ace.miss_overhead)
+
+let am_delivery_time () =
+  let m = Machine.create ~nprocs:2 in
+  let am = Am.create m Cost_model.cm5_ace in
+  let delivered = ref nan in
+  Machine.run m (fun p ->
+      if p.Machine.id = 0 then
+        Am.send_from am p ~dst:1 ~bytes:100 (fun ~time -> delivered := time));
+  let c = Cost_model.cm5_ace in
+  let expected =
+    c.Cost_model.am_send_overhead
+    +. Cost_model.transit c ~bytes:100
+    +. c.Cost_model.am_recv_overhead
+  in
+  Alcotest.(check (float 1e-9)) "arrival time" expected !delivered
+
+let am_rpc_roundtrip () =
+  let m = Machine.create ~nprocs:2 in
+  let am = Am.create m Cost_model.cm5_ace in
+  let got = ref 0 in
+  Machine.run m (fun p ->
+      if p.Machine.id = 0 then
+        got :=
+          Am.rpc am p ~dst:1 ~bytes:16 (fun reply ~time ->
+              Am.send am ~now:time ~src:1 ~dst:0 ~bytes:16 (fun ~time ->
+                  Ivar.fill reply ~time 1234)));
+  Alcotest.(check int) "reply value" 1234 !got;
+  Alcotest.(check int) "two messages" 2 (Am.messages am)
+
+let am_counts_bytes () =
+  let m = Machine.create ~nprocs:2 in
+  let am = Am.create m Cost_model.cm5_ace in
+  Machine.run m (fun p ->
+      if p.Machine.id = 0 then begin
+        Am.send_from am p ~dst:1 ~bytes:64 (fun ~time:_ -> ());
+        Am.send_from am p ~dst:1 ~bytes:36 (fun ~time:_ -> ())
+      end);
+  Alcotest.(check int) "bytes" 100 (Am.bytes_sent am)
+
+let am_same_size_fifo () =
+  (* equal-size messages between the same endpoints deliver in send order *)
+  let m = Machine.create ~nprocs:2 in
+  let am = Am.create m Cost_model.cm5_ace in
+  let out = ref [] in
+  Machine.run m (fun p ->
+      if p.Machine.id = 0 then
+        for i = 1 to 5 do
+          Am.send_from am p ~dst:1 ~bytes:16 (fun ~time:_ -> out := i :: !out)
+        done);
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !out)
+
+let am_handlers_can_chain () =
+  (* a handler forwarding to a third node works and accumulates latency *)
+  let m = Machine.create ~nprocs:3 in
+  let am = Am.create m Cost_model.cm5_ace in
+  let t_final = ref 0. and t_first = ref 0. in
+  Machine.run m (fun p ->
+      if p.Machine.id = 0 then
+        Am.send_from am p ~dst:1 ~bytes:16 (fun ~time ->
+            t_first := time;
+            Am.send am ~now:time ~src:1 ~dst:2 ~bytes:16 (fun ~time ->
+                t_final := time)));
+  check "forwarded later" true (!t_final > !t_first)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "cost_model",
+        [
+          QCheck_alcotest.to_alcotest transit_monotone;
+          Alcotest.test_case "barrier growth" `Quick barrier_cost_grows;
+          Alcotest.test_case "profiles differ" `Quick profiles_differ;
+        ] );
+      ( "am",
+        [
+          Alcotest.test_case "delivery time" `Quick am_delivery_time;
+          Alcotest.test_case "rpc roundtrip" `Quick am_rpc_roundtrip;
+          Alcotest.test_case "byte accounting" `Quick am_counts_bytes;
+          Alcotest.test_case "same-size fifo" `Quick am_same_size_fifo;
+          Alcotest.test_case "handler chaining" `Quick am_handlers_can_chain;
+        ] );
+    ]

@@ -1,0 +1,293 @@
+(* Second-round property tests: randomized workload generators and
+   cross-checking of the numerical kernels, the collectives, and the
+   compiler passes on a wider program corpus. *)
+
+module Rng = Ace_engine.Det_rng
+
+let check = Alcotest.(check bool)
+
+(* ---- Cholesky: L L^T = A over random configurations ---- *)
+
+let chol_residual_random =
+  QCheck.Test.make ~name:"blocked Cholesky factors random banded SPD matrices"
+    ~count:20
+    QCheck.(quad (int_range 2 8) (int_range 2 8) (int_range 1 4) small_int)
+    (fun (nb, b, band, seed) ->
+      let cfg = { Ace_apps.Chol_core.nb; b; band = min band (nb - 1); seed } in
+      let l = Ace_apps.Chol_core.reference cfg in
+      Ace_apps.Chol_core.residual cfg ~l < 1e-7)
+
+(* ---- TSP: branch and bound finds the optimum on random instances ---- *)
+
+let tsp_optimal_random =
+  QCheck.Test.make ~name:"TSP branch&bound = brute force" ~count:15
+    QCheck.(pair (int_range 4 8) small_int)
+    (fun (n_cities, seed) ->
+      let core = { Ace_apps.Tsp_core.n_cities; seed } in
+      let d = Ace_apps.Tsp_core.generate core in
+      let best = ref infinity in
+      let visited = Array.make n_cities false in
+      visited.(0) <- true;
+      let rec go cur len depth =
+        if depth = n_cities then begin
+          let t = len +. d.(cur).(0) in
+          if t < !best then best := t
+        end
+        else
+          for j = 1 to n_cities - 1 do
+            if not visited.(j) then begin
+              visited.(j) <- true;
+              go j (len +. d.(cur).(j)) (depth + 1);
+              visited.(j) <- false
+            end
+          done
+      in
+      go 0 0. 1;
+      abs_float (Ace_apps.Tsp_core.reference core -. !best) < 1e-9)
+
+(* ---- EM3D graph generator invariants ---- *)
+
+let em3d_graph_invariants =
+  QCheck.Test.make ~name:"EM3D graphs well-formed and remote-bounded" ~count:30
+    QCheck.(triple (int_range 8 200) (int_range 1 16) (int_range 0 100))
+    (fun (n_nodes, nprocs, pct_remote) ->
+      let cfg =
+        { Ace_apps.Em3d.default with Ace_apps.Em3d.n_nodes; pct_remote }
+      in
+      let g = Ace_apps.Em3d.generate cfg ~nprocs in
+      let in_range nbr =
+        Array.for_all
+          (Array.for_all (fun j -> j >= 0 && j < g.Ace_apps.Em3d.n))
+          nbr
+      in
+      (* owners are a monotone block distribution *)
+      let monotone = ref true in
+      Array.iteri
+        (fun i o ->
+          if i > 0 && o < g.Ace_apps.Em3d.owner.(i - 1) then monotone := false)
+        g.Ace_apps.Em3d.owner;
+      in_range g.Ace_apps.Em3d.e_nbr
+      && in_range g.Ace_apps.Em3d.h_nbr
+      && !monotone
+      && Array.for_all
+           (Array.for_all (fun w -> w > 0. && w < 1.))
+           g.Ace_apps.Em3d.weight)
+
+let em3d_generation_deterministic () =
+  let cfg = Ace_apps.Em3d.default in
+  let a = Ace_apps.Em3d.generate cfg ~nprocs:7 in
+  let b = Ace_apps.Em3d.generate cfg ~nprocs:7 in
+  check "identical graphs" true
+    (a.Ace_apps.Em3d.e_nbr = b.Ace_apps.Em3d.e_nbr
+    && a.Ace_apps.Em3d.weight = b.Ace_apps.Em3d.weight)
+
+(* ---- collectives ---- *)
+
+let collectives_correct =
+  QCheck.Test.make ~name:"bcast/allgather deliver every contribution" ~count:20
+    QCheck.(pair (int_range 1 12) (int_range 0 6))
+    (fun (nprocs, len) ->
+      let rt = Ace_runtime.Runtime.create ~nprocs () in
+      ignore (Ace_runtime.Runtime.new_space rt "SC");
+      let ok = ref true in
+      Ace_runtime.Runtime.run rt (fun ctx ->
+          let me = Ace_runtime.Ops.me ctx in
+          (* broadcast from the last node *)
+          let root = nprocs - 1 in
+          let b =
+            Ace_runtime.Ops.bcast ctx ~root (fun () ->
+                Array.init len (fun i -> (root * 100) + i))
+          in
+          if b <> Array.init len (fun i -> (root * 100) + i) then ok := false;
+          (* allgather of per-node arrays *)
+          let parts =
+            Ace_runtime.Ops.allgather ctx
+              (Array.init len (fun i -> (me * 10) + i))
+          in
+          Array.iteri
+            (fun p part ->
+              if part <> Array.init len (fun i -> (p * 10) + i) then ok := false)
+            parts);
+      !ok)
+
+(* ---- compiler: semantic preservation on a wider corpus ---- *)
+
+let corpus =
+  [
+    ( "functions-and-calls",
+      {|
+func double(a) { return a + a; }
+func sum_to(n) {
+  var acc = 0;
+  var i = 0;
+  for (i = 0; i < n; i += 1) { acc = acc + i; }
+  return acc;
+}
+func main() {
+  space s = newspace(NULL);
+  region r;
+  r = gmalloc(s, 4);
+  r[0] = double(sum_to(10));
+  r[1] = r[0] / 9;
+  barrier(s);
+  return r[0] + r[1];
+}
+|} );
+    ( "while-and-if",
+      {|
+func main() {
+  space s = newspace(SC);
+  region r;
+  if (me() == 0) { r = gmalloc(s, 2); r[0] = 100; }
+  barrier(s);
+  r = globalid(s, 0, 0);
+  var x = 16;
+  while (x > 1) {
+    if (mod(x, 2) == 0) { x = x / 2; } else { x = x * 3 + 1; }
+  }
+  barrier(s);
+  return x;
+}
+|} );
+    ( "locked-accumulation",
+      {|
+func main() {
+  space s = newspace(SC);
+  region acc;
+  if (me() == 0) { acc = gmalloc(s, 1); acc[0] = 0; }
+  barrier(s);
+  acc = globalid(s, 0, 0);
+  var i = 0;
+  for (i = 0; i < 3; i += 1) {
+    lock(acc);
+    acc[0] = acc[0] + me() + 1;
+    unlock(acc);
+  }
+  barrier(s);
+  return acc[0];
+}
+|} );
+    ( "region-arrays-and-sqrt",
+      {|
+func main() {
+  space s = newspace(SC);
+  region rs[4];
+  var i = 0;
+  for (i = 0; i < 4; i += 1) {
+    rs[i] = gmalloc(s, 2);
+    rs[i][0] = (i + 1) * (i + 1);
+  }
+  barrier(s);
+  changeproto(s, DYN_UPDATE);
+  var total = 0;
+  for (i = 0; i < 4; i += 1) {
+    rs[i][1] = sqrt(rs[i][0]);
+    total = total + rs[i][1];
+  }
+  barrier(s);
+  return total;
+}
+|} );
+  ]
+
+let corpus_agrees_across_levels () =
+  let rt0 = Ace_runtime.Runtime.create ~nprocs:3 () in
+  Ace_protocols.Proto_lib.register_all rt0;
+  let registry = Ace_lang.Registry.of_runtime rt0 in
+  List.iter
+    (fun (name, src) ->
+      let results =
+        List.map
+          (fun level ->
+            let rt = Ace_runtime.Runtime.create ~nprocs:3 () in
+            Ace_protocols.Proto_lib.register_all rt;
+            let ir, _ = Ace_lang.Compile.compile ~registry ~level src in
+            Ace_lang.Interp.run_spmd rt ir)
+          [ Ace_lang.Opt.O0; Ace_lang.Opt.O1; Ace_lang.Opt.O2; Ace_lang.Opt.O3 ]
+      in
+      match results with
+      | base :: rest ->
+          List.iter
+            (fun r ->
+              if abs_float (r -. base) > 1e-9 then
+                Alcotest.failf "%s: %.9g <> %.9g across levels" name r base)
+            rest
+      | [] -> assert false)
+    corpus
+
+let corpus_optimization_never_slower () =
+  (* on this corpus the fully optimized code is never slower than base *)
+  let rt0 = Ace_runtime.Runtime.create ~nprocs:3 () in
+  Ace_protocols.Proto_lib.register_all rt0;
+  let registry = Ace_lang.Registry.of_runtime rt0 in
+  List.iter
+    (fun (name, src) ->
+      let time level =
+        let rt = Ace_runtime.Runtime.create ~nprocs:3 () in
+        Ace_protocols.Proto_lib.register_all rt;
+        let ir, _ = Ace_lang.Compile.compile ~registry ~level src in
+        ignore (Ace_lang.Interp.run_spmd rt ir);
+        Ace_runtime.Runtime.time_seconds rt
+      in
+      let base = time Ace_lang.Opt.O0 and opt = time Ace_lang.Opt.O3 in
+      if opt > base *. 1.01 then
+        Alcotest.failf "%s: O3 (%.6f) slower than O0 (%.6f)" name opt base)
+    corpus
+
+(* ---- water reference physics sanity ---- *)
+
+let water_positions_stay_in_box =
+  QCheck.Test.make ~name:"water positions remain inside the periodic box"
+    ~count:10
+    QCheck.(pair (int_range 4 32) small_int)
+    (fun (n_mol, seed) ->
+      let cfg =
+        { Ace_apps.Water.default.Ace_apps.Water.core with
+          Ace_apps.Water_core.n_mol; seed; steps = 4 }
+      in
+      let mols = Ace_apps.Water_core.reference cfg in
+      Array.for_all
+        (fun m ->
+          m.(0) >= 0. && m.(0) <= cfg.Ace_apps.Water_core.box
+          && m.(1) >= 0. && m.(1) <= cfg.Ace_apps.Water_core.box
+          && m.(2) >= 0. && m.(2) <= cfg.Ace_apps.Water_core.box)
+        mols)
+
+(* ---- barnes-hut tree structural invariants ---- *)
+
+let bh_tree_mass_conserved =
+  QCheck.Test.make ~name:"octree root mass = total body mass" ~count:20
+    QCheck.(pair (int_range 1 128) small_int)
+    (fun (n, seed) ->
+      let cfg = { Ace_apps.Barnes_hut.default with Ace_apps.Barnes_hut.n_bodies = n; seed } in
+      let px, py, pz, _, _, _, m = Ace_apps.Barnes_hut.init cfg in
+      let t = Ace_apps.Bh_tree.build ~px ~py ~pz ~m n in
+      let total = Array.fold_left ( +. ) 0. m in
+      (* coincident-body merging can drop mass only if two random points
+         collide, which the generator makes (measure-)impossible *)
+      abs_float (t.Ace_apps.Bh_tree.mass.(0) -. total) < 1e-9 *. (1. +. total))
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "numerics",
+        [
+          QCheck_alcotest.to_alcotest chol_residual_random;
+          QCheck_alcotest.to_alcotest tsp_optimal_random;
+          QCheck_alcotest.to_alcotest water_positions_stay_in_box;
+          QCheck_alcotest.to_alcotest bh_tree_mass_conserved;
+        ] );
+      ( "workloads",
+        [
+          QCheck_alcotest.to_alcotest em3d_graph_invariants;
+          Alcotest.test_case "em3d deterministic" `Quick
+            em3d_generation_deterministic;
+        ] );
+      ("collectives", [ QCheck_alcotest.to_alcotest collectives_correct ]);
+      ( "compiler-corpus",
+        [
+          Alcotest.test_case "levels agree" `Quick corpus_agrees_across_levels;
+          Alcotest.test_case "optimization never slower" `Quick
+            corpus_optimization_never_slower;
+        ] );
+    ]

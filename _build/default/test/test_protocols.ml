@@ -1,0 +1,323 @@
+(* Behavioural tests for the protocol library: each protocol preserves the
+   meaning of a properly-structured program and exhibits its characteristic
+   communication behaviour. *)
+
+module Runtime = Ace_runtime.Runtime
+module Ops = Ace_runtime.Ops
+module Protocol = Ace_runtime.Protocol
+module Store = Ace_region.Store
+module Stats = Ace_engine.Stats
+module Machine = Ace_engine.Machine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let make ?(spaces = 1) ~nprocs () =
+  let rt = Runtime.create ~nprocs () in
+  Ace_protocols.Proto_lib.register_all rt;
+  for _ = 1 to spaces do
+    ignore (Runtime.new_space rt "SC")
+  done;
+  rt
+
+(* producer-consumer: proc 0 writes its region each round; everyone reads
+   it after the barrier. Returns (all reads correct, stats, time). *)
+let producer_consumer ~proto ~nprocs ~rounds =
+  let rt = make ~nprocs () in
+  let ok = ref true in
+  Runtime.run rt (fun ctx ->
+      let me = Ops.me ctx in
+      if me = 0 then ignore (Ops.alloc ctx ~space:0 ~len:1);
+      Ops.barrier ctx ~space:0;
+      let h = Ops.map ctx (Ops.global_id ctx ~space:0 ~owner:0 ~seq:0) in
+      Ops.change_protocol ctx ~space:0 proto;
+      for round = 1 to rounds do
+        if me = 0 then begin
+          Ops.start_write ctx h;
+          (Ops.data ctx h).(0) <- float_of_int round;
+          Ops.end_write ctx h
+        end;
+        Ops.barrier ctx ~space:0;
+        Ops.start_read ctx h;
+        if (Ops.data ctx h).(0) <> float_of_int round then ok := false;
+        Ops.end_read ctx h;
+        Ops.barrier ctx ~space:0
+      done);
+  (!ok, Machine.stats (Runtime.machine rt), Runtime.time_seconds rt)
+
+let dyn_update_correct_and_pushes () =
+  let ok, stats, _ = producer_consumer ~proto:"DYN_UPDATE" ~nprocs:4 ~rounds:5 in
+  check "coherent" true ok;
+  check "pushes happened" true (Stats.get stats "coh.update_push" > 0.)
+
+let dyn_update_avoids_steady_state_misses () =
+  let _, stats, _ = producer_consumer ~proto:"DYN_UPDATE" ~nprocs:4 ~rounds:8 in
+  (* consumers miss only in round 1; afterwards pushes keep them warm *)
+  check "bounded misses" true (Stats.get stats "coh.read_miss" <= 4.)
+
+let static_update_correct () =
+  let ok, stats, _ =
+    producer_consumer ~proto:"STATIC_UPDATE" ~nprocs:4 ~rounds:8
+  in
+  check "coherent" true ok;
+  check "static pushes happened" true (Stats.get stats "coh.static_push" > 0.)
+
+let static_update_learns_consumers () =
+  (* after the two-barrier learning window, reads never miss *)
+  let _, stats, _ =
+    producer_consumer ~proto:"STATIC_UPDATE" ~nprocs:6 ~rounds:10
+  in
+  (* 5 consumers can miss during the first two rounds only *)
+  check "misses bounded by learning window" true
+    (Stats.get stats "coh.read_miss" <= 10.)
+
+let static_update_faster_than_sc_for_producer_consumer () =
+  let _, _, t_sc = producer_consumer ~proto:"SC" ~nprocs:8 ~rounds:10 in
+  let _, _, t_st =
+    producer_consumer ~proto:"STATIC_UPDATE" ~nprocs:8 ~rounds:10
+  in
+  check "static update wins" true (t_st < t_sc)
+
+let migratory_moves_ownership () =
+  let rt = make ~nprocs:4 () in
+  let ok = ref true in
+  Runtime.run rt (fun ctx ->
+      let me = Ops.me ctx in
+      if me = 0 then ignore (Ops.alloc ctx ~space:0 ~len:1);
+      Ops.barrier ctx ~space:0;
+      let h = Ops.map ctx (Ops.global_id ctx ~space:0 ~owner:0 ~seq:0) in
+      Ops.change_protocol ctx ~space:0 "MIGRATORY";
+      (* token passing: proc k adds 1 in round k *)
+      for round = 0 to 3 do
+        if me = round then begin
+          Ops.start_write ctx h;
+          (Ops.data ctx h).(0) <- (Ops.data ctx h).(0) +. 1.;
+          Ops.end_write ctx h
+        end;
+        Ops.barrier ctx ~space:0
+      done;
+      Ops.start_read ctx h;
+      if (Ops.data ctx h).(0) <> 4. then ok := false;
+      Ops.end_read ctx h);
+  check "token accumulated" true !ok
+
+let write_once_owner_writes () =
+  let rt = make ~nprocs:4 () in
+  let ok = ref true in
+  Runtime.run rt (fun ctx ->
+      let me = Ops.me ctx in
+      let mine = Ops.alloc ctx ~space:0 ~len:2 in
+      Ops.barrier ctx ~space:0;
+      Ops.change_protocol ctx ~space:0 "WRITE_ONCE";
+      Ops.start_write ctx mine;
+      (Ops.data ctx mine).(0) <- float_of_int (me * 7);
+      Ops.end_write ctx mine;
+      Ops.barrier ctx ~space:0;
+      for o = 0 to 3 do
+        let h = Ops.map ctx (Ops.global_id ctx ~space:0 ~owner:o ~seq:0) in
+        Ops.start_read ctx h;
+        if (Ops.data ctx h).(0) <> float_of_int (o * 7) then ok := false;
+        Ops.end_read ctx h
+      done);
+  check "published after final write" true !ok
+
+let counter_unique_tickets () =
+  let rt = make ~nprocs:8 () in
+  let tickets = Hashtbl.create 64 in
+  Runtime.run rt (fun ctx ->
+      if Ops.me ctx = 0 then ignore (Ops.alloc ctx ~space:0 ~len:1);
+      Ops.barrier ctx ~space:0;
+      let h = Ops.map ctx (Ops.global_id ctx ~space:0 ~owner:0 ~seq:0) in
+      Ops.change_protocol ctx ~space:0 "COUNTER";
+      for _ = 1 to 10 do
+        Ops.start_write ctx h;
+        let v = (Ops.data ctx h).(0) in
+        (Ops.data ctx h).(0) <- v +. 1.;
+        Ops.end_write ctx h;
+        assert (not (Hashtbl.mem tickets v));
+        Hashtbl.add tickets v ()
+      done;
+      Ops.barrier ctx ~space:0);
+  check_int "80 unique tickets" 80 (Hashtbl.length tickets)
+
+let counter_faster_than_sc_under_contention () =
+  let grab proto =
+    let rt = make ~nprocs:16 () in
+    Runtime.run rt (fun ctx ->
+        if Ops.me ctx = 0 then ignore (Ops.alloc ctx ~space:0 ~len:1);
+        Ops.barrier ctx ~space:0;
+        let h = Ops.map ctx (Ops.global_id ctx ~space:0 ~owner:0 ~seq:0) in
+        Ops.change_protocol ctx ~space:0 proto;
+        for _ = 1 to 20 do
+          Ops.start_write ctx h;
+          (Ops.data ctx h).(0) <- (Ops.data ctx h).(0) +. 1.;
+          Ops.end_write ctx h
+        done;
+        Ops.barrier ctx ~space:0);
+    Runtime.time_seconds rt
+  in
+  check "fetch-and-add wins" true (grab "COUNTER" < grab "SC")
+
+let pipeline_accumulation_correct () =
+  let rt = make ~nprocs:6 () in
+  let total = ref 0. in
+  Runtime.run rt (fun ctx ->
+      let me = Ops.me ctx in
+      if me = 0 then ignore (Ops.alloc ctx ~space:0 ~len:1);
+      Ops.barrier ctx ~space:0;
+      let h = Ops.map ctx (Ops.global_id ctx ~space:0 ~owner:0 ~seq:0) in
+      Ops.change_protocol ctx ~space:0 "PIPELINE";
+      for _ = 1 to 10 do
+        Ops.lock ctx h;
+        Ops.start_write ctx h;
+        (Ops.data ctx h).(0) <- (Ops.data ctx h).(0) +. 1.;
+        Ops.end_write ctx h;
+        Ops.unlock ctx h
+      done;
+      Ops.barrier ctx ~space:0;
+      Ops.start_read ctx h;
+      let v = (Ops.data ctx h).(0) in
+      Ops.end_read ctx h;
+      if me = 3 then total := v);
+  check "no lost updates" true (!total = 60.)
+
+let null_protocol_local_phase () =
+  let rt = make ~nprocs:4 () in
+  let ok = ref true in
+  Runtime.run rt (fun ctx ->
+      let me = Ops.me ctx in
+      let mine = Ops.alloc ctx ~space:0 ~len:1 in
+      Ops.barrier ctx ~space:0;
+      Ops.change_protocol ctx ~space:0 "NULL";
+      for _ = 1 to 50 do
+        Ops.start_write ctx mine;
+        (Ops.data ctx mine).(0) <- (Ops.data ctx mine).(0) +. 1.;
+        Ops.end_write ctx mine
+      done;
+      Ops.change_protocol ctx ~space:0 "SC";
+      for o = 0 to 3 do
+        let h = Ops.map ctx (Ops.global_id ctx ~space:0 ~owner:o ~seq:0) in
+        Ops.start_read ctx h;
+        if (Ops.data ctx h).(0) <> 50. then ok := false;
+        Ops.end_read ctx h
+      done;
+      ignore me);
+  check "local results published on change" true !ok
+
+let race_checker_flags_race () =
+  let rt = make ~nprocs:2 () in
+  Runtime.run rt (fun ctx ->
+      let me = Ops.me ctx in
+      if me = 0 then ignore (Ops.alloc ctx ~space:0 ~len:1);
+      Ops.barrier ctx ~space:0;
+      let h = Ops.map ctx (Ops.global_id ctx ~space:0 ~owner:0 ~seq:0) in
+      Ops.change_protocol ctx ~space:0 "RACE_CHECK";
+      (* unsynchronized conflicting accesses *)
+      if me = 0 then begin
+        Ops.start_write ctx h;
+        (Ops.data ctx h).(0) <- 1.;
+        Ops.end_write ctx h
+      end
+      else begin
+        Ops.start_read ctx h;
+        ignore (Ops.data ctx h).(0);
+        Ops.end_read ctx h
+      end;
+      Ops.barrier ctx ~space:0);
+  let reports = Ace_protocols.Proto_race_check.reports (Runtime.space rt 0) in
+  check "race reported" true (List.length reports >= 1)
+
+let race_checker_silent_when_locked () =
+  let rt = make ~nprocs:2 () in
+  Runtime.run rt (fun ctx ->
+      let me = Ops.me ctx in
+      if me = 0 then ignore (Ops.alloc ctx ~space:0 ~len:1);
+      Ops.barrier ctx ~space:0;
+      let h = Ops.map ctx (Ops.global_id ctx ~space:0 ~owner:0 ~seq:0) in
+      Ops.change_protocol ctx ~space:0 "RACE_CHECK";
+      Ops.lock ctx h;
+      Ops.start_write ctx h;
+      (Ops.data ctx h).(0) <- (Ops.data ctx h).(0) +. 1.;
+      Ops.end_write ctx h;
+      Ops.unlock ctx h;
+      Ops.barrier ctx ~space:0);
+  let reports = Ace_protocols.Proto_race_check.reports (Runtime.space rt 0) in
+  check_int "no reports" 0 (List.length reports)
+
+let race_checker_silent_across_barriers () =
+  let rt = make ~nprocs:2 () in
+  Runtime.run rt (fun ctx ->
+      let me = Ops.me ctx in
+      if me = 0 then ignore (Ops.alloc ctx ~space:0 ~len:1);
+      Ops.barrier ctx ~space:0;
+      let h = Ops.map ctx (Ops.global_id ctx ~space:0 ~owner:0 ~seq:0) in
+      Ops.change_protocol ctx ~space:0 "RACE_CHECK";
+      if me = 0 then begin
+        Ops.start_write ctx h;
+        (Ops.data ctx h).(0) <- 1.;
+        Ops.end_write ctx h
+      end;
+      Ops.barrier ctx ~space:0;
+      if me = 1 then begin
+        Ops.start_read ctx h;
+        ignore (Ops.data ctx h).(0);
+        Ops.end_read ctx h
+      end;
+      Ops.barrier ctx ~space:0);
+  let reports = Ace_protocols.Proto_race_check.reports (Runtime.space rt 0) in
+  check_int "barrier-separated accesses are not racy" 0 (List.length reports)
+
+(* Every protocol must preserve the producer-consumer program. *)
+let all_protocols_preserve_meaning () =
+  List.iter
+    (fun proto ->
+      let ok, _, _ = producer_consumer ~proto ~nprocs:4 ~rounds:5 in
+      check (proto ^ " coherent") true ok)
+    [ "SC"; "DYN_UPDATE"; "STATIC_UPDATE"; "MIGRATORY"; "RACE_CHECK" ]
+
+let () =
+  Alcotest.run "protocols"
+    [
+      ( "dyn_update",
+        [
+          Alcotest.test_case "correct + pushes" `Quick dyn_update_correct_and_pushes;
+          Alcotest.test_case "few steady-state misses" `Quick
+            dyn_update_avoids_steady_state_misses;
+        ] );
+      ( "static_update",
+        [
+          Alcotest.test_case "correct" `Quick static_update_correct;
+          Alcotest.test_case "learning bounds misses" `Quick
+            static_update_learns_consumers;
+          Alcotest.test_case "beats SC" `Quick
+            static_update_faster_than_sc_for_producer_consumer;
+        ] );
+      ( "migratory",
+        [ Alcotest.test_case "token passing" `Quick migratory_moves_ownership ] );
+      ( "write_once",
+        [ Alcotest.test_case "owner writes" `Quick write_once_owner_writes ] );
+      ( "counter",
+        [
+          Alcotest.test_case "unique tickets" `Quick counter_unique_tickets;
+          Alcotest.test_case "beats SC under contention" `Quick
+            counter_faster_than_sc_under_contention;
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "no lost updates" `Quick pipeline_accumulation_correct ]
+      );
+      ( "null",
+        [ Alcotest.test_case "local phase" `Quick null_protocol_local_phase ] );
+      ( "race_check",
+        [
+          Alcotest.test_case "flags race" `Quick race_checker_flags_race;
+          Alcotest.test_case "silent when locked" `Quick
+            race_checker_silent_when_locked;
+          Alcotest.test_case "silent across barriers" `Quick
+            race_checker_silent_across_barriers;
+        ] );
+      ( "universal",
+        [
+          Alcotest.test_case "all preserve meaning" `Quick
+            all_protocols_preserve_meaning;
+        ] );
+    ]
