@@ -9,22 +9,90 @@
    Times are simulated seconds on the modelled 32-node CM-5 (deterministic;
    absolute values depend on the cost model, shapes are the reproduction
    target — see EXPERIMENTS.md). Run with no arguments for everything
-   except micro. *)
+   except micro.
+
+   Options:
+     --small       8 procs instead of 32 (quick smoke run)
+     --jobs N      worker domains for the experiment grid (default:
+                   ACE_JOBS or the domain count; results are identical
+                   for any N)
+     --json FILE   also write per-experiment wall-clock and simulated
+                   seconds as JSON (micro excluded: it has no simulated
+                   time) *)
 
 module E = Ace_harness.Experiments
 module T4 = Ace_harness.Table4
+module Pool = Ace_harness.Pool
 
 let scale = ref { E.nprocs = 32; factor = 1 }
+let jobs : int option ref = ref None
+let json_path : string option ref = ref None
 
 let line () = print_endline (String.make 72 '=')
+
+(* ---- JSON report accumulator (hand-rolled; no JSON dep in the image) ---- *)
+
+let json_rows : string list ref = ref []
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* %.17g round-trips doubles exactly, so the JSON carries the same
+   simulated values the determinism tests compare. *)
+let record ~experiment ~name ~wall sims =
+  let sim_fields =
+    List.map
+      (fun (k, v) -> Printf.sprintf "\"%s\": %.17g" (json_escape k) v)
+      sims
+  in
+  json_rows :=
+    Printf.sprintf
+      "    {\"experiment\": \"%s\", \"name\": \"%s\", \"wall_s\": %.6f, \"sim_s\": {%s}}"
+      (json_escape experiment) (json_escape name) wall
+      (String.concat ", " sim_fields)
+    :: !json_rows
+
+let write_json path ~total_wall =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"ace-bench-v1\",\n\
+    \  \"nprocs\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"total_wall_s\": %.6f,\n\
+    \  \"rows\": [\n%s\n  ]\n}\n"
+    !scale.E.nprocs
+    (match !jobs with Some j -> j | None -> Pool.default_jobs ())
+    total_wall
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* ---- figures and tables ---- *)
 
 let fig7a () =
   line ();
   Printf.printf "Figure 7a: Ace runtime system versus CRL (SC protocol, %d procs)\n"
     !scale.E.nprocs;
   line ();
-  let rows = E.fig7a ~scale:!scale () in
+  let rows = E.fig7a ~scale:!scale ?jobs:!jobs () in
   E.print_rows ~left:"CRL" ~right:"Ace" rows;
+  List.iter
+    (fun r ->
+      record ~experiment:"fig7a" ~name:r.E.name ~wall:r.E.wall
+        [ ("baseline", r.E.baseline); ("ace", r.E.ace) ])
+    rows;
   print_newline ()
 
 let fig7b () =
@@ -33,8 +101,13 @@ let fig7b () =
     "Figure 7b: single (SC) protocol vs application-specific protocols (%d procs)\n"
     !scale.E.nprocs;
   line ();
-  let rows = E.fig7b ~scale:!scale () in
+  let rows = E.fig7b ~scale:!scale ?jobs:!jobs () in
   E.print_rows ~left:"SC" ~right:"custom" rows;
+  List.iter
+    (fun r ->
+      record ~experiment:"fig7b" ~name:r.E.name ~wall:r.E.wall
+        [ ("baseline", r.E.baseline); ("ace", r.E.ace) ])
+    rows;
   let avg =
     List.fold_left (fun a r -> a +. E.speedup r) 0. rows
     /. float_of_int (List.length rows)
@@ -47,16 +120,34 @@ let table4 () =
     "Table 4: effects of compiler optimizations (simulated seconds, %d procs)\n"
     !scale.E.nprocs;
   line ();
-  T4.print_rows (T4.table4 ~nprocs:!scale.E.nprocs ());
+  let rows = T4.table4 ~nprocs:!scale.E.nprocs ?jobs:!jobs () in
+  T4.print_rows rows;
+  List.iter
+    (fun r ->
+      record ~experiment:"table4" ~name:r.T4.name ~wall:r.T4.wall
+        [
+          ("base", r.T4.base);
+          ("li", r.T4.li);
+          ("li_mc", r.T4.li_mc);
+          ("li_mc_dc", r.T4.li_mc_dc);
+          ("hand", r.T4.hand);
+        ])
+    rows;
   print_newline ()
 
-(* ---- ablations (DESIGN.md section 5) ---- *)
+(* ---- ablations (DESIGN.md section 5) ----
 
-let ablation_mapping () =
-  (* the "more efficient mapping technique": rerun EM3D with Ace's map and
-     miss costs degraded to CRL's *)
+   Each ablation compares two independent simulations, so all six cells go
+   through the same domain pool as the figures; printing order is fixed. *)
+
+let ablation () =
+  line ();
+  print_endline "Ablations (DESIGN.md section 5)";
+  line ();
   let nprocs = !scale.E.nprocs in
-  let run cost =
+  (* mapping: the "more efficient mapping technique" — rerun EM3D with
+     Ace's map and miss costs degraded to CRL's *)
+  let run_mapping cost =
     let rt = Ace_runtime.Runtime.create ~cost ~nprocs () in
     Ace_protocols.Proto_lib.register_all rt;
     for _ = 1 to Ace_apps.Em3d.n_spaces do
@@ -67,29 +158,21 @@ let ablation_mapping () =
     Ace_runtime.Runtime.run rt (fun ctx -> ignore (A.run cfg ctx));
     Ace_runtime.Runtime.time_seconds rt
   in
-  let fast = run Ace_net.Cost_model.cm5_ace in
-  let slow =
-    run
-      {
-        Ace_net.Cost_model.cm5_ace with
-        Ace_net.Cost_model.map_hit =
-          Ace_net.Cost_model.cm5_crl.Ace_net.Cost_model.map_hit;
-        miss_overhead =
-          Ace_net.Cost_model.cm5_crl.Ace_net.Cost_model.miss_overhead;
-      }
+  let crl_costs =
+    {
+      Ace_net.Cost_model.cm5_ace with
+      Ace_net.Cost_model.map_hit =
+        Ace_net.Cost_model.cm5_crl.Ace_net.Cost_model.map_hit;
+      miss_overhead =
+        Ace_net.Cost_model.cm5_crl.Ace_net.Cost_model.miss_overhead;
+    }
   in
-  Printf.printf
-    "mapping + lean protocol (EM3D): ace=%.6fs, ace-with-CRL-costs=%.6fs (%.2fx)\n"
-    fast slow (slow /. fast)
-
-let ablation_granularity () =
-  (* user-specified granularity (§2.3): each processor repeatedly writes
-     one logical datum. With one datum per region the writes are
-     processor-local; with eight data packed into one fixed "cache line"
-     region, eight writers false-share the coherence unit and it
-     ping-pongs exclusively between them. *)
-  let nprocs = !scale.E.nprocs in
-  let run ~packed =
+  (* granularity: user-specified granularity (§2.3): each processor
+     repeatedly writes one logical datum. With one datum per region the
+     writes are processor-local; with eight data packed into one fixed
+     "cache line" region, eight writers false-share the coherence unit and
+     it ping-pongs exclusively between them. *)
+  let run_granularity ~packed =
     let rt = Ace_runtime.Runtime.create ~nprocs () in
     Ace_protocols.Proto_lib.register_all rt;
     ignore (Ace_runtime.Runtime.new_space rt "SC");
@@ -121,16 +204,9 @@ let ablation_granularity () =
         barrier ctx ~space:0);
     Ace_runtime.Runtime.time_seconds rt
   in
-  let fine = run ~packed:false and packed = run ~packed:true in
-  Printf.printf
-    "granularity (40 writes/proc): per-datum regions=%.6fs, 8 writers per packed region=%.6fs (%.1fx false-sharing penalty)\n"
-    fine packed (packed /. fine)
-
-let ablation_learning_window () =
-  (* static update amortization: the learning iterations dominate short
-     runs and vanish in long ones *)
-  let nprocs = !scale.E.nprocs in
-  let run steps =
+  (* learning window: static update amortization — the learning iterations
+     dominate short runs and vanish in long ones *)
+  let run_learning steps =
     let rt = Ace_runtime.Runtime.create ~nprocs () in
     Ace_protocols.Proto_lib.register_all rt;
     for _ = 1 to Ace_apps.Em3d.n_spaces do
@@ -147,18 +223,33 @@ let ablation_learning_window () =
     Ace_runtime.Runtime.run rt (fun ctx -> ignore (A.run cfg ctx));
     Ace_runtime.Runtime.time_seconds rt
   in
-  let short = run 3 and long = run 12 in
+  let cells =
+    [|
+      Pool.timed (fun () -> run_mapping Ace_net.Cost_model.cm5_ace);
+      Pool.timed (fun () -> run_mapping crl_costs);
+      Pool.timed (fun () -> run_granularity ~packed:false);
+      Pool.timed (fun () -> run_granularity ~packed:true);
+      Pool.timed (fun () -> run_learning 3);
+      Pool.timed (fun () -> run_learning 12);
+    |]
+  in
+  let out = Pool.run_all ?jobs:!jobs cells in
+  let v i = fst out.(i) and w i = snd out.(i) in
+  Printf.printf
+    "mapping + lean protocol (EM3D): ace=%.6fs, ace-with-CRL-costs=%.6fs (%.2fx)\n"
+    (v 0) (v 1) (v 1 /. v 0);
+  record ~experiment:"ablation" ~name:"mapping" ~wall:(w 0 +. w 1)
+    [ ("ace", v 0); ("ace_with_crl_costs", v 1) ];
+  Printf.printf
+    "granularity (40 writes/proc): per-datum regions=%.6fs, 8 writers per packed region=%.6fs (%.1fx false-sharing penalty)\n"
+    (v 2) (v 3) (v 3 /. v 2);
+  record ~experiment:"ablation" ~name:"granularity" ~wall:(w 2 +. w 3)
+    [ ("per_datum", v 2); ("packed", v 3) ];
   Printf.printf
     "static-update amortization (EM3D): %.6fs/step at 3 steps vs %.6fs/step at 12\n"
-    (short /. 3.) (long /. 12.)
-
-let ablation () =
-  line ();
-  print_endline "Ablations (DESIGN.md section 5)";
-  line ();
-  ablation_mapping ();
-  ablation_granularity ();
-  ablation_learning_window ();
+    (v 4 /. 3.) (v 5 /. 12.);
+  record ~experiment:"ablation" ~name:"learning_window" ~wall:(w 4 +. w 5)
+    [ ("per_step_3", v 4 /. 3.); ("per_step_12", v 5 /. 12.) ];
   print_newline ()
 
 (* ---- bechamel microbenchmarks (wall-clock cost of the simulator) ---- *)
@@ -218,31 +309,63 @@ let micro () =
   line ();
   print_endline "Bechamel microbenchmarks (host wall-clock per simulated run)";
   line ();
-  Hashtbl.iter
-    (fun name ols ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
-      | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
-    results;
+  (* Hashtbl.iter order varies run to run; sort by name for stable output *)
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
+         | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name);
   print_newline ()
+
+let usage () =
+  Printf.eprintf
+    "usage: main [fig7a] [fig7b] [table4] [ablation] [micro] [--small] [--jobs N] [--json FILE]\n";
+  exit 2
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let flags, selections = List.partition (fun a -> a = "--small") args in
-  if flags <> [] then scale := { E.nprocs = 8; factor = 1 };
-  List.iter
-    (fun a ->
-      match a with
-      | "fig7a" | "fig7b" | "table4" | "ablation" | "micro" -> ()
-      | other ->
-          Printf.eprintf
-            "unknown argument %s (expected: fig7a fig7b table4 ablation micro [--small])\n"
-            other;
-          exit 2)
-    selections;
+  let rec parse = function
+    | [] -> []
+    | "--small" :: rest ->
+        scale := { E.nprocs = 8; factor = 1 };
+        parse rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j > 0 ->
+            jobs := Some j;
+            parse rest
+        | Some _ | None ->
+            Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+            exit 2)
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | [ (("--jobs" | "--json") as flag) ] ->
+        Printf.eprintf "missing argument to %s\n" flag;
+        usage ()
+    | (("fig7a" | "fig7b" | "table4" | "ablation" | "micro") as s) :: rest ->
+        s :: parse rest
+    | other :: _ ->
+        Printf.eprintf "unknown argument %s\n" other;
+        usage ()
+  in
+  let selections = parse args in
+  (* fail fast on an unwritable report path rather than after the run *)
+  (match !json_path with
+  | Some p -> (
+      try close_out (open_out_gen [ Open_append; Open_creat ] 0o644 p)
+      with Sys_error m ->
+        Printf.eprintf "cannot write --json file: %s\n" m;
+        exit 2)
+  | None -> ());
   let wants s = selections = [] || List.mem s selections in
+  let t0 = Unix.gettimeofday () in
   if wants "fig7a" then fig7a ();
   if wants "fig7b" then fig7b ();
   if wants "table4" then table4 ();
   if wants "ablation" then ablation ();
-  if List.mem "micro" selections then micro ()
+  if List.mem "micro" selections then micro ();
+  match !json_path with
+  | Some path -> write_json path ~total_wall:(Unix.gettimeofday () -. t0)
+  | None -> ()

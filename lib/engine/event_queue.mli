@@ -1,7 +1,9 @@
 (** A deterministic priority queue of timestamped thunks.
 
     Events are ordered by timestamp; ties are broken by insertion order, so a
-    simulation run is bit-reproducible. *)
+    simulation run is bit-reproducible. Implemented as a 4-ary implicit heap
+    over parallel arrays; the pop path is exceptionless and allocation-free
+    (results land in per-queue slots rather than an option). *)
 
 type t
 
@@ -11,8 +13,22 @@ val create : unit -> t
     Raises [Invalid_argument] if [time] is negative or not finite. *)
 val push : t -> time:float -> (unit -> unit) -> unit
 
-(** [pop t] removes and returns the earliest event, or [None] if empty. *)
-val pop : t -> (float * (unit -> unit)) option
+(** [pop_min t] removes the earliest event and stores it in the slots read
+    by {!popped_time} and {!popped_thunk}, returning [true]; returns [false]
+    (touching nothing) if the queue is empty. Allocation-free. *)
+val pop_min : t -> bool
+
+(** Timestamp of the event most recently removed by {!pop_min}.
+    Meaningless before the first successful [pop_min]. *)
+val popped_time : t -> float
+
+(** Thunk of the event most recently removed by {!pop_min}. *)
+val popped_thunk : t -> unit -> unit
+
+(** [drain t f] pops every event in order, calling [f time thunk] for each.
+    [f] may push further events; draining continues until the queue is
+    empty. *)
+val drain : t -> (float -> (unit -> unit) -> unit) -> unit
 
 val is_empty : t -> bool
 val length : t -> int

@@ -66,24 +66,20 @@ let run t program =
       Event_queue.push t.events ~time:p.clock (fun () ->
           spawn_fiber t (fun () -> program p)))
     procs;
-  let rec loop () =
-    match Event_queue.pop t.events with
-    | Some (time, thunk) ->
-        if time > t.max_clock then t.max_clock <- time;
-        thunk ();
-        loop ()
-    | None ->
-        if t.live > 0 then
-          failwith
-            (Printf.sprintf "Machine.run: deadlock (%d fibers blocked forever)" t.live)
-  in
-  loop ();
+  Event_queue.drain t.events (fun time thunk ->
+      if time > t.max_clock then t.max_clock <- time;
+      thunk ());
+  if t.live > 0 then
+    failwith
+      (Printf.sprintf "Machine.run: deadlock (%d fibers blocked forever)" t.live);
   Array.iter (fun p -> if p.clock > t.max_clock then t.max_clock <- p.clock) procs
 
 let time t = t.max_clock
 let seconds t ~cycles_per_sec = t.max_clock /. cycles_per_sec
 
 module Barrier = struct
+  let sid_arrivals = Stats.intern "barrier.arrivals"
+
   type b = {
     owner : t;
     cost : int -> float;
@@ -111,5 +107,5 @@ module Barrier = struct
       Ivar.fill gen ~time:release ()
     end;
     await p gen;
-    Stats.incr t.stats "barrier.arrivals"
+    Stats.incr_id t.stats sid_arrivals
 end

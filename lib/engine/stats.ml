@@ -1,19 +1,66 @@
-type t = (string, float ref) Hashtbl.t
+(* Counter names are static program text (a handful of sites name them at
+   module initialization), while counter values are bumped once per
+   simulated message. So names are interned once into dense global ids and
+   a stats instance is just a float array indexed by id: the per-message
+   hot path is an array load/store, not a string hash plus bucket walk.
 
-let create () : t = Hashtbl.create 32
+   The intern table is global and mutex-protected so simulations running on
+   parallel domains can share it; each [t] (the values) belongs to a single
+   simulation and is never shared across domains. *)
 
-let add t name v =
-  match Hashtbl.find_opt t name with
-  | Some r -> r := !r +. v
-  | None -> Hashtbl.add t name (ref v)
+type id = int
 
+let mutex = Mutex.create ()
+let table : (string, int) Hashtbl.t = Hashtbl.create 64
+let names = ref ([||] : string array)
+let n_ids = ref 0
+
+let intern name =
+  Mutex.protect mutex (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some sid -> sid
+      | None ->
+          let sid = !n_ids in
+          if sid = Array.length !names then begin
+            let a = Array.make (max 16 (2 * sid)) "" in
+            Array.blit !names 0 a 0 sid;
+            names := a
+          end;
+          !names.(sid) <- name;
+          incr n_ids;
+          Hashtbl.add table name sid;
+          sid)
+
+type t = { mutable slots : float array }
+
+let create () = { slots = Array.make (max 16 !n_ids) 0. }
+
+let ensure t sid =
+  if sid >= Array.length t.slots then begin
+    let a = Array.make (max (sid + 1) (2 * Array.length t.slots)) 0. in
+    Array.blit t.slots 0 a 0 (Array.length t.slots);
+    t.slots <- a
+  end
+
+let add_id t sid v =
+  if sid >= Array.length t.slots then ensure t sid;
+  t.slots.(sid) <- t.slots.(sid) +. v
+
+let incr_id t sid = add_id t sid 1.
+let get_id t sid = if sid < Array.length t.slots then t.slots.(sid) else 0.
+let add t name v = add_id t (intern name) v
 let incr t name = add t name 1.
-let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0.
-let reset t = Hashtbl.reset t
+let get t name = get_id t (intern name)
+let reset t = Array.fill t.slots 0 (Array.length t.slots) 0.
 
 let to_list t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let snapshot = Mutex.protect mutex (fun () -> Array.sub !names 0 !n_ids) in
+  let acc = ref [] in
+  for sid = Array.length snapshot - 1 downto 0 do
+    let v = get_id t sid in
+    if v <> 0. then acc := (snapshot.(sid), v) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
 let pp ppf t =
   List.iter (fun (k, v) -> Format.fprintf ppf "%-32s %.0f@." k v) (to_list t)

@@ -1,14 +1,29 @@
-(** Named counters accumulated during a simulation run. *)
+(** Named counters accumulated during a simulation run.
+
+    Names are interned to dense integer slots; hot callers intern once at
+    module initialization and bump counters by id, which costs an array
+    load/store per event instead of a string-keyed hash lookup. The string
+    API remains for tests and one-off queries. *)
 
 type t
 
+(** A counter's interned slot. Interning is global (shared by all stats
+    instances and all domains) and thread-safe. *)
+type id
+
+val intern : string -> id
+
 val create : unit -> t
+val add_id : t -> id -> float -> unit
+val incr_id : t -> id -> unit
+val get_id : t -> id -> float
+
 val add : t -> string -> float -> unit
 val incr : t -> string -> unit
 val get : t -> string -> float
 val reset : t -> unit
 
-(** All counters, sorted by name. *)
+(** All counters with a nonzero value, sorted by name. *)
 val to_list : t -> (string * float) list
 
 val pp : Format.formatter -> t -> unit

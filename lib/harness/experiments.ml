@@ -60,186 +60,158 @@ type row = {
   base_result : float;
   ace_result : float;
   per_iteration : bool;
+  wall : float; (* host seconds spent simulating this row *)
 }
 
 let speedup r = r.baseline /. r.ace
 
+(* A figure is assembled from independent cells — one per (row, system)
+   pair, each a closed thunk running its own simulations — so the pool can
+   execute them on parallel domains. Results are gathered positionally;
+   simulated seconds are bit-identical to a serial (jobs = 1) run. *)
+type spec = {
+  sname : string;
+  sper_iteration : bool;
+  sbase : unit -> Driver.outcome;
+  sace : unit -> Driver.outcome;
+}
+
+let collect ?jobs (specs : spec array) =
+  let cells =
+    Array.init
+      (2 * Array.length specs)
+      (fun i ->
+        let s = specs.(i / 2) in
+        Pool.timed (if i mod 2 = 0 then s.sbase else s.sace))
+  in
+  let out = Pool.run_all ?jobs cells in
+  Array.to_list
+    (Array.mapi
+       (fun i s ->
+         let b, wall_b = out.(2 * i) in
+         let a, wall_a = out.((2 * i) + 1) in
+         {
+           name = s.sname;
+           baseline = b.Driver.seconds;
+           ace = a.Driver.seconds;
+           base_result = b.Driver.result;
+           ace_result = a.Driver.result;
+           per_iteration = s.sper_iteration;
+           wall = wall_b +. wall_a;
+         })
+       specs)
+
 (* Fig. 7a: Ace runtime vs CRL, both under the SC invalidation protocol. *)
-let fig7a ?(scale = default_scale) () =
+let fig7a ?(scale = default_scale) ?jobs () =
   let iters = 4 in
-  let em3d =
-    let run sys steps =
-      let cfg = em3d_cfg scale steps in
-      match sys with
-      | `Crl -> Driver.run_crl ~nprocs:scale.nprocs (module Em3d) cfg
-      | `Ace -> Driver.run_ace ~nprocs:scale.nprocs (module Em3d) cfg
-    in
-    let c = Driver.per_iteration ~run_with_steps:(run `Crl) ~iters in
-    let a = Driver.per_iteration ~run_with_steps:(run `Ace) ~iters in
-    {
-      name = "EM3D";
-      baseline = c.Driver.seconds;
-      ace = a.Driver.seconds;
-      base_result = c.Driver.result;
-      ace_result = a.Driver.result;
-      per_iteration = true;
-    }
-  in
-  let bh =
-    let run sys steps =
-      let cfg = bh_cfg scale steps in
-      match sys with
-      | `Crl -> Driver.run_crl ~nprocs:scale.nprocs (module Barnes_hut) cfg
-      | `Ace -> Driver.run_ace ~nprocs:scale.nprocs (module Barnes_hut) cfg
-    in
-    let c = Driver.per_iteration ~run_with_steps:(run `Crl) ~iters in
-    let a = Driver.per_iteration ~run_with_steps:(run `Ace) ~iters in
-    {
-      name = "Barnes-Hut";
-      baseline = c.Driver.seconds;
-      ace = a.Driver.seconds;
-      base_result = c.Driver.result;
-      ace_result = a.Driver.result;
-      per_iteration = true;
-    }
-  in
-  let water =
-    let run sys steps =
-      let cfg = water_cfg scale steps in
-      match sys with
-      | `Crl -> Driver.run_crl ~nprocs:scale.nprocs (module Water) cfg
-      | `Ace -> Driver.run_ace ~nprocs:scale.nprocs (module Water) cfg
-    in
-    let c = Driver.per_iteration ~run_with_steps:(run `Crl) ~iters in
-    let a = Driver.per_iteration ~run_with_steps:(run `Ace) ~iters in
-    {
-      name = "Water";
-      baseline = c.Driver.seconds;
-      ace = a.Driver.seconds;
-      base_result = c.Driver.result;
-      ace_result = a.Driver.result;
-      per_iteration = true;
-    }
-  in
-  let bsc =
-    let cfg = bsc_cfg scale in
-    let c = Driver.run_crl ~nprocs:scale.nprocs (module Cholesky) cfg in
-    let a = Driver.run_ace ~nprocs:scale.nprocs (module Cholesky) cfg in
-    {
-      name = "BSC";
-      baseline = c.Driver.seconds;
-      ace = a.Driver.seconds;
-      base_result = c.Driver.result;
-      ace_result = a.Driver.result;
-      per_iteration = false;
-    }
-  in
-  let tsp =
-    let ct, cr = tsp_avg (Driver.run_crl ~nprocs:scale.nprocs (module Tsp)) in
-    let at, ar = tsp_avg (Driver.run_ace ~nprocs:scale.nprocs (module Tsp)) in
-    {
-      name = "TSP";
-      baseline = ct;
-      ace = at;
-      base_result = cr;
-      ace_result = ar;
-      per_iteration = false;
-    }
-  in
-  [ bh; bsc; em3d; tsp; water ]
+  let nprocs = scale.nprocs in
+  let pi run = Driver.per_iteration ~run_with_steps:run ~iters in
+  let avg run = let t, r = tsp_avg run in { Driver.seconds = t; result = r } in
+  collect ?jobs
+    [|
+      {
+        sname = "Barnes-Hut";
+        sper_iteration = true;
+        sbase =
+          (fun () ->
+            pi (fun steps -> Driver.run_crl ~nprocs (module Barnes_hut) (bh_cfg scale steps)));
+        sace =
+          (fun () ->
+            pi (fun steps -> Driver.run_ace ~nprocs (module Barnes_hut) (bh_cfg scale steps)));
+      };
+      {
+        sname = "BSC";
+        sper_iteration = false;
+        sbase = (fun () -> Driver.run_crl ~nprocs (module Cholesky) (bsc_cfg scale));
+        sace = (fun () -> Driver.run_ace ~nprocs (module Cholesky) (bsc_cfg scale));
+      };
+      {
+        sname = "EM3D";
+        sper_iteration = true;
+        sbase =
+          (fun () ->
+            pi (fun steps -> Driver.run_crl ~nprocs (module Em3d) (em3d_cfg scale steps)));
+        sace =
+          (fun () ->
+            pi (fun steps -> Driver.run_ace ~nprocs (module Em3d) (em3d_cfg scale steps)));
+      };
+      {
+        sname = "TSP";
+        sper_iteration = false;
+        sbase = (fun () -> avg (Driver.run_crl ~nprocs (module Tsp)));
+        sace = (fun () -> avg (Driver.run_ace ~nprocs (module Tsp)));
+      };
+      {
+        sname = "Water";
+        sper_iteration = true;
+        sbase =
+          (fun () ->
+            pi (fun steps -> Driver.run_crl ~nprocs (module Water) (water_cfg scale steps)));
+        sace =
+          (fun () ->
+            pi (fun steps -> Driver.run_ace ~nprocs (module Water) (water_cfg scale steps)));
+      };
+    |]
 
 (* Fig. 7b: single (SC) protocol vs application-specific protocols, both on
    the Ace runtime. *)
-let fig7b ?(scale = default_scale) () =
+let fig7b ?(scale = default_scale) ?jobs () =
   let iters = 4 in
   let nprocs = scale.nprocs in
-  let em3d =
-    let run proto steps =
-      Driver.run_ace ~nprocs (module Em3d)
-        { (em3d_cfg scale steps) with Em3d.protocol = proto }
-    in
-    let sc = Driver.per_iteration ~run_with_steps:(run None) ~iters in
-    let cu =
-      Driver.per_iteration ~run_with_steps:(run (Some "STATIC_UPDATE")) ~iters
-    in
-    {
-      name = "EM3D (static update)";
-      baseline = sc.Driver.seconds;
-      ace = cu.Driver.seconds;
-      base_result = sc.Driver.result;
-      ace_result = cu.Driver.result;
-      per_iteration = true;
-    }
+  let pi run = Driver.per_iteration ~run_with_steps:run ~iters in
+  let avg run = let t, r = tsp_avg run in { Driver.seconds = t; result = r } in
+  let em3d proto steps =
+    Driver.run_ace ~nprocs (module Em3d)
+      { (em3d_cfg scale steps) with Em3d.protocol = proto }
   in
-  let bh =
-    let run proto steps =
-      Driver.run_ace ~nprocs (module Barnes_hut)
-        { (bh_cfg scale steps) with Barnes_hut.protocol = proto }
-    in
-    let sc = Driver.per_iteration ~run_with_steps:(run None) ~iters in
-    let cu =
-      Driver.per_iteration ~run_with_steps:(run (Some "DYN_UPDATE")) ~iters
-    in
-    {
-      name = "Barnes-Hut (dyn update)";
-      baseline = sc.Driver.seconds;
-      ace = cu.Driver.seconds;
-      base_result = sc.Driver.result;
-      ace_result = cu.Driver.result;
-      per_iteration = true;
-    }
+  let bh proto steps =
+    Driver.run_ace ~nprocs (module Barnes_hut)
+      { (bh_cfg scale steps) with Barnes_hut.protocol = proto }
   in
-  let water =
-    let run protos steps =
-      Driver.run_ace ~nprocs (module Water)
-        { (water_cfg scale steps) with Water.phase_protocols = protos }
-    in
-    let sc = Driver.per_iteration ~run_with_steps:(run None) ~iters in
-    let cu =
-      Driver.per_iteration
-        ~run_with_steps:(run (Some ("NULL", "PIPELINE")))
-        ~iters
-    in
-    {
-      name = "Water (null+pipeline)";
-      baseline = sc.Driver.seconds;
-      ace = cu.Driver.seconds;
-      base_result = sc.Driver.result;
-      ace_result = cu.Driver.result;
-      per_iteration = true;
-    }
+  let water protos steps =
+    Driver.run_ace ~nprocs (module Water)
+      { (water_cfg scale steps) with Water.phase_protocols = protos }
   in
-  let bsc =
-    let run proto =
-      Driver.run_ace ~nprocs (module Cholesky)
-        { (bsc_cfg scale) with Cholesky.protocol = proto }
-    in
-    let sc = run None and cu = run (Some "WRITE_ONCE") in
-    {
-      name = "BSC (write-once)";
-      baseline = sc.Driver.seconds;
-      ace = cu.Driver.seconds;
-      base_result = sc.Driver.result;
-      ace_result = cu.Driver.result;
-      per_iteration = false;
-    }
+  let bsc proto =
+    Driver.run_ace ~nprocs (module Cholesky)
+      { (bsc_cfg scale) with Cholesky.protocol = proto }
   in
-  let tsp =
-    let run proto cfg =
-      Driver.run_ace ~nprocs (module Tsp) { cfg with Tsp.counter_protocol = proto }
-    in
-    let st, sr = tsp_avg (run None) in
-    let ct, cr = tsp_avg (run (Some "COUNTER")) in
-    {
-      name = "TSP (counter)";
-      baseline = st;
-      ace = ct;
-      base_result = sr;
-      ace_result = cr;
-      per_iteration = false;
-    }
+  let tsp proto cfg =
+    Driver.run_ace ~nprocs (module Tsp) { cfg with Tsp.counter_protocol = proto }
   in
-  [ bh; bsc; em3d; tsp; water ]
+  collect ?jobs
+    [|
+      {
+        sname = "Barnes-Hut (dyn update)";
+        sper_iteration = true;
+        sbase = (fun () -> pi (bh None));
+        sace = (fun () -> pi (bh (Some "DYN_UPDATE")));
+      };
+      {
+        sname = "BSC (write-once)";
+        sper_iteration = false;
+        sbase = (fun () -> bsc None);
+        sace = (fun () -> bsc (Some "WRITE_ONCE"));
+      };
+      {
+        sname = "EM3D (static update)";
+        sper_iteration = true;
+        sbase = (fun () -> pi (em3d None));
+        sace = (fun () -> pi (em3d (Some "STATIC_UPDATE")));
+      };
+      {
+        sname = "TSP (counter)";
+        sper_iteration = false;
+        sbase = (fun () -> avg (tsp None));
+        sace = (fun () -> avg (tsp (Some "COUNTER")));
+      };
+      {
+        sname = "Water (null+pipeline)";
+        sper_iteration = true;
+        sbase = (fun () -> pi (water None));
+        sace = (fun () -> pi (water (Some ("NULL", "PIPELINE"))));
+      };
+    |]
 
 let print_rows ~left ~right rows =
   Printf.printf "%-26s %12s %12s %9s  %s\n" "benchmark" left right "speedup"

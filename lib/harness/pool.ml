@@ -1,0 +1,61 @@
+(* A bounded worker pool over OCaml 5 domains.
+
+   The evaluation grid — every (benchmark x runtime x protocol x opt-level)
+   cell — is embarrassingly parallel: each cell builds its own
+   [Runtime.create]-rooted simulation and shares no mutable state with any
+   other (the only cross-cell global, the stats intern table, is
+   mutex-protected). Workers pull cell indices from an atomic counter and
+   write results into a per-index slot, so the assembled output is
+   positionally identical to a serial run no matter how cells are scheduled:
+   parallelism changes wall-clock only, never results.
+
+   [jobs = 1] (or a single task) bypasses domains entirely and runs the
+   cells in order on the calling domain — that path is the determinism
+   baseline the tests compare against. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "ACE_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | Some _ | None -> invalid_arg "ACE_JOBS must be a positive integer")
+  | None -> Domain.recommended_domain_count ()
+
+(* [run_all ?jobs tasks] runs every task and returns their results in task
+   order. Exceptions are captured per task and the first (lowest-index) one
+   is re-raised after all workers have joined. *)
+let run_all ?jobs (tasks : (unit -> 'a) array) : 'a array =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then Array.map (fun f -> f ()) tasks
+  else begin
+    let results : ('a, exn) result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          results.(i) <-
+            Some (match tasks.(i) () with v -> Ok v | exception e -> Error e)
+      done
+    in
+    let helpers = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+(* Wrap a cell so it also reports its wall-clock seconds. *)
+let timed f () =
+  let t0 = Unix.gettimeofday () in
+  let out = f () in
+  (out, Unix.gettimeofday () -. t0)

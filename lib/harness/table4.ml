@@ -366,30 +366,58 @@ type row = {
   li_mc_dc : float;
   hand : float;
   results_agree : bool;
+  wall : float; (* host seconds spent simulating this row *)
 }
 
-let run_benchmark ~nprocs (name, source) =
-  let at level = run_compiled ~nprocs ~level source in
-  let base_t, base_r = at Ace_lang.Opt.O0 in
-  let li_t, li_r = at Ace_lang.Opt.O1 in
-  let mc_t, mc_r = at Ace_lang.Opt.O2 in
-  let dc_t, dc_r = at Ace_lang.Opt.O3 in
-  let hand_t, hand_r = run_hand ~nprocs name in
-  let close a b = abs_float (a -. b) <= 1e-6 *. (1. +. abs_float a) in
-  {
-    name;
-    base = base_t;
-    li = li_t;
-    li_mc = mc_t;
-    li_mc_dc = dc_t;
-    hand = hand_t;
-    results_agree =
-      close base_r li_r && close base_r mc_r && close base_r dc_r
-      && close base_r hand_r;
-  }
+(* Each (benchmark x variant) cell — four optimization levels plus the hand
+   version — is an independent simulation, so the whole table fans out
+   through the domain pool; reassembly is positional and the simulated
+   times are identical to a serial run. *)
+let variants = 5
 
-let table4 ?(nprocs = 32) () =
-  List.map (run_benchmark ~nprocs) Ace_lang.Kernels.all
+let table4 ?(nprocs = 32) ?jobs () =
+  let benchmarks = Array.of_list Ace_lang.Kernels.all in
+  let cell i =
+    let name, source = benchmarks.(i / variants) in
+    match i mod variants with
+    | 4 -> fun () -> run_hand ~nprocs name
+    | v ->
+        let level =
+          match v with
+          | 0 -> Ace_lang.Opt.O0
+          | 1 -> Ace_lang.Opt.O1
+          | 2 -> Ace_lang.Opt.O2
+          | _ -> Ace_lang.Opt.O3
+        in
+        fun () -> run_compiled ~nprocs ~level source
+  in
+  let cells =
+    Array.init (variants * Array.length benchmarks) (fun i -> Pool.timed (cell i))
+  in
+  let out = Pool.run_all ?jobs cells in
+  let close a b = abs_float (a -. b) <= 1e-6 *. (1. +. abs_float a) in
+  Array.to_list
+    (Array.mapi
+       (fun b (name, _) ->
+         let at v = out.((b * variants) + v) in
+         let (base_t, base_r), w0 = at 0 in
+         let (li_t, li_r), w1 = at 1 in
+         let (mc_t, mc_r), w2 = at 2 in
+         let (dc_t, dc_r), w3 = at 3 in
+         let (hand_t, hand_r), w4 = at 4 in
+         {
+           name;
+           base = base_t;
+           li = li_t;
+           li_mc = mc_t;
+           li_mc_dc = dc_t;
+           hand = hand_t;
+           results_agree =
+             close base_r li_r && close base_r mc_r && close base_r dc_r
+             && close base_r hand_r;
+           wall = w0 +. w1 +. w2 +. w3 +. w4;
+         })
+       benchmarks)
 
 let print_rows rows =
   Printf.printf "%-24s %10s %10s %10s %10s %10s  %s\n" "Optimization"

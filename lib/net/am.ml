@@ -2,6 +2,9 @@ module Machine = Ace_engine.Machine
 module Ivar = Ace_engine.Ivar
 module Stats = Ace_engine.Stats
 
+let sid_messages = Stats.intern "net.messages"
+let sid_bytes = Stats.intern "net.bytes"
+
 type t = {
   machine : Machine.t;
   cost : Cost_model.t;
@@ -19,8 +22,9 @@ let send t ~now ~src ~dst ~bytes handler =
   if bytes < 0 then invalid_arg "Am.send: negative size";
   t.messages <- t.messages + 1;
   t.bytes_sent <- t.bytes_sent + bytes;
-  Stats.incr (Machine.stats t.machine) "net.messages";
-  Stats.add (Machine.stats t.machine) "net.bytes" (float_of_int bytes);
+  let stats = Machine.stats t.machine in
+  Stats.incr_id stats sid_messages;
+  Stats.add_id stats sid_bytes (float_of_int bytes);
   let arrival =
     now +. Cost_model.transit t.cost ~bytes +. t.cost.Cost_model.am_recv_overhead
   in

@@ -2,10 +2,37 @@ module Machine = Ace_engine.Machine
 module Ivar = Ace_engine.Ivar
 module Am = Ace_net.Am
 
-type ctx = { am : Am.t; store : Store.t; proc : Machine.proc }
+type ctx = {
+  am : Am.t;
+  store : Store.t;
+  proc : Machine.proc;
+  node : int; (* proc.id, cached *)
+  mutable lcache : (Store.meta * Store.copy) option;
+      (* one-slot memo of the last local-copy lookup: applications touch the
+         same handle several times per access section (start, data, end), so
+         this turns the repeated [copies.(node)] option-match into a pointer
+         compare. Copies are never replaced once created, so the memo cannot
+         go stale. *)
+}
 
-let make_ctx am store proc = { am; store; proc }
-let node ctx = ctx.proc.Machine.id
+let make_ctx am store proc =
+  { am; store; proc; node = proc.Machine.id; lcache = None }
+
+let node ctx = ctx.node
+
+(* The calling node's cache entry for [meta], creating it if absent. *)
+let local_copy ctx meta =
+  match ctx.lcache with
+  | Some (m, c) when m == meta -> c
+  | _ ->
+      let c = Store.ensure_copy_c meta ~node:ctx.node in
+      ctx.lcache <- Some (meta, c);
+      c
+
+let sid_read_miss = Ace_engine.Stats.intern "coh.read_miss"
+let sid_write_miss = Ace_engine.Stats.intern "coh.write_miss"
+let sid_update_push = Ace_engine.Stats.intern "coh.update_push"
+let sid_static_push = Ace_engine.Stats.intern "coh.static_push"
 let ctl_bytes = 16
 let data_bytes meta = Store.bytes meta + ctl_bytes
 
@@ -32,21 +59,20 @@ let dir_exit (meta : Store.meta) ~time =
    earlier virtual time than they arrived). *)
 
 let begin_access ctx meta ~write =
-  let c, _ = Store.ensure_copy meta ~node:(node ctx) in
+  let c = local_copy ctx meta in
   if write then c.Store.writers <- c.Store.writers + 1
   else c.Store.readers <- c.Store.readers + 1
 
 let end_access ctx meta ~write =
-  match Store.copy_of meta ~node:(node ctx) with
-  | None -> ()
-  | Some c ->
-      if write then c.Store.writers <- c.Store.writers - 1
-      else c.Store.readers <- c.Store.readers - 1;
-      if c.Store.readers = 0 && c.Store.writers = 0 then begin
-        let ds = List.rev c.Store.deferred in
+  let c = local_copy ctx meta in
+  if write then c.Store.writers <- c.Store.writers - 1
+  else c.Store.readers <- c.Store.readers - 1;
+  if c.Store.readers = 0 && c.Store.writers = 0 then
+    match c.Store.deferred with
+    | [] -> ()
+    | ds ->
         c.Store.deferred <- [];
-        List.iter (fun f -> f ctx.proc.Machine.clock) ds
-      end
+        List.iter (fun f -> f ctx.proc.Machine.clock) (List.rev ds)
 
 let run_or_defer (c : Store.copy) ~time f =
   if c.Store.readers > 0 || c.Store.writers > 0 then
@@ -128,11 +154,11 @@ let stats ctx = Machine.stats (Am.machine ctx.am)
 
 let fetch_shared ctx meta =
   let n = node ctx in
-  let copy, _ = Store.ensure_copy meta ~node:n in
+  let copy = local_copy ctx meta in
   if copy.Store.cstate <> Store.Invalid then ()
   else begin
     let home = meta.Store.home in
-    Ace_engine.Stats.incr (stats ctx) "coh.read_miss";
+    Ace_engine.Stats.incr_id (stats ctx) sid_read_miss;
     Machine.advance ctx.proc (Am.cost ctx.am).Ace_net.Cost_model.miss_overhead;
     transact ctx meta (fun ~time finish ->
         recall_owner ctx meta ~time ~downgrade:Store.Shared (fun time ->
@@ -154,21 +180,24 @@ let fetch_shared ctx meta =
 
 let fetch_exclusive ctx meta =
   let n = node ctx in
-  let copy, _ = Store.ensure_copy meta ~node:n in
+  let copy = local_copy ctx meta in
   let d = meta.Store.dir in
   if copy.Store.cstate = Store.Exclusive && d.Store.owner = n then ()
   else begin
     let home = meta.Store.home in
-    Ace_engine.Stats.incr (stats ctx) "coh.write_miss";
+    Ace_engine.Stats.incr_id (stats ctx) sid_write_miss;
     Machine.advance ctx.proc (Am.cost ctx.am).Ace_net.Cost_model.miss_overhead;
     transact ctx meta (fun ~time finish ->
         recall_owner ctx meta ~time ~downgrade:Store.Invalid (fun time ->
             (* Invalidate every sharer except the requester, gathering acks;
                a sharer mid-access defers its invalidation (and thus its
-               ack) until the access ends. *)
-            let victims =
-              List.filter (fun s -> s <> home) (Store.sharers meta ~except:n)
-            in
+               ack) until the access ends. Victims are counted up front so
+               no ack can observe outstanding = 0 early; the send loop below
+               revisits the same nodes (invalidations only clear bits the
+               loop filters out anyway). *)
+            let n_victims = ref 0 in
+            Store.iter_sharers meta ~except:n (fun s ->
+                if s <> home then incr n_victims);
             let invalidate_home = d.Store.sharers.(home) && home <> n in
             let had_valid_copy = copy.Store.cstate = Store.Shared in
             let grant time =
@@ -191,7 +220,7 @@ let fetch_exclusive ctx meta =
               end
             in
             let outstanding =
-              ref (List.length victims + if invalidate_home then 1 else 0)
+              ref (!n_victims + if invalidate_home then 1 else 0)
             in
             let acked time =
               decr outstanding;
@@ -210,22 +239,21 @@ let fetch_exclusive ctx meta =
                     d.Store.sharers.(home) <- false;
                     acked time
               end;
-              List.iter
-                (fun s ->
-                  Am.send ctx.am ~now:time ~src:home ~dst:s ~bytes:ctl_bytes
-                    (fun ~time ->
-                      let act time =
-                        (match Store.copy_of meta ~node:s with
-                        | Some c -> c.Store.cstate <- Store.Invalid
-                        | None -> ());
-                        d.Store.sharers.(s) <- false;
-                        Am.send ctx.am ~now:time ~src:s ~dst:home ~bytes:ctl_bytes
-                          (fun ~time -> acked time)
-                      in
-                      match Store.copy_of meta ~node:s with
-                      | Some c -> run_or_defer c ~time act
-                      | None -> act time))
-                victims
+              Store.iter_sharers meta ~except:n (fun s ->
+                  if s <> home then
+                    Am.send ctx.am ~now:time ~src:home ~dst:s ~bytes:ctl_bytes
+                      (fun ~time ->
+                        let act time =
+                          (match Store.copy_of meta ~node:s with
+                          | Some c -> c.Store.cstate <- Store.Invalid
+                          | None -> ());
+                          d.Store.sharers.(s) <- false;
+                          Am.send ctx.am ~now:time ~src:s ~dst:home
+                            ~bytes:ctl_bytes (fun ~time -> acked time)
+                        in
+                        match Store.copy_of meta ~node:s with
+                        | Some c -> run_or_defer c ~time act
+                        | None -> act time))
             end))
   end
 
@@ -281,36 +309,34 @@ let flush ctx meta =
    there is nothing to forward). *)
 let forward_to_sharers ctx meta ~time ~snapshot ~n ~all_delivered =
   let home = meta.Store.home in
-  let dsts =
-    List.filter (fun s -> s <> home) (Store.sharers meta ~except:n)
-  in
-  let outstanding = ref (List.length dsts) in
+  let outstanding = ref 0 in
+  Store.iter_sharers meta ~except:n (fun s ->
+      if s <> home then incr outstanding);
   if !outstanding = 0 then all_delivered ~time
   else
-    List.iter
-      (fun s ->
-        Am.send ctx.am ~now:time ~src:home ~dst:s ~bytes:(data_bytes meta)
-          (fun ~time ->
-            (match Store.copy_of meta ~node:s with
-            | Some c ->
-                run_or_defer c ~time (fun _ ->
-                    Array.blit snapshot 0 c.Store.cdata 0 meta.Store.len;
-                    if c.Store.cstate = Store.Invalid then
-                      c.Store.cstate <- Store.Shared)
-            | None -> ());
-            decr outstanding;
-            if !outstanding = 0 then all_delivered ~time))
-      dsts
+    Store.iter_sharers meta ~except:n (fun s ->
+        if s <> home then
+          Am.send ctx.am ~now:time ~src:home ~dst:s ~bytes:(data_bytes meta)
+            (fun ~time ->
+              (match Store.copy_of meta ~node:s with
+              | Some c ->
+                  run_or_defer c ~time (fun _ ->
+                      Array.blit snapshot 0 c.Store.cdata 0 meta.Store.len;
+                      if c.Store.cstate = Store.Invalid then
+                        c.Store.cstate <- Store.Shared)
+              | None -> ());
+              decr outstanding;
+              if !outstanding = 0 then all_delivered ~time))
 
 (* The ivar fills once every consumer copy has been refreshed, so a writer
    awaiting it cannot race its own update past a barrier. *)
 let push_update ctx meta =
   let n = node ctx in
-  let copy, _ = Store.ensure_copy meta ~node:n in
+  let copy = local_copy ctx meta in
   let home = meta.Store.home in
   let snapshot = Array.copy copy.Store.cdata in
   let done_iv = Ivar.create () in
-  Ace_engine.Stats.incr (stats ctx) "coh.update_push";
+  Ace_engine.Stats.incr_id (stats ctx) sid_update_push;
   let all_delivered ~time = Ivar.fill done_iv ~time () in
   if n = home then
     (* Home writes land in the master via aliasing: only forward. *)
@@ -334,15 +360,14 @@ let push_update ctx meta =
 
 let push_to ctx meta ~dsts =
   let n = node ctx in
-  let copy, _ = Store.ensure_copy meta ~node:n in
+  let copy = local_copy ctx meta in
   let home = meta.Store.home in
   let snapshot = Array.copy copy.Store.cdata in
   let done_iv = Ivar.create () in
   let remote_targets =
     List.sort_uniq compare (List.filter (fun d -> d <> n) (home :: dsts))
   in
-  let remote_targets = List.filter (fun d -> d <> n) remote_targets in
-  Ace_engine.Stats.incr (stats ctx) "coh.static_push";
+  Ace_engine.Stats.incr_id (stats ctx) sid_static_push;
   (* When the writer is the home, the master is already fresh (aliasing)
      and only remote consumers appear in [remote_targets]. *)
   let outstanding = ref (List.length remote_targets) in
@@ -361,7 +386,7 @@ let push_to ctx meta ~dsts =
                | None -> ()
              end
              else begin
-               let c, _ = Store.ensure_copy meta ~node:dst in
+               let c = Store.ensure_copy_c meta ~node:dst in
                run_or_defer c ~time (fun _ ->
                    Array.blit snapshot 0 c.Store.cdata 0 meta.Store.len;
                    if c.Store.cstate = Store.Invalid then
@@ -375,7 +400,7 @@ let push_to ctx meta ~dsts =
 
 let read_home ctx meta =
   let n = node ctx in
-  let copy, _ = Store.ensure_copy meta ~node:n in
+  let copy = local_copy ctx meta in
   if n = meta.Store.home then ()
   else begin
     let home = meta.Store.home in
@@ -390,7 +415,7 @@ let read_home ctx meta =
 
 let write_home_async ctx meta =
   let n = node ctx in
-  let copy, _ = Store.ensure_copy meta ~node:n in
+  let copy = local_copy ctx meta in
   let done_iv = Ivar.create () in
   if n = meta.Store.home then Ivar.fill done_iv ~time:ctx.proc.Machine.clock ()
   else begin
@@ -459,7 +484,7 @@ let home_unlock ctx meta =
    fetch-and-add building block behind the TSP counter protocol. *)
 let rmw_acquire ctx meta =
   let n = node ctx in
-  let copy, _ = Store.ensure_copy meta ~node:n in
+  let copy = local_copy ctx meta in
   let l = meta.Store.lock in
   if n = meta.Store.home then begin
     if l.Store.held_by < 0 then l.Store.held_by <- n
@@ -519,7 +544,7 @@ let rmw_release ctx meta =
    home node (the local copy aliases the master there). *)
 let fetch_add ctx meta ~delta =
   let n = node ctx in
-  let copy, _ = Store.ensure_copy meta ~node:n in
+  let copy = local_copy ctx meta in
   assert (n <> meta.Store.home);
   Am.rpc ctx.am ctx.proc ~dst:meta.Store.home ~bytes:ctl_bytes
     (fun reply ~time ->
@@ -561,7 +586,7 @@ let unlock_after ctx meta (after : unit Ivar.t) =
    snapshot of the master as of grant time. *)
 let lock_fetch ctx meta =
   let n = node ctx in
-  let copy, _ = Store.ensure_copy meta ~node:n in
+  let copy = local_copy ctx meta in
   let l = meta.Store.lock in
   let home = meta.Store.home in
   if n = home then begin

@@ -7,7 +7,14 @@
     processor fiber; home-side transactions are serialized per region by the
     directory's busy/pending queue. *)
 
-type ctx = { am : Ace_net.Am.t; store : Store.t; proc : Ace_engine.Machine.proc }
+type ctx = {
+  am : Ace_net.Am.t;
+  store : Store.t;
+  proc : Ace_engine.Machine.proc;
+  node : int;  (** [proc.id], cached for the access hot path *)
+  mutable lcache : (Store.meta * Store.copy) option;
+      (** one-slot memo of the last local-copy lookup (see [local_copy]) *)
+}
 
 val make_ctx : Ace_net.Am.t -> Store.t -> Ace_engine.Machine.proc -> ctx
 val node : ctx -> int

@@ -78,9 +78,9 @@ let get t rid =
 let count t = t.n
 let bytes meta = 8 * meta.len
 
-let ensure_copy meta ~node =
+let ensure_copy_c meta ~node =
   match meta.copies.(node) with
-  | Some c -> (c, true)
+  | Some c -> c
   | None ->
       let c =
         {
@@ -92,9 +92,20 @@ let ensure_copy meta ~node =
         }
       in
       meta.copies.(node) <- Some c;
-      (c, false)
+      c
+
+let ensure_copy meta ~node =
+  match meta.copies.(node) with
+  | Some c -> (c, true)
+  | None -> (ensure_copy_c meta ~node, false)
 
 let copy_of meta ~node = meta.copies.(node)
+
+let iter_sharers meta ~except f =
+  let sh = meta.dir.sharers in
+  for node = 0 to Array.length sh - 1 do
+    if sh.(node) && node <> except then f node
+  done
 
 let sharers meta ~except =
   let out = ref [] in

@@ -59,10 +59,20 @@ val bytes : meta -> int
     Returns whether it already existed (a "map hit"). *)
 val ensure_copy : meta -> node:int -> copy * bool
 
+(** [ensure_copy] without the existence flag (and without allocating the
+    pair) — the variant coherence hot paths use. *)
+val ensure_copy_c : meta -> node:int -> copy
+
 (** Cache entry if present. *)
 val copy_of : meta -> node:int -> copy option
 
-(** Current sharer nodes, excluding [except]. *)
+(** [iter_sharers meta ~except f] applies [f] to each current sharer node
+    except [except], in ascending node order, without building a list.
+    [f] must not toggle sharer bits of nodes it has not yet visited. *)
+val iter_sharers : meta -> except:int -> (int -> unit) -> unit
+
+(** Current sharer nodes, excluding [except], ascending. Allocates; prefer
+    {!iter_sharers} on hot paths. *)
 val sharers : meta -> except:int -> int list
 
 (** Directory invariant checks (used by tests and debug assertions):

@@ -18,14 +18,7 @@ let eq_ordering () =
   push 3. "c";
   push 1. "a";
   push 2. "b";
-  let rec drain () =
-    match Eq.pop q with
-    | Some (_, f) ->
-        f ();
-        drain ()
-    | None -> ()
-  in
-  drain ();
+  Eq.drain q (fun _ f -> f ());
   Alcotest.(check (list string)) "timestamp order" [ "a"; "b"; "c" ]
     (List.rev !out)
 
@@ -35,17 +28,29 @@ let eq_tie_break () =
   for i = 0 to 9 do
     Eq.push q ~time:5. (fun () -> out := i :: !out)
   done;
-  let rec drain () =
-    match Eq.pop q with
-    | Some (_, f) ->
-        f ();
-        drain ()
-    | None -> ()
-  in
-  drain ();
+  while Eq.pop_min q do
+    Eq.popped_thunk q ()
+  done;
   Alcotest.(check (list int)) "insertion order on ties"
     [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
     (List.rev !out)
+
+let eq_drain_allows_reentrant_push () =
+  (* thunks push new events while draining, as simulation fibers do *)
+  let q = Eq.create () in
+  let out = ref [] in
+  let rec step n t =
+    out := (t, n) :: !out;
+    if n < 5 then Eq.push q ~time:(t +. 2.) (fun () -> step (n + 1) (t +. 2.))
+  in
+  Eq.push q ~time:1. (fun () -> step 0 1.);
+  Eq.push q ~time:4. (fun () -> out := (4., 100) :: !out);
+  Eq.drain q (fun _ f -> f ());
+  Alcotest.(check (list (pair (float 0.) int)))
+    "interleaved by time"
+    [ (1., 0); (3., 1); (4., 100); (5., 2); (7., 3); (9., 4); (11., 5) ]
+    (List.rev !out);
+  Alcotest.(check bool) "empty after drain" true (Eq.is_empty q)
 
 let eq_rejects_bad_time () =
   Alcotest.check_raises "negative time" (Invalid_argument "Event_queue.push: bad time")
@@ -68,11 +73,69 @@ let eq_heap_property =
       let q = Eq.create () in
       List.iter (fun t -> Eq.push q ~time:(abs_float t) ignore) times;
       let rec drain last =
-        match Eq.pop q with
-        | None -> true
-        | Some (t, _) -> t >= last && drain t
+        if not (Eq.pop_min q) then true
+        else
+          let t = Eq.popped_time q in
+          t >= last && drain t
       in
       drain neg_infinity)
+
+(* Random interleaved push/pop sequences against a sorted-list reference
+   model: every pop must return the pending event with the least
+   (time, push-index) — i.e. timestamp order with FIFO tie-break — through
+   arbitrary grow/shrink patterns of the 4-ary heap. Times are drawn from a
+   tiny grid so ties are common. *)
+let eq_model_property =
+  QCheck.Test.make ~name:"interleaved push/pop matches sorted-list model"
+    ~count:500
+    QCheck.(list (option (int_bound 7)))
+    (fun ops ->
+      let q = Eq.create () in
+      let model = ref [] (* sorted (time, k) ascending *) in
+      let k = ref 0 in
+      let insert tm =
+        let entry = (tm, !k) in
+        let rec ins = function
+          | [] -> [ entry ]
+          | e :: rest -> if entry < e then entry :: e :: rest else e :: ins rest
+        in
+        model := ins !model
+      in
+      let ok = ref true in
+      let popped = ref [] in
+      (* pop once and compare (time, push-index) — carried by the thunk —
+         against the model's head *)
+      let check_pop expected =
+        if not (Eq.pop_min q) then ok := false
+        else begin
+          Eq.popped_thunk q ();
+          match !popped with
+          | got :: _ ->
+              if got <> expected then ok := false;
+              if Eq.popped_time q <> fst expected then ok := false
+          | [] -> ok := false
+        end
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Some t ->
+              let tm = float_of_int t in
+              let idx = !k in
+              Eq.push q ~time:tm (fun () -> popped := (tm, idx) :: !popped);
+              insert tm;
+              incr k
+          | None -> (
+              match !model with
+              | [] -> if Eq.pop_min q then ok := false
+              | expected :: rest ->
+                  model := rest;
+                  check_pop expected))
+        ops;
+      (* drain the remainder; it must replay the model exactly *)
+      List.iter check_pop !model;
+      if Eq.pop_min q then ok := false;
+      !ok)
 
 (* ---- ivar ---- *)
 
@@ -232,9 +295,11 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick eq_ordering;
           Alcotest.test_case "tie break" `Quick eq_tie_break;
+          Alcotest.test_case "reentrant drain" `Quick eq_drain_allows_reentrant_push;
           Alcotest.test_case "bad time" `Quick eq_rejects_bad_time;
           Alcotest.test_case "length/peek" `Quick eq_length_and_peek;
           QCheck_alcotest.to_alcotest eq_heap_property;
+          QCheck_alcotest.to_alcotest eq_model_property;
         ] );
       ( "ivar",
         [
