@@ -18,7 +18,13 @@
                    for any N)
      --json FILE   also write per-experiment wall-clock and simulated
                    seconds as JSON (micro excluded: it has no simulated
-                   time) *)
+                   time)
+     --trace FILE  record a representative traced simulation (EM3D on
+                   Ace) as Chrome trace-event JSON, and report the
+                   traced-vs-untraced wall-clock overhead (also a
+                   trace_overhead row in --json)
+     --trace-dir D record one trace per grid cell of the selected
+                   experiments into D/FIG-ROW-SIDE.trace.json *)
 
 module E = Ace_harness.Experiments
 module T4 = Ace_harness.Table4
@@ -27,6 +33,8 @@ module Pool = Ace_harness.Pool
 let scale = ref { E.nprocs = 32; factor = 1 }
 let jobs : int option ref = ref None
 let json_path : string option ref = ref None
+let trace_path : string option ref = ref None
+let trace_dir : string option ref = ref None
 
 let line () = print_endline (String.make 72 '=')
 
@@ -86,7 +94,7 @@ let fig7a () =
   Printf.printf "Figure 7a: Ace runtime system versus CRL (SC protocol, %d procs)\n"
     !scale.E.nprocs;
   line ();
-  let rows = E.fig7a ~scale:!scale ?jobs:!jobs () in
+  let rows = E.fig7a ~scale:!scale ?jobs:!jobs ?trace_dir:!trace_dir () in
   E.print_rows ~left:"CRL" ~right:"Ace" rows;
   List.iter
     (fun r ->
@@ -101,7 +109,7 @@ let fig7b () =
     "Figure 7b: single (SC) protocol vs application-specific protocols (%d procs)\n"
     !scale.E.nprocs;
   line ();
-  let rows = E.fig7b ~scale:!scale ?jobs:!jobs () in
+  let rows = E.fig7b ~scale:!scale ?jobs:!jobs ?trace_dir:!trace_dir () in
   E.print_rows ~left:"SC" ~right:"custom" rows;
   List.iter
     (fun r ->
@@ -120,7 +128,7 @@ let table4 () =
     "Table 4: effects of compiler optimizations (simulated seconds, %d procs)\n"
     !scale.E.nprocs;
   line ();
-  let rows = T4.table4 ~nprocs:!scale.E.nprocs ?jobs:!jobs () in
+  let rows = T4.table4 ~nprocs:!scale.E.nprocs ?jobs:!jobs ?trace_dir:!trace_dir () in
   T4.print_rows rows;
   List.iter
     (fun r ->
@@ -252,6 +260,45 @@ let ablation () =
     [ ("per_step_3", v 4 /. 3.); ("per_step_12", v 5 /. 12.) ];
   print_newline ()
 
+(* ---- tracing overhead (--trace FILE) ----
+
+   Run a representative simulation (EM3D on the Ace runtime) untraced and
+   traced, write the trace, and report the wall-clock cost of tracing. The
+   simulated seconds must be bit-identical either way — tracing never
+   advances a virtual clock — so the row doubles as a determinism check. *)
+
+let trace_overhead out =
+  line ();
+  Printf.printf "Tracing overhead (EM3D on Ace, %d procs)\n" !scale.E.nprocs;
+  line ();
+  let nprocs = !scale.E.nprocs in
+  let cfg = E.em3d_cfg !scale 3 in
+  let module D = Ace_harness.Driver in
+  let run trace =
+    let t0 = Unix.gettimeofday () in
+    let o = D.run_ace ?trace ~nprocs (module Ace_apps.Em3d) cfg in
+    (o, Unix.gettimeofday () -. t0)
+  in
+  let off, wall_off = run None in
+  let on_, wall_on = run (Some out) in
+  let identical = off.D.seconds = on_.D.seconds in
+  Printf.printf
+    "untraced: %.3fs wall, traced: %.3fs wall (%+.1f%%); simulated seconds \
+     identical: %b\n"
+    wall_off wall_on
+    (100. *. ((wall_on /. wall_off) -. 1.))
+    identical;
+  Printf.printf "wrote %s\n\n" out;
+  record ~experiment:"trace_overhead" ~name:"em3d-off" ~wall:wall_off
+    [ ("seconds", off.D.seconds) ];
+  record ~experiment:"trace_overhead" ~name:"em3d-on" ~wall:wall_on
+    [ ("seconds", on_.D.seconds) ];
+  if not identical then begin
+    Printf.eprintf "ERROR: tracing changed simulated time (%.17g vs %.17g)\n"
+      off.D.seconds on_.D.seconds;
+    exit 1
+  end
+
 (* ---- bechamel microbenchmarks (wall-clock cost of the simulator) ---- *)
 
 let micro () =
@@ -320,7 +367,9 @@ let micro () =
 
 let usage () =
   Printf.eprintf
-    "usage: main [fig7a] [fig7b] [table4] [ablation] [micro] [--small] [--jobs N] [--json FILE]\n";
+    "usage: main [fig7a] [fig7b] [table4] [ablation] [micro] \
+     [trace_overhead] [--small] [--jobs N] [--json FILE] [--trace FILE] \
+     [--trace-dir DIR]\n";
   exit 2
 
 let () =
@@ -341,10 +390,18 @@ let () =
     | "--json" :: path :: rest ->
         json_path := Some path;
         parse rest
-    | [ (("--jobs" | "--json") as flag) ] ->
+    | "--trace" :: path :: rest ->
+        trace_path := Some path;
+        parse rest
+    | "--trace-dir" :: dir :: rest ->
+        trace_dir := Some dir;
+        parse rest
+    | [ (("--jobs" | "--json" | "--trace" | "--trace-dir") as flag) ] ->
         Printf.eprintf "missing argument to %s\n" flag;
         usage ()
-    | (("fig7a" | "fig7b" | "table4" | "ablation" | "micro") as s) :: rest ->
+    | (("fig7a" | "fig7b" | "table4" | "ablation" | "micro" | "trace_overhead")
+       as s)
+      :: rest ->
         s :: parse rest
     | other :: _ ->
         Printf.eprintf "unknown argument %s\n" other;
@@ -359,12 +416,26 @@ let () =
         Printf.eprintf "cannot write --json file: %s\n" m;
         exit 2)
   | None -> ());
+  (match !trace_dir with
+  | Some dir when not (Sys.file_exists dir) -> (
+      try Unix.mkdir dir 0o755
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot create --trace-dir: %s\n" (Unix.error_message e);
+        exit 2)
+  | _ -> ());
   let wants s = selections = [] || List.mem s selections in
   let t0 = Unix.gettimeofday () in
   if wants "fig7a" then fig7a ();
   if wants "fig7b" then fig7b ();
   if wants "table4" then table4 ();
   if wants "ablation" then ablation ();
+  (match !trace_path with
+  | Some out -> trace_overhead out
+  | None ->
+      if List.mem "trace_overhead" selections then begin
+        Printf.eprintf "trace_overhead requires --trace FILE\n";
+        exit 2
+      end);
   if List.mem "micro" selections then micro ();
   match !json_path with
   | Some path -> write_json path ~total_wall:(Unix.gettimeofday () -. t0)

@@ -8,9 +8,14 @@
 
 open Cmdliner
 
-let run_app app backend nprocs protocol steps scale verbose =
+let run_app app backend nprocs protocol steps scale verbose trace dump_stats =
   let module D = Ace_harness.Driver in
   let factor = scale in
+  let stats =
+    if dump_stats then
+      Some (fun s -> Format.printf "%a@?" Ace_engine.Stats.pp s)
+    else None
+  in
   let pick crl ace = match backend with `Crl -> crl () | `Ace -> ace () in
   let outcome, reference =
     match app with
@@ -24,8 +29,8 @@ let run_app app backend nprocs protocol steps scale verbose =
           }
         in
         ( pick
-            (fun () -> D.run_crl ~nprocs (module Ace_apps.Em3d) cfg)
-            (fun () -> D.run_ace ~nprocs (module Ace_apps.Em3d) cfg),
+            (fun () -> D.run_crl ?trace ?stats ~nprocs (module Ace_apps.Em3d) cfg)
+            (fun () -> D.run_ace ?trace ?stats ~nprocs (module Ace_apps.Em3d) cfg),
           Some
             (Ace_apps.Em3d.checksum (Ace_apps.Em3d.reference cfg ~nprocs)) )
     | `Barnes_hut ->
@@ -38,8 +43,8 @@ let run_app app backend nprocs protocol steps scale verbose =
           }
         in
         ( pick
-            (fun () -> D.run_crl ~nprocs (module Ace_apps.Barnes_hut) cfg)
-            (fun () -> D.run_ace ~nprocs (module Ace_apps.Barnes_hut) cfg),
+            (fun () -> D.run_crl ?trace ?stats ~nprocs (module Ace_apps.Barnes_hut) cfg)
+            (fun () -> D.run_ace ?trace ?stats ~nprocs (module Ace_apps.Barnes_hut) cfg),
           Some (Ace_apps.Barnes_hut.checksum (Ace_apps.Barnes_hut.reference cfg))
         )
     | `Bsc ->
@@ -55,8 +60,8 @@ let run_app app backend nprocs protocol steps scale verbose =
           }
         in
         ( pick
-            (fun () -> D.run_crl ~nprocs (module Ace_apps.Cholesky) cfg)
-            (fun () -> D.run_ace ~nprocs (module Ace_apps.Cholesky) cfg),
+            (fun () -> D.run_crl ?trace ?stats ~nprocs (module Ace_apps.Cholesky) cfg)
+            (fun () -> D.run_ace ?trace ?stats ~nprocs (module Ace_apps.Cholesky) cfg),
           Some
             (Ace_apps.Chol_core.checksum
                (Ace_apps.Chol_core.reference cfg.Ace_apps.Cholesky.core)) )
@@ -69,8 +74,8 @@ let run_app app backend nprocs protocol steps scale verbose =
           }
         in
         ( pick
-            (fun () -> D.run_crl ~nprocs (module Ace_apps.Tsp) cfg)
-            (fun () -> D.run_ace ~nprocs (module Ace_apps.Tsp) cfg),
+            (fun () -> D.run_crl ?trace ?stats ~nprocs (module Ace_apps.Tsp) cfg)
+            (fun () -> D.run_ace ?trace ?stats ~nprocs (module Ace_apps.Tsp) cfg),
           Some (Ace_apps.Tsp_core.reference cfg.Ace_apps.Tsp.core) )
     | `Water phase_protocols ->
         let cfg : Ace_apps.Water.config =
@@ -86,8 +91,8 @@ let run_app app backend nprocs protocol steps scale verbose =
           }
         in
         ( pick
-            (fun () -> D.run_crl ~nprocs (module Ace_apps.Water) cfg)
-            (fun () -> D.run_ace ~nprocs (module Ace_apps.Water) cfg),
+            (fun () -> D.run_crl ?trace ?stats ~nprocs (module Ace_apps.Water) cfg)
+            (fun () -> D.run_ace ?trace ?stats ~nprocs (module Ace_apps.Water) cfg),
           Some
             (Ace_apps.Water_core.checksum
                (Ace_apps.Water_core.reference cfg.Ace_apps.Water.core)) )
@@ -100,6 +105,9 @@ let run_app app backend nprocs protocol steps scale verbose =
       Printf.printf "sequential reference: %.9g (delta %.3g)\n" r
         (abs_float (r -. outcome.D.result))
   | _ -> ());
+  (match trace with
+  | Some path -> Printf.printf "wrote trace: %s\n" path
+  | None -> ());
   0
 
 let app_arg =
@@ -149,12 +157,31 @@ let scale_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the reference value.")
 
+let stats_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "stats" ]
+        ~doc:
+          "Dump all nonzero counters, dimensioned counter families and \
+           histograms after the run.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the simulation as Chrome trace-event JSON (load in \
+           Perfetto or chrome://tracing; analyze with acetrace). Simulated \
+           times are unaffected.")
+
 let cmd =
   let doc = "run an Ace/CRL benchmark on the simulated CM-5" in
   Cmd.v
     (Cmd.info "ace_demo" ~doc)
     Term.(
-      const (fun app backend nprocs protocol phases steps scale verbose ->
+      const (fun app backend nprocs protocol phases steps scale verbose trace stats ->
           let app =
             match app with
             | `Water_marker -> `Water phases
@@ -163,8 +190,8 @@ let cmd =
             | `Bsc -> `Bsc
             | `Tsp -> `Tsp
           in
-          run_app app backend nprocs protocol steps scale verbose)
+          run_app app backend nprocs protocol steps scale verbose trace stats)
       $ app_arg $ backend_arg $ procs_arg $ protocol_arg $ phases_arg
-      $ steps_arg $ scale_arg $ verbose_arg)
+      $ steps_arg $ scale_arg $ verbose_arg $ trace_arg $ stats_arg)
 
 let () = exit (Cmd.eval' cmd)

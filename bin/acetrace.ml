@@ -1,0 +1,99 @@
+(* acetrace: analyze a simulator trace (the Chrome trace-event JSON that
+   `bench/main.exe --trace` / `ace_demo --trace` write). Prints where
+   simulated time went — per protocol call, per region, per space — plus
+   barrier skew and message statistics. Times are simulated cycles. *)
+
+module Trace_read = Ace_obs.Trace_read
+module Analyze = Ace_obs.Analyze
+
+let usage () =
+  prerr_endline "usage: acetrace TRACE.json [--top N]";
+  exit 2
+
+let parse_args () =
+  let file = ref None and top = ref 10 in
+  let rec go = function
+    | [] -> ()
+    | "--top" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n > 0 -> top := n
+        | _ -> usage ());
+        go rest
+    | ("-h" | "--help") :: _ -> usage ()
+    | a :: rest ->
+        if String.length a > 0 && a.[0] = '-' then usage ();
+        (match !file with None -> file := Some a | Some _ -> usage ());
+        go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  match !file with None -> usage () | Some f -> (f, !top)
+
+let rows title (rows : Analyze.row list) ~top =
+  Printf.printf "\n%s\n" title;
+  if rows = [] then print_endline "  (none)"
+  else begin
+    Printf.printf "  %-24s %10s %14s %12s %12s\n" "" "count" "total_cyc"
+      "mean_cyc" "max_cyc";
+    List.iter
+      (fun (r : Analyze.row) ->
+        Printf.printf "  %-24s %10d %14.0f %12.1f %12.0f\n" r.Analyze.label
+          r.Analyze.count r.Analyze.total r.Analyze.mean r.Analyze.max)
+      (Analyze.take top rows);
+    let n = List.length rows in
+    if n > top then Printf.printf "  ... (%d more)\n" (n - top)
+  end
+
+let () =
+  let file, top = parse_args () in
+  let evs =
+    try Trace_read.load file
+    with
+    | Sys_error msg ->
+        Printf.eprintf "acetrace: %s\n" msg;
+        exit 1
+    | Ace_obs.Json.Parse_error msg | Failure msg ->
+        Printf.eprintf "acetrace: %s: malformed trace (%s)\n" file msg;
+        exit 1
+  in
+  let real = List.filter (fun e -> not (Trace_read.is_meta e)) evs in
+  Printf.printf "%s: %d events, %d simulated procs\n" file (List.length real)
+    (Trace_read.nprocs evs);
+
+  rows "Protocol-call breakdown (simulated time under each call):"
+    (Analyze.call_breakdown real) ~top;
+  rows "Hottest regions (protocol-call + lock-hold time):"
+    (Analyze.hottest_regions real) ~top;
+  rows "Hottest spaces (protocol-call time):" (Analyze.hottest_spaces real)
+    ~top;
+
+  let barriers = Analyze.barrier_skew real in
+  Printf.printf "\nBarrier generations (%d):\n" (List.length barriers);
+  if barriers = [] then print_endline "  (none)"
+  else begin
+    Printf.printf "  %6s %9s %14s %12s %12s\n" "gen" "arrivals" "first_ts"
+      "skew_cyc" "span_cyc";
+    let shown = Analyze.take top barriers in
+    List.iter
+      (fun (b : Analyze.barrier_row) ->
+        Printf.printf "  %6d %9d %14.0f %12.0f %12.0f\n" b.Analyze.gen
+          b.Analyze.arrivals b.Analyze.first_ts b.Analyze.skew b.Analyze.span)
+      shown;
+    let n = List.length barriers in
+    if n > top then Printf.printf "  ... (%d more)\n" (n - top)
+  end;
+
+  let m = Analyze.messages real in
+  Printf.printf
+    "\nMessages: %d (%d bytes), latency mean %.1f cyc, max %.0f cyc\n"
+    m.Analyze.messages m.Analyze.bytes m.Analyze.mean_latency
+    m.Analyze.max_latency;
+  if m.Analyze.links <> [] then begin
+    Printf.printf "  %-12s %10s %12s %12s\n" "link" "msgs" "mean_lat" "max_lat";
+    List.iter
+      (fun (r : Analyze.row) ->
+        Printf.printf "  %-12s %10d %12.1f %12.0f\n" r.Analyze.label
+          r.Analyze.count r.Analyze.mean r.Analyze.max)
+      (Analyze.take top m.Analyze.links);
+    let n = List.length m.Analyze.links in
+    if n > top then Printf.printf "  ... (%d more)\n" (n - top)
+  end

@@ -4,9 +4,13 @@
    cost model. *)
 
 module Machine = Ace_engine.Machine
+module Stats = Ace_engine.Stats
+module Trace = Ace_engine.Trace
 module Store = Ace_region.Store
 module Blocks = Ace_region.Blocks
 module Cost_model = Ace_net.Cost_model
+
+let fam_dispatch_space = Stats.fam "ace.dispatch.by_space"
 
 type ctx = Protocol.ctx
 type h = Store.meta
@@ -62,39 +66,80 @@ let data (ctx : ctx) (h : h) =
 (* The dispatcher charges only the space-indirection cost; each protocol
    handler charges its own processing (so a null handler really is nearly
    free, and direct-dispatched compiled code can drop even the
-   indirection). *)
-let dispatch_access ctx h hook =
+   indirection). Each dispatch bumps the per-space call counter and, when a
+   tracer is attached, records a span covering the protocol handler on the
+   calling processor's row (recording never touches the virtual clock). *)
+let dispatch_access ctx h name hook =
   charge ctx (cost ctx).Cost_model.dispatch;
-  hook (space_of ctx h).Protocol.proto ctx h
+  let rt = ctx.Protocol.rt in
+  Stats.incr_dim (Machine.stats rt.Protocol.machine) fam_dispatch_space
+    h.Store.space;
+  match Machine.trace rt.Protocol.machine with
+  | None -> hook (space_of ctx h).Protocol.proto ctx h
+  | Some tr ->
+      let p = ctx.Protocol.proc in
+      let t0 = p.Machine.clock in
+      hook (space_of ctx h).Protocol.proto ctx h;
+      Trace.span tr ~name ~cat:"call" ~tid:p.Machine.id ~ts:t0
+        ~dur:(p.Machine.clock -. t0)
+        ~args:[ ("space", h.Store.space); ("rid", h.Store.rid) ] ()
 
 let start_read (ctx : ctx) h =
-  dispatch_access ctx h (fun p -> p.Protocol.start_read);
+  dispatch_access ctx h "start_read" (fun p -> p.Protocol.start_read);
   Blocks.begin_access ctx.Protocol.bctx h ~write:false
 
 let end_read (ctx : ctx) h =
-  dispatch_access ctx h (fun p -> p.Protocol.end_read);
+  dispatch_access ctx h "end_read" (fun p -> p.Protocol.end_read);
   Blocks.end_access ctx.Protocol.bctx h ~write:false
 
 let start_write (ctx : ctx) h =
-  dispatch_access ctx h (fun p -> p.Protocol.start_write);
+  dispatch_access ctx h "start_write" (fun p -> p.Protocol.start_write);
   Blocks.begin_access ctx.Protocol.bctx h ~write:true
 
 let end_write (ctx : ctx) h =
-  dispatch_access ctx h (fun p -> p.Protocol.end_write);
+  dispatch_access ctx h "end_write" (fun p -> p.Protocol.end_write);
   Blocks.end_access ctx.Protocol.bctx h ~write:true
 
-let lock (ctx : ctx) h = dispatch_access ctx h (fun p -> p.Protocol.lock)
-let unlock (ctx : ctx) h = dispatch_access ctx h (fun p -> p.Protocol.unlock)
+(* Lock spans come in two kinds: the [lock]/[unlock] protocol-call spans
+   (cat "call", like any other dispatch) and a [lock.hold] span (cat
+   "lock") stretching from lock acquisition to the matching unlock. *)
+let lock (ctx : ctx) h =
+  dispatch_access ctx h "lock" (fun p -> p.Protocol.lock);
+  match Machine.trace ctx.Protocol.rt.Protocol.machine with
+  | None -> ()
+  | Some tr ->
+      let p = ctx.Protocol.proc in
+      Trace.lock_acquired tr ~tid:p.Machine.id ~rid:h.Store.rid
+        ~ts:p.Machine.clock
+
+let unlock (ctx : ctx) h =
+  (match Machine.trace ctx.Protocol.rt.Protocol.machine with
+  | None -> ()
+  | Some tr ->
+      let p = ctx.Protocol.proc in
+      Trace.lock_released tr ~tid:p.Machine.id ~rid:h.Store.rid
+        ~ts:p.Machine.clock);
+  dispatch_access ctx h "unlock" (fun p -> p.Protocol.unlock)
 
 let base_barrier (ctx : ctx) =
   Machine.Barrier.wait ctx.Protocol.rt.Protocol.base_barrier ctx.Protocol.proc
 
 (* Ace_Barrier(space): the space's protocol gets to act first (e.g. a static
-   update protocol propagates its writes), then the processors synchronize. *)
+   update protocol propagates its writes), then the processors synchronize.
+   The protocol's pre-barrier work is traced as a "call" span; the global
+   synchronization itself is traced (per generation) by Machine.Barrier. *)
 let barrier (ctx : ctx) ~space =
   let sp = Runtime.space ctx.Protocol.rt space in
   charge ctx (cost ctx).Cost_model.dispatch;
-  sp.Protocol.proto.Protocol.barrier ctx sp;
+  (match Machine.trace ctx.Protocol.rt.Protocol.machine with
+  | None -> sp.Protocol.proto.Protocol.barrier ctx sp
+  | Some tr ->
+      let p = ctx.Protocol.proc in
+      let t0 = p.Machine.clock in
+      sp.Protocol.proto.Protocol.barrier ctx sp;
+      Trace.span tr ~name:"barrier_hook" ~cat:"call" ~tid:p.Machine.id ~ts:t0
+        ~dur:(p.Machine.clock -. t0)
+        ~args:[ ("space", space) ] ());
   base_barrier ctx
 
 (* Ace_ChangeProtocol: collective. The old protocol defines the transition
@@ -104,6 +149,14 @@ let barrier (ctx : ctx) ~space =
 let change_protocol (ctx : ctx) ~space name =
   let sp = Runtime.space ctx.Protocol.rt space in
   let newp = Runtime.find_protocol ctx.Protocol.rt name in
+  (match Machine.trace ctx.Protocol.rt.Protocol.machine with
+  | None -> ()
+  | Some tr ->
+      let p = ctx.Protocol.proc in
+      Trace.instant tr
+        ~name:(Printf.sprintf "change_protocol->%s" name)
+        ~cat:"proto" ~tid:p.Machine.id ~ts:p.Machine.clock
+        ~args:[ ("space", space) ] ());
   sp.Protocol.proto.Protocol.detach ctx sp;
   base_barrier ctx;
   if me ctx = 0 then begin

@@ -5,10 +5,14 @@ module Machine = Ace_engine.Machine
 module Blocks = Ace_region.Blocks
 module Cost_model = Ace_net.Cost_model
 
+let sid_spaces = Ace_engine.Stats.intern "ace.spaces"
+
 let create ?(cost = Cost_model.cm5_ace) ~nprocs () =
   let machine = Machine.create ~nprocs in
   let am = Ace_net.Am.create machine cost in
-  let store = Ace_region.Store.create ~nprocs in
+  let store =
+    Ace_region.Store.create ~stats:(Machine.stats machine) ~nprocs ()
+  in
   let rt =
     {
       Protocol.machine;
@@ -32,6 +36,8 @@ let create ?(cost = Cost_model.cm5_ace) ~nprocs () =
 let machine (rt : Protocol.runtime) = rt.Protocol.machine
 let store (rt : Protocol.runtime) = rt.Protocol.store
 let nprocs (rt : Protocol.runtime) = Machine.nprocs rt.Protocol.machine
+let set_trace (rt : Protocol.runtime) tr = Machine.set_trace rt.Protocol.machine tr
+let trace (rt : Protocol.runtime) = Machine.trace rt.Protocol.machine
 
 let register (rt : Protocol.runtime) (p : Protocol.protocol) =
   if Hashtbl.mem rt.Protocol.registry p.Protocol.name then
@@ -67,6 +73,7 @@ let new_space (rt : Protocol.runtime) proto_name =
   end;
   rt.Protocol.spaces.(rt.Protocol.nspaces) <- sp;
   rt.Protocol.nspaces <- rt.Protocol.nspaces + 1;
+  Ace_engine.Stats.incr_id (Machine.stats rt.Protocol.machine) sid_spaces;
   sp
 
 let space (rt : Protocol.runtime) sid =

@@ -12,6 +12,13 @@ val machine : Protocol.runtime -> Ace_engine.Machine.t
 val store : Protocol.runtime -> Ace_region.Store.t
 val nprocs : Protocol.runtime -> int
 
+(** Attach/detach an event tracer on the underlying machine (see
+    {!Ace_engine.Machine.set_trace}); tracing never perturbs simulated
+    time. *)
+val set_trace : Protocol.runtime -> Ace_engine.Trace.t option -> unit
+
+val trace : Protocol.runtime -> Ace_engine.Trace.t option
+
 (** Add a protocol to the registry (the paper's registration script plus
     link step). Raises [Invalid_argument] on duplicate names. *)
 val register : Protocol.runtime -> Protocol.protocol -> unit

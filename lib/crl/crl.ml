@@ -5,9 +5,13 @@
    of the paper's Figure 7a. *)
 
 module Machine = Ace_engine.Machine
+module Stats = Ace_engine.Stats
+module Trace = Ace_engine.Trace
 module Store = Ace_region.Store
 module Blocks = Ace_region.Blocks
 module Cost_model = Ace_net.Cost_model
+
+let fam_calls_node = Stats.fam "crl.calls.by_node"
 
 type t = {
   machine : Machine.t;
@@ -24,7 +28,7 @@ let create ?(cost = Cost_model.cm5_crl) ~nprocs () =
     machine;
     am = Ace_net.Am.create machine cost;
     cost;
-    store = Ace_region.Store.create ~nprocs;
+    store = Ace_region.Store.create ~stats:(Machine.stats machine) ~nprocs ();
     base_barrier =
       Machine.Barrier.create machine ~cost:(fun p -> Cost_model.barrier_cost cost p);
     coll = Ace_region.Collective.create ~nprocs;
@@ -77,31 +81,62 @@ let data ctx (h : h) =
   | Some c -> c.Store.cdata
   | None -> invalid_arg "Crl.data: region not mapped on this node"
 
+(* Wrap a coherence call with the per-node call counter and — when a tracer
+   is attached — a span on the caller's row (CRL regions have no space, so
+   spans carry only the region id; recording never moves the clock). *)
+let coh_call ctx name (h : h) f =
+  Stats.incr_dim (Machine.stats ctx.sys.machine) fam_calls_node (me ctx);
+  match Machine.trace ctx.sys.machine with
+  | None -> f ()
+  | Some tr ->
+      let p = ctx.proc in
+      let t0 = p.Machine.clock in
+      f ();
+      Trace.span tr ~name ~cat:"call" ~tid:p.Machine.id ~ts:t0
+        ~dur:(p.Machine.clock -. t0)
+        ~args:[ ("rid", h.Store.rid) ] ()
+
 let start_read ctx h =
-  charge ctx ctx.sys.cost.Cost_model.start_hit;
-  Blocks.fetch_shared ctx.bctx h;
+  coh_call ctx "start_read" h (fun () ->
+      charge ctx ctx.sys.cost.Cost_model.start_hit;
+      Blocks.fetch_shared ctx.bctx h);
   Blocks.begin_access ctx.bctx h ~write:false
 
 let end_read ctx h =
-  charge ctx ctx.sys.cost.Cost_model.end_op;
+  coh_call ctx "end_read" h (fun () ->
+      charge ctx ctx.sys.cost.Cost_model.end_op);
   Blocks.end_access ctx.bctx h ~write:false
 
 let start_write ctx h =
-  charge ctx ctx.sys.cost.Cost_model.start_hit;
-  Blocks.fetch_exclusive ctx.bctx h;
+  coh_call ctx "start_write" h (fun () ->
+      charge ctx ctx.sys.cost.Cost_model.start_hit;
+      Blocks.fetch_exclusive ctx.bctx h);
   Blocks.begin_access ctx.bctx h ~write:true
 
 let end_write ctx h =
-  charge ctx ctx.sys.cost.Cost_model.end_op;
+  coh_call ctx "end_write" h (fun () ->
+      charge ctx ctx.sys.cost.Cost_model.end_op);
   Blocks.end_access ctx.bctx h ~write:true
 
 let lock ctx h =
-  charge ctx ctx.sys.cost.Cost_model.lock_base;
-  Blocks.home_lock ctx.bctx h
+  coh_call ctx "lock" h (fun () ->
+      charge ctx ctx.sys.cost.Cost_model.lock_base;
+      Blocks.home_lock ctx.bctx h);
+  match Machine.trace ctx.sys.machine with
+  | None -> ()
+  | Some tr ->
+      Trace.lock_acquired tr ~tid:(me ctx) ~rid:h.Store.rid
+        ~ts:ctx.proc.Machine.clock
 
 let unlock ctx h =
-  charge ctx ctx.sys.cost.Cost_model.lock_base;
-  Blocks.home_unlock ctx.bctx h
+  (match Machine.trace ctx.sys.machine with
+  | None -> ()
+  | Some tr ->
+      Trace.lock_released tr ~tid:(me ctx) ~rid:h.Store.rid
+        ~ts:ctx.proc.Machine.clock);
+  coh_call ctx "unlock" h (fun () ->
+      charge ctx ctx.sys.cost.Cost_model.lock_base;
+      Blocks.home_unlock ctx.bctx h)
 
 let barrier ctx ~space:_ = Machine.Barrier.wait ctx.sys.base_barrier ctx.proc
 

@@ -4,6 +4,9 @@ type t = {
   stats : Stats.t;
   mutable live : int; (* fibers spawned and not yet returned *)
   mutable max_clock : float;
+  mutable trace : Trace.t option;
+      (* event tracer; None (the default) keeps every instrumentation
+         point down to a single field read *)
 }
 
 and proc = { id : int; mutable clock : float; machine : t }
@@ -13,10 +16,19 @@ type _ Effect.t += Await : proc * 'a Ivar.t -> 'a Effect.t
 
 let create ~nprocs =
   if nprocs <= 0 then invalid_arg "Machine.create: nprocs <= 0";
-  { nprocs; events = Event_queue.create (); stats = Stats.create (); live = 0; max_clock = 0. }
+  {
+    nprocs;
+    events = Event_queue.create ();
+    stats = Stats.create ();
+    live = 0;
+    max_clock = 0.;
+    trace = None;
+  }
 
 let nprocs t = t.nprocs
 let stats t = t.stats
+let set_trace t tr = t.trace <- tr
+let trace t = t.trace
 let schedule t ~time f = Event_queue.push t.events ~time f
 
 let advance p cycles =
@@ -86,17 +98,22 @@ module Barrier = struct
     mutable arrived : int;
     mutable latest : float;
     mutable gen : unit Ivar.t;
+    mutable gen_no : int; (* generation counter, for trace labelling *)
   }
 
   let create owner ~cost =
-    { owner; cost; arrived = 0; latest = 0.; gen = Ivar.create () }
+    { owner; cost; arrived = 0; latest = 0.; gen = Ivar.create (); gen_no = 0 }
 
   (* Every arrival awaits the current generation's ivar; the last arrival
      fills it at [latest + cost P], which releases (and time-advances)
-     everyone, including itself. *)
+     everyone, including itself. Tracing records one span per processor per
+     generation, arrival to release: the per-proc span lengths within a
+     generation expose barrier skew (who arrived early and waited). *)
   let wait b p =
     let t = b.owner in
     let gen = b.gen in
+    let gen_no = b.gen_no in
+    let arrival = p.clock in
     b.arrived <- b.arrived + 1;
     if p.clock > b.latest then b.latest <- p.clock;
     if b.arrived = t.nprocs then begin
@@ -104,8 +121,15 @@ module Barrier = struct
       b.arrived <- 0;
       b.latest <- 0.;
       b.gen <- Ivar.create ();
+      b.gen_no <- gen_no + 1;
       Ivar.fill gen ~time:release ()
     end;
     await p gen;
-    Stats.incr_id t.stats sid_arrivals
+    Stats.incr_id t.stats sid_arrivals;
+    match t.trace with
+    | None -> ()
+    | Some tr ->
+        Trace.span tr ~name:"barrier" ~cat:"barrier" ~tid:p.id ~ts:arrival
+          ~dur:(p.clock -. arrival)
+          ~args:[ ("gen", gen_no) ] ()
 end

@@ -19,6 +19,14 @@ val create : nprocs:int -> t
 val nprocs : t -> int
 val stats : t -> Stats.t
 
+(** Attach (or detach) an event tracer. With [None] — the default — every
+    instrumentation point in the simulator reduces to one field read, and
+    a traced run's simulated times are bit-identical to an untraced run's
+    (the tracer only records; it never advances a clock). *)
+val set_trace : t -> Trace.t option -> unit
+
+val trace : t -> Trace.t option
+
 (** [schedule t ~time f] runs [f] at virtual [time] on the event loop
     (used for message deliveries; [f] must not block). *)
 val schedule : t -> time:float -> (unit -> unit) -> unit

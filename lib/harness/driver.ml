@@ -1,6 +1,11 @@
 (* Generic drivers: run any application (functorized over the DSM facade) on
    the CRL baseline or on the Ace runtime, returning simulated seconds and
-   the node-0 result value. *)
+   the node-0 result value. Pass [?trace] to record the run as a Chrome
+   trace-event JSON file (simulated output is unaffected; see
+   Ace_engine.Trace). *)
+
+module Machine = Ace_engine.Machine
+module Trace = Ace_engine.Trace
 
 module type APP = sig
   type config
@@ -14,29 +19,53 @@ end
 
 type outcome = { seconds : float; result : float }
 
-let run_crl (type cfg) ~nprocs (module App : APP with type config = cfg)
-    (cfg : cfg) =
-  let sys = Ace_crl.Crl.create ~nprocs () in
-  let module A = App.Make (Ace_crl.Crl.Api) in
-  let result = ref nan in
-  Ace_crl.Crl.run sys (fun ctx ->
-      let r = A.run cfg ctx in
-      if Ace_crl.Crl.me ctx = 0 then result := r);
-  { seconds = Ace_crl.Crl.time_seconds sys; result = !result }
+(* Attach a tracer for the duration of [body] and write the trace out
+   afterwards; with no trace path this is exactly the untraced run. *)
+let traced ?trace machine ~nprocs body =
+  match trace with
+  | None -> body ()
+  | Some path ->
+      let tr = Trace.create () in
+      Machine.set_trace machine (Some tr);
+      let out = body () in
+      Trace.write_file tr ~nprocs path;
+      out
 
-let run_ace (type cfg) ~nprocs (module App : APP with type config = cfg)
-    (cfg : cfg) =
+let run_crl (type cfg) ?trace ?stats ~nprocs
+    (module App : APP with type config = cfg) (cfg : cfg) =
+  let sys = Ace_crl.Crl.create ~nprocs () in
+  let machine = Ace_crl.Crl.machine sys in
+  let out =
+    traced ?trace machine ~nprocs (fun () ->
+        let module A = App.Make (Ace_crl.Crl.Api) in
+        let result = ref nan in
+        Ace_crl.Crl.run sys (fun ctx ->
+            let r = A.run cfg ctx in
+            if Ace_crl.Crl.me ctx = 0 then result := r);
+        { seconds = Ace_crl.Crl.time_seconds sys; result = !result })
+  in
+  Option.iter (fun f -> f (Machine.stats machine)) stats;
+  out
+
+let run_ace (type cfg) ?trace ?stats ~nprocs
+    (module App : APP with type config = cfg) (cfg : cfg) =
   let rt = Ace_runtime.Runtime.create ~nprocs () in
   Ace_protocols.Proto_lib.register_all rt;
   for _ = 1 to App.n_spaces do
     ignore (Ace_runtime.Runtime.new_space rt "SC")
   done;
-  let module A = App.Make (Ace_runtime.Ops.Api) in
-  let result = ref nan in
-  Ace_runtime.Runtime.run rt (fun ctx ->
-      let r = A.run cfg ctx in
-      if Ace_runtime.Ops.me ctx = 0 then result := r);
-  { seconds = Ace_runtime.Runtime.time_seconds rt; result = !result }
+  let machine = Ace_runtime.Runtime.machine rt in
+  let out =
+    traced ?trace machine ~nprocs (fun () ->
+        let module A = App.Make (Ace_runtime.Ops.Api) in
+        let result = ref nan in
+        Ace_runtime.Runtime.run rt (fun ctx ->
+            let r = A.run cfg ctx in
+            if Ace_runtime.Ops.me ctx = 0 then result := r);
+        { seconds = Ace_runtime.Runtime.time_seconds rt; result = !result })
+  in
+  Option.iter (fun f -> f (Machine.stats machine)) stats;
+  out
 
 (* Per-iteration timing as in the paper ("average time per iteration ...
    discard the first iteration"): run once with a single step and once with

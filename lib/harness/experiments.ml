@@ -53,6 +53,31 @@ let tsp_avg run =
   ( List.fold_left (fun a o -> a +. o.Driver.seconds) 0. outcomes /. n,
     (List.hd outcomes).Driver.result )
 
+(* File-name slug for a row name: lowercase alphanumerics, runs of anything
+   else collapsed to one '-'. *)
+let slug name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9') as c -> Buffer.add_char b c
+      | _ ->
+          if Buffer.length b > 0 && Buffer.nth b (Buffer.length b - 1) <> '-'
+          then Buffer.add_char b '-')
+    name;
+  let s = Buffer.contents b in
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '-' then String.sub s 0 (n - 1) else s
+
+(* One trace file per grid cell: DIR/FIG-ROW-SIDE.trace.json. Cells that
+   run several simulations (per-iteration pairs, the TSP average) overwrite
+   the file, leaving the trace of the last — largest — run. *)
+let trace_path trace_dir ~fig ~row ~side =
+  Option.map
+    (fun dir ->
+      Filename.concat dir (Printf.sprintf "%s-%s-%s.trace.json" fig (slug row) side))
+    trace_dir
+
 type row = {
   name : string;
   baseline : float; (* seconds *)
@@ -102,11 +127,12 @@ let collect ?jobs (specs : spec array) =
        specs)
 
 (* Fig. 7a: Ace runtime vs CRL, both under the SC invalidation protocol. *)
-let fig7a ?(scale = default_scale) ?jobs () =
+let fig7a ?(scale = default_scale) ?jobs ?trace_dir () =
   let iters = 4 in
   let nprocs = scale.nprocs in
   let pi run = Driver.per_iteration ~run_with_steps:run ~iters in
   let avg run = let t, r = tsp_avg run in { Driver.seconds = t; result = r } in
+  let tp row side = trace_path trace_dir ~fig:"fig7a" ~row ~side in
   collect ?jobs
     [|
       {
@@ -114,102 +140,127 @@ let fig7a ?(scale = default_scale) ?jobs () =
         sper_iteration = true;
         sbase =
           (fun () ->
-            pi (fun steps -> Driver.run_crl ~nprocs (module Barnes_hut) (bh_cfg scale steps)));
+            pi (fun steps ->
+                Driver.run_crl ?trace:(tp "Barnes-Hut" "crl") ~nprocs
+                  (module Barnes_hut) (bh_cfg scale steps)));
         sace =
           (fun () ->
-            pi (fun steps -> Driver.run_ace ~nprocs (module Barnes_hut) (bh_cfg scale steps)));
+            pi (fun steps ->
+                Driver.run_ace ?trace:(tp "Barnes-Hut" "ace") ~nprocs
+                  (module Barnes_hut) (bh_cfg scale steps)));
       };
       {
         sname = "BSC";
         sper_iteration = false;
-        sbase = (fun () -> Driver.run_crl ~nprocs (module Cholesky) (bsc_cfg scale));
-        sace = (fun () -> Driver.run_ace ~nprocs (module Cholesky) (bsc_cfg scale));
+        sbase =
+          (fun () ->
+            Driver.run_crl ?trace:(tp "BSC" "crl") ~nprocs (module Cholesky)
+              (bsc_cfg scale));
+        sace =
+          (fun () ->
+            Driver.run_ace ?trace:(tp "BSC" "ace") ~nprocs (module Cholesky)
+              (bsc_cfg scale));
       };
       {
         sname = "EM3D";
         sper_iteration = true;
         sbase =
           (fun () ->
-            pi (fun steps -> Driver.run_crl ~nprocs (module Em3d) (em3d_cfg scale steps)));
+            pi (fun steps ->
+                Driver.run_crl ?trace:(tp "EM3D" "crl") ~nprocs (module Em3d)
+                  (em3d_cfg scale steps)));
         sace =
           (fun () ->
-            pi (fun steps -> Driver.run_ace ~nprocs (module Em3d) (em3d_cfg scale steps)));
+            pi (fun steps ->
+                Driver.run_ace ?trace:(tp "EM3D" "ace") ~nprocs (module Em3d)
+                  (em3d_cfg scale steps)));
       };
       {
         sname = "TSP";
         sper_iteration = false;
-        sbase = (fun () -> avg (Driver.run_crl ~nprocs (module Tsp)));
-        sace = (fun () -> avg (Driver.run_ace ~nprocs (module Tsp)));
+        sbase =
+          (fun () -> avg (Driver.run_crl ?trace:(tp "TSP" "crl") ~nprocs (module Tsp)));
+        sace =
+          (fun () -> avg (Driver.run_ace ?trace:(tp "TSP" "ace") ~nprocs (module Tsp)));
       };
       {
         sname = "Water";
         sper_iteration = true;
         sbase =
           (fun () ->
-            pi (fun steps -> Driver.run_crl ~nprocs (module Water) (water_cfg scale steps)));
+            pi (fun steps ->
+                Driver.run_crl ?trace:(tp "Water" "crl") ~nprocs (module Water)
+                  (water_cfg scale steps)));
         sace =
           (fun () ->
-            pi (fun steps -> Driver.run_ace ~nprocs (module Water) (water_cfg scale steps)));
+            pi (fun steps ->
+                Driver.run_ace ?trace:(tp "Water" "ace") ~nprocs (module Water)
+                  (water_cfg scale steps)));
       };
     |]
 
 (* Fig. 7b: single (SC) protocol vs application-specific protocols, both on
    the Ace runtime. *)
-let fig7b ?(scale = default_scale) ?jobs () =
+let fig7b ?(scale = default_scale) ?jobs ?trace_dir () =
   let iters = 4 in
   let nprocs = scale.nprocs in
   let pi run = Driver.per_iteration ~run_with_steps:run ~iters in
   let avg run = let t, r = tsp_avg run in { Driver.seconds = t; result = r } in
-  let em3d proto steps =
-    Driver.run_ace ~nprocs (module Em3d)
+  let tp row side = trace_path trace_dir ~fig:"fig7b" ~row ~side in
+  (* sides: "sc" = default protocol, "custom" = application-specific *)
+  let em3d side proto steps =
+    Driver.run_ace ?trace:(tp "EM3D (static update)" side) ~nprocs (module Em3d)
       { (em3d_cfg scale steps) with Em3d.protocol = proto }
   in
-  let bh proto steps =
-    Driver.run_ace ~nprocs (module Barnes_hut)
+  let bh side proto steps =
+    Driver.run_ace ?trace:(tp "Barnes-Hut (dyn update)" side) ~nprocs
+      (module Barnes_hut)
       { (bh_cfg scale steps) with Barnes_hut.protocol = proto }
   in
-  let water protos steps =
-    Driver.run_ace ~nprocs (module Water)
+  let water side protos steps =
+    Driver.run_ace ?trace:(tp "Water (null+pipeline)" side) ~nprocs
+      (module Water)
       { (water_cfg scale steps) with Water.phase_protocols = protos }
   in
-  let bsc proto =
-    Driver.run_ace ~nprocs (module Cholesky)
+  let bsc side proto =
+    Driver.run_ace ?trace:(tp "BSC (write-once)" side) ~nprocs (module Cholesky)
       { (bsc_cfg scale) with Cholesky.protocol = proto }
   in
-  let tsp proto cfg =
-    Driver.run_ace ~nprocs (module Tsp) { cfg with Tsp.counter_protocol = proto }
+  let tsp side proto cfg =
+    Driver.run_ace ?trace:(tp "TSP (counter)" side) ~nprocs (module Tsp)
+      { cfg with Tsp.counter_protocol = proto }
   in
   collect ?jobs
     [|
       {
         sname = "Barnes-Hut (dyn update)";
         sper_iteration = true;
-        sbase = (fun () -> pi (bh None));
-        sace = (fun () -> pi (bh (Some "DYN_UPDATE")));
+        sbase = (fun () -> pi (bh "sc" None));
+        sace = (fun () -> pi (bh "custom" (Some "DYN_UPDATE")));
       };
       {
         sname = "BSC (write-once)";
         sper_iteration = false;
-        sbase = (fun () -> bsc None);
-        sace = (fun () -> bsc (Some "WRITE_ONCE"));
+        sbase = (fun () -> bsc "sc" None);
+        sace = (fun () -> bsc "custom" (Some "WRITE_ONCE"));
       };
       {
         sname = "EM3D (static update)";
         sper_iteration = true;
-        sbase = (fun () -> pi (em3d None));
-        sace = (fun () -> pi (em3d (Some "STATIC_UPDATE")));
+        sbase = (fun () -> pi (em3d "sc" None));
+        sace = (fun () -> pi (em3d "custom" (Some "STATIC_UPDATE")));
       };
       {
         sname = "TSP (counter)";
         sper_iteration = false;
-        sbase = (fun () -> avg (tsp None));
-        sace = (fun () -> avg (tsp (Some "COUNTER")));
+        sbase = (fun () -> avg (tsp "sc" None));
+        sace = (fun () -> avg (tsp "custom" (Some "COUNTER")));
       };
       {
         sname = "Water (null+pipeline)";
         sper_iteration = true;
-        sbase = (fun () -> pi (water None));
-        sace = (fun () -> pi (water (Some ("NULL", "PIPELINE"))));
+        sbase = (fun () -> pi (water "sc" None));
+        sace = (fun () -> pi (water "custom" (Some ("NULL", "PIPELINE"))));
       };
     |]
 

@@ -14,14 +14,27 @@ let fresh_runtime ~nprocs =
   Ace_protocols.Proto_lib.register_all rt;
   rt
 
+(* Record the runtime's simulation as a trace file when asked (simulated
+   output is unaffected; see Ace_engine.Trace). *)
+let traced ?trace rt ~nprocs body =
+  match trace with
+  | None -> body ()
+  | Some path ->
+      let tr = Ace_engine.Trace.create () in
+      Runtime.set_trace rt (Some tr);
+      let out = body () in
+      Ace_engine.Trace.write_file tr ~nprocs path;
+      out
+
 (* ---- compiled versions ---- *)
 
-let run_compiled ~nprocs ~level source =
+let run_compiled ?trace ~nprocs ~level source =
   let rt = fresh_runtime ~nprocs in
-  let registry = Ace_lang.Registry.of_runtime rt in
-  let ir, _diag = Ace_lang.Compile.compile ~registry ~level source in
-  let result = Ace_lang.Interp.run_spmd rt ir in
-  (Runtime.time_seconds rt, result)
+  traced ?trace rt ~nprocs (fun () ->
+      let registry = Ace_lang.Registry.of_runtime rt in
+      let ir, _diag = Ace_lang.Compile.compile ~registry ~level source in
+      let result = Ace_lang.Interp.run_spmd rt ir in
+      (Runtime.time_seconds rt, result))
 
 (* ---- hand-written runtime versions of the same kernels ---- *)
 
@@ -346,17 +359,18 @@ let hands =
     ("WATER", (hand_water, 1));
   ]
 
-let run_hand ~nprocs name =
+let run_hand ?trace ~nprocs name =
   let hand, n_spaces = List.assoc name hands in
   let rt = fresh_runtime ~nprocs in
   for _ = 1 to n_spaces do
     ignore (Runtime.new_space rt "SC")
   done;
-  let result = ref nan in
-  Runtime.run rt (fun ctx ->
-      let r = hand ctx in
-      if Ops.me ctx = 0 then result := r);
-  (Runtime.time_seconds rt, !result)
+  traced ?trace rt ~nprocs (fun () ->
+      let result = ref nan in
+      Runtime.run rt (fun ctx ->
+          let r = hand ctx in
+          if Ops.me ctx = 0 then result := r);
+      (Runtime.time_seconds rt, !result))
 
 type row = {
   name : string;
@@ -375,12 +389,16 @@ type row = {
    times are identical to a serial run. *)
 let variants = 5
 
-let table4 ?(nprocs = 32) ?jobs () =
+let table4 ?(nprocs = 32) ?jobs ?trace_dir () =
   let benchmarks = Array.of_list Ace_lang.Kernels.all in
   let cell i =
     let name, source = benchmarks.(i / variants) in
+    let variant = [| "o0"; "o1"; "o2"; "o3"; "hand" |].(i mod variants) in
+    let trace =
+      Experiments.trace_path trace_dir ~fig:"table4" ~row:name ~side:variant
+    in
     match i mod variants with
-    | 4 -> fun () -> run_hand ~nprocs name
+    | 4 -> fun () -> run_hand ?trace ~nprocs name
     | v ->
         let level =
           match v with
@@ -389,7 +407,7 @@ let table4 ?(nprocs = 32) ?jobs () =
           | 2 -> Ace_lang.Opt.O2
           | _ -> Ace_lang.Opt.O3
         in
-        fun () -> run_compiled ~nprocs ~level source
+        fun () -> run_compiled ?trace ~nprocs ~level source
   in
   let cells =
     Array.init (variants * Array.length benchmarks) (fun i -> Pool.timed (cell i))

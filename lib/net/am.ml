@@ -1,33 +1,89 @@
 module Machine = Ace_engine.Machine
 module Ivar = Ace_engine.Ivar
 module Stats = Ace_engine.Stats
+module Trace = Ace_engine.Trace
 
 let sid_messages = Stats.intern "net.messages"
 let sid_bytes = Stats.intern "net.bytes"
+let fam_msgs_src = Stats.fam "net.msgs.by_src"
+let fam_msgs_dst = Stats.fam "net.msgs.by_dst"
+let fam_bytes_src = Stats.fam "net.bytes.by_src"
+let fam_bytes_dst = Stats.fam "net.bytes.by_dst"
+let fam_msgs_link = Stats.fam "net.msgs.by_link"
+
+let hist_latency =
+  Stats.hist "net.latency_cycles"
+    ~limits:[| 50.; 100.; 200.; 400.; 800.; 1600.; 3200.; 6400. |]
 
 type t = {
   machine : Machine.t;
   cost : Cost_model.t;
   mutable messages : int;
   mutable bytes_sent : int;
+  nprocs : int;
+  (* live Stats cell arrays, opened once so the per-message accounting is
+     plain array stores (Am.send is the simulator's hottest path; the
+     dimensions are fixed at nprocs / nprocs^2 so the references never go
+     stale — see Stats.dim_open) *)
+  msgs_src : float array;
+  msgs_dst : float array;
+  bytes_src : float array;
+  bytes_dst : float array;
+  msgs_link : float array;
+  lat_limits : float array;
+  lat_counts : float array;
 }
 
-let create machine cost = { machine; cost; messages = 0; bytes_sent = 0 }
+let create machine cost =
+  let stats = Machine.stats machine in
+  let n = Machine.nprocs machine in
+  let lat_limits, lat_counts = Stats.hist_live stats hist_latency in
+  {
+    machine;
+    cost;
+    messages = 0;
+    bytes_sent = 0;
+    nprocs = n;
+    msgs_src = Stats.dim_open stats fam_msgs_src ~size:n;
+    msgs_dst = Stats.dim_open stats fam_msgs_dst ~size:n;
+    bytes_src = Stats.dim_open stats fam_bytes_src ~size:n;
+    bytes_dst = Stats.dim_open stats fam_bytes_dst ~size:n;
+    msgs_link = Stats.dim_open stats fam_msgs_link ~size:(n * n);
+    lat_limits;
+    lat_counts;
+  }
+
 let machine t = t.machine
 let cost t = t.cost
 
 let send t ~now ~src ~dst ~bytes handler =
-  ignore src;
-  ignore dst;
   if bytes < 0 then invalid_arg "Am.send: negative size";
+  let nprocs = t.nprocs in
+  if src < 0 || src >= nprocs then invalid_arg "Am.send: bad src";
+  if dst < 0 || dst >= nprocs then invalid_arg "Am.send: bad dst";
   t.messages <- t.messages + 1;
   t.bytes_sent <- t.bytes_sent + bytes;
   let stats = Machine.stats t.machine in
+  let fbytes = float_of_int bytes in
   Stats.incr_id stats sid_messages;
-  Stats.add_id stats sid_bytes (float_of_int bytes);
+  Stats.add_id stats sid_bytes fbytes;
+  t.msgs_src.(src) <- t.msgs_src.(src) +. 1.;
+  t.msgs_dst.(dst) <- t.msgs_dst.(dst) +. 1.;
+  t.bytes_src.(src) <- t.bytes_src.(src) +. fbytes;
+  t.bytes_dst.(dst) <- t.bytes_dst.(dst) +. fbytes;
+  let link = (src * nprocs) + dst in
+  t.msgs_link.(link) <- t.msgs_link.(link) +. 1.;
   let arrival =
     now +. Cost_model.transit t.cost ~bytes +. t.cost.Cost_model.am_recv_overhead
   in
+  let b = Stats.bucket t.lat_limits (arrival -. now) in
+  t.lat_counts.(b) <- t.lat_counts.(b) +. 1.;
+  (match Machine.trace t.machine with
+  | None -> ()
+  | Some tr ->
+      Trace.arc tr ~name:"msg" ~cat:"msg" ~tid_src:src ~tid_dst:dst ~ts:now
+        ~ts_end:arrival
+        ~args:[ ("src", src); ("dst", dst); ("bytes", bytes) ] ());
   Machine.schedule t.machine ~time:arrival (fun () -> handler ~time:arrival)
 
 let send_from t (p : Machine.proc) ~dst ~bytes handler =

@@ -16,7 +16,9 @@ val cost : t -> Cost_model.t
 (** [send t ~now ~src ~dst ~bytes h] injects a message at time [now]; the
     handler [h ~time] runs at the destination at delivery time. Does not
     charge sender processor overhead (see {!send_from}). Usable from inside
-    message handlers. *)
+    message handlers. [src]/[dst] must name simulated processors — they
+    feed the per-node and per-link message counters and the trace's
+    send->deliver arcs. *)
 val send : t -> now:float -> src:int -> dst:int -> bytes:int -> (time:float -> unit) -> unit
 
 (** [send_from t proc ~dst ~bytes h] charges the calling fiber the send

@@ -1,0 +1,165 @@
+(* Trace analyses backing the [acetrace] CLI: where did simulated time go,
+   per protocol call, per region, per space; how skewed were the barrier
+   generations; what did the network carry. All times are simulated cycles
+   straight from the trace (the viewer calls them "us"; 1 tick = 1 cycle). *)
+
+type row = {
+  label : string;
+  count : int;
+  total : float; (* summed span duration, cycles *)
+  mean : float;
+  max : float;
+}
+
+let group key_of evs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace_read.ev) ->
+      match key_of e with
+      | None -> ()
+      | Some key ->
+          let c, tot, mx =
+            match Hashtbl.find_opt tbl key with
+            | Some acc -> acc
+            | None -> (0, 0., 0.)
+          in
+          Hashtbl.replace tbl key (c + 1, tot +. e.Trace_read.dur, Float.max mx e.Trace_read.dur))
+    evs;
+  Hashtbl.fold
+    (fun label (count, total, max) acc ->
+      { label; count; total; mean = total /. float_of_int count; max } :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare (b.total, b.label) (a.total, a.label))
+
+let span cat (e : Trace_read.ev) = e.Trace_read.ph = 'X' && e.Trace_read.cat = cat
+
+(* Time under each protocol call (start_read, end_write, lock, ...),
+   summed across processors. *)
+let call_breakdown evs =
+  group (fun e -> if span "call" e then Some e.Trace_read.name else None) evs
+
+(* Hottest regions: protocol-call and lock-hold time attributed to the
+   region ("rid" span arg). *)
+let hottest_regions evs =
+  group
+    (fun e ->
+      if span "call" e || span "lock" e then
+        Option.map (Printf.sprintf "region %d") (Trace_read.int_arg "rid" e)
+      else None)
+    evs
+
+(* Hottest spaces: protocol-call time attributed to the space ("space" span
+   arg; CRL traces carry no spaces and yield an empty table). *)
+let hottest_spaces evs =
+  group
+    (fun e ->
+      if span "call" e then
+        Option.map (Printf.sprintf "space %d") (Trace_read.int_arg "space" e)
+      else None)
+    evs
+
+(* Per-generation barrier skew: each processor's barrier span starts at its
+   arrival and ends when the generation releases, so skew = spread of the
+   arrival timestamps and span = first arrival to release. *)
+type barrier_row = {
+  gen : int;
+  arrivals : int;
+  first_ts : float;
+  skew : float; (* last arrival - first arrival, cycles *)
+  span : float; (* first arrival - release, cycles *)
+}
+
+let barrier_skew evs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace_read.ev) ->
+      if span "barrier" e then
+        match Trace_read.int_arg "gen" e with
+        | None -> ()
+        | Some gen ->
+            let t0 = e.Trace_read.ts and t1 = e.Trace_read.ts +. e.Trace_read.dur in
+            let n, first, last, rel =
+              match Hashtbl.find_opt tbl gen with
+              | Some acc -> acc
+              | None -> (0, infinity, neg_infinity, neg_infinity)
+            in
+            Hashtbl.replace tbl gen
+              (n + 1, Float.min first t0, Float.max last t0, Float.max rel t1))
+    evs;
+  Hashtbl.fold
+    (fun gen (arrivals, first, last, rel) acc ->
+      {
+        gen;
+        arrivals;
+        first_ts = first;
+        skew = last -. first;
+        span = rel -. first;
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.gen b.gen)
+
+(* Message arcs: 'b' (send, on the source row, with src/dst/bytes args) and
+   'e' (delivery, on the destination row) paired by id. *)
+type msg_stats = {
+  messages : int;
+  bytes : int;
+  mean_latency : float;
+  max_latency : float;
+  links : row list; (* per src->dst link, ordered by message count *)
+}
+
+let messages evs =
+  let sends = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Trace_read.ev) ->
+      if e.Trace_read.ph = 'b' && e.Trace_read.cat = "msg" then
+        Hashtbl.replace sends e.Trace_read.id e)
+    evs;
+  let count = ref 0 and bytes = ref 0 in
+  let lat_sum = ref 0. and lat_max = ref 0. in
+  let links = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace_read.ev) ->
+      if e.Trace_read.ph = 'e' && e.Trace_read.cat = "msg" then
+        match Hashtbl.find_opt sends e.Trace_read.id with
+        | None -> ()
+        | Some b ->
+            let lat = e.Trace_read.ts -. b.Trace_read.ts in
+            incr count;
+            bytes := !bytes + Option.value (Trace_read.int_arg "bytes" b) ~default:0;
+            lat_sum := !lat_sum +. lat;
+            lat_max := Float.max !lat_max lat;
+            let link =
+              Printf.sprintf "%d->%d" b.Trace_read.tid e.Trace_read.tid
+            in
+            let c, tot, mx =
+              match Hashtbl.find_opt links link with
+              | Some acc -> acc
+              | None -> (0, 0., 0.)
+            in
+            Hashtbl.replace links link (c + 1, tot +. lat, Float.max mx lat))
+    evs;
+  let link_rows =
+    Hashtbl.fold
+      (fun label (c, tot, mx) acc ->
+        { label; count = c; total = tot; mean = tot /. float_of_int c; max = mx }
+        :: acc)
+      links []
+    |> List.sort (fun a b -> compare (b.count, b.label) (a.count, a.label))
+  in
+  {
+    messages = !count;
+    bytes = !bytes;
+    mean_latency = (if !count = 0 then 0. else !lat_sum /. float_of_int !count);
+    max_latency = !lat_max;
+    links = link_rows;
+  }
+
+let take n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: go (n - 1) tl
+  in
+  go n l

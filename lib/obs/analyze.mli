@@ -1,0 +1,46 @@
+(** Trace analyses over {!Trace_read.ev} lists (backing [bin/acetrace]). *)
+
+type row = {
+  label : string;
+  count : int;
+  total : float; (* summed duration, simulated cycles *)
+  mean : float;
+  max : float;
+}
+
+(** Time under each protocol call, summed across processors, hottest
+    first. *)
+val call_breakdown : Trace_read.ev list -> row list
+
+(** Protocol-call + lock-hold time per region ("rid" arg), hottest
+    first. *)
+val hottest_regions : Trace_read.ev list -> row list
+
+(** Protocol-call time per space ("space" arg), hottest first. Empty for
+    CRL traces (no spaces). *)
+val hottest_spaces : Trace_read.ev list -> row list
+
+type barrier_row = {
+  gen : int;
+  arrivals : int;
+  first_ts : float;
+  skew : float; (* last arrival - first arrival *)
+  span : float; (* first arrival - release *)
+}
+
+(** Per-generation barrier arrival skew, in generation order. *)
+val barrier_skew : Trace_read.ev list -> barrier_row list
+
+type msg_stats = {
+  messages : int;
+  bytes : int;
+  mean_latency : float;
+  max_latency : float;
+  links : row list; (* per src->dst link, busiest first *)
+}
+
+(** Message-arc statistics ('b'/'e' pairs matched by id). *)
+val messages : Trace_read.ev list -> msg_stats
+
+(** First [n] elements of a list (fewer if short). *)
+val take : int -> 'a list -> 'a list

@@ -1,0 +1,22 @@
+(** Minimal dependency-free JSON parsing (reader side of the hand-rolled
+    JSON this repo emits). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Parse a complete JSON document. Raises {!Parse_error} on malformed
+    input or trailing garbage. *)
+val parse : string -> t
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_string : t -> string option
+val to_list : t -> t list option
+val to_int : t -> int option

@@ -1,0 +1,74 @@
+(* Reader for the Chrome trace-event JSON files that
+   {!Ace_engine.Trace.write_file} produces: the inverse of the writer, as
+   plain event records for analysis (and for the trace tests, which parse
+   an emitted file back and check its shape). *)
+
+type ev = {
+  name : string;
+  cat : string;
+  ph : char;
+  ts : float;
+  dur : float;
+  tid : int;
+  id : int; (* async pair id, -1 when absent *)
+  args : (string * float) list; (* numeric args only *)
+}
+
+let is_meta e = e.ph = 'M'
+
+let of_json j =
+  let str k d =
+    match Json.member k j with
+    | Some (Json.Str s) -> s
+    | _ -> d
+  in
+  let num k d =
+    match Json.member k j with Some v -> Option.value (Json.to_float v) ~default:d | None -> d
+  in
+  let ph = match str "ph" "?" with s when String.length s = 1 -> s.[0] | _ -> '?' in
+  let args =
+    match Json.member "args" j with
+    | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (k, v) ->
+            match Json.to_float v with Some f -> Some (k, f) | None -> None)
+          fields
+    | _ -> []
+  in
+  {
+    name = str "name" "";
+    cat = str "cat" "";
+    ph;
+    ts = num "ts" 0.;
+    dur = num "dur" 0.;
+    tid = int_of_float (num "tid" 0.);
+    id = int_of_float (num "id" (-1.));
+    args;
+  }
+
+let of_string s =
+  match Json.parse s with
+  | Json.Obj _ as j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List evs) -> List.map of_json evs
+      | _ -> failwith "trace: no traceEvents array")
+  | _ -> failwith "trace: top level is not an object"
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  of_string s
+
+(* Number of simulated-processor rows: the thread_name metadata count when
+   present, else 1 + the largest tid seen. *)
+let nprocs evs =
+  let metas =
+    List.length (List.filter (fun e -> is_meta e && e.name = "thread_name") evs)
+  in
+  if metas > 0 then metas
+  else 1 + List.fold_left (fun m e -> max m e.tid) 0 evs
+
+let arg k e = List.assoc_opt k e.args
+let int_arg k e = Option.map int_of_float (arg k e)

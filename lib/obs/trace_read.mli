@@ -1,0 +1,27 @@
+(** Load Chrome trace-event JSON files written by
+    {!Ace_engine.Trace.write_file}. *)
+
+type ev = {
+  name : string;
+  cat : string;
+  ph : char;
+  ts : float; (* simulated cycles *)
+  dur : float;
+  tid : int; (* simulated processor *)
+  id : int; (* async pair id, -1 when absent *)
+  args : (string * float) list; (* numeric args only *)
+}
+
+val is_meta : ev -> bool
+
+(** Parse a trace document (the whole file contents). Raises
+    [Json.Parse_error] or [Failure] on malformed input. *)
+val of_string : string -> ev list
+
+val load : string -> ev list
+
+(** Simulated-processor row count (thread_name metadata, or max tid + 1). *)
+val nprocs : ev list -> int
+
+val arg : string -> ev -> float option
+val int_arg : string -> ev -> int option

@@ -9,6 +9,13 @@
 
 module Protocol = Ace_runtime.Protocol
 module Blocks = Ace_region.Blocks
+module Stats = Ace_engine.Stats
+module Machine = Ace_engine.Machine
+
+let sid_fetch_add = Stats.intern "proto.counter.fetch_add"
+let sid_home_rmw = Stats.intern "proto.counter.home_rmw"
+
+let stats (ctx : Protocol.ctx) = Machine.stats ctx.Protocol.rt.Protocol.machine
 
 let start_read (ctx : Protocol.ctx) meta =
   Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.start_hit;
@@ -25,9 +32,14 @@ let start_read (ctx : Protocol.ctx) meta =
    which remote fetch-and-adds also serialize with. *)
 let start_write (ctx : Protocol.ctx) meta =
   Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.start_hit;
-  if ctx.Protocol.proc.Ace_engine.Machine.id = meta.Ace_region.Store.home then
+  if ctx.Protocol.proc.Ace_engine.Machine.id = meta.Ace_region.Store.home then begin
+    Stats.incr_id (stats ctx) sid_home_rmw;
     Blocks.home_rmw_begin ctx.Protocol.bctx meta
-  else Blocks.fetch_add ctx.Protocol.bctx meta ~delta:1.0
+  end
+  else begin
+    Stats.incr_id (stats ctx) sid_fetch_add;
+    Blocks.fetch_add ctx.Protocol.bctx meta ~delta:1.0
+  end
 
 let end_write (ctx : Protocol.ctx) meta =
   Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.end_op;

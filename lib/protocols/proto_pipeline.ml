@@ -28,6 +28,12 @@ module Blocks = Ace_region.Blocks
 module Store = Ace_region.Store
 module Machine = Ace_engine.Machine
 module Ivar = Ace_engine.Ivar
+module Stats = Ace_engine.Stats
+
+let sid_pipelined = Stats.intern "proto.pipeline.writes"
+let sid_combined = Stats.intern "proto.pipeline.combined_release"
+
+let stats (ctx : Protocol.ctx) = Machine.stats ctx.Protocol.rt.Protocol.machine
 
 type pipe_state = {
   mutable outstanding : unit Ivar.t list;
@@ -60,6 +66,7 @@ let end_write (ctx : Protocol.ctx) meta =
   Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.end_op;
   let s = state ctx (space_of ctx meta) in
   let iv = Blocks.write_home_async ctx.Protocol.bctx meta in
+  Stats.incr_id (stats ctx) sid_pipelined;
   s.outstanding <- iv :: s.outstanding;
   Hashtbl.replace s.last_push meta.Store.rid iv
 
@@ -75,6 +82,7 @@ let unlock (ctx : Protocol.ctx) meta =
   match Hashtbl.find_opt s.last_push meta.Store.rid with
   | Some iv when not (Ivar.is_filled iv) ->
       (* combined update+release: the home unlocks when the data lands *)
+      Stats.incr_id (stats ctx) sid_combined;
       Blocks.unlock_after ctx.Protocol.bctx meta iv
   | Some _ | None -> Blocks.home_unlock ctx.Protocol.bctx meta
 

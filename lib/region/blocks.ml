@@ -29,10 +29,27 @@ let local_copy ctx meta =
       ctx.lcache <- Some (meta, c);
       c
 
-let sid_read_miss = Ace_engine.Stats.intern "coh.read_miss"
-let sid_write_miss = Ace_engine.Stats.intern "coh.write_miss"
-let sid_update_push = Ace_engine.Stats.intern "coh.update_push"
-let sid_static_push = Ace_engine.Stats.intern "coh.static_push"
+module Stats = Ace_engine.Stats
+
+let sid_read_miss = Stats.intern "coh.read_miss"
+let sid_write_miss = Stats.intern "coh.write_miss"
+let sid_update_push = Stats.intern "coh.update_push"
+let sid_static_push = Stats.intern "coh.static_push"
+let fam_read_miss_space = Stats.fam "coh.read_miss.by_space"
+let fam_write_miss_space = Stats.fam "coh.write_miss.by_space"
+let fam_miss_region = Stats.fam "coh.miss.by_region"
+let fam_inval_space = Stats.fam "coh.inval.by_space"
+
+let hist_inval_fanout =
+  Stats.hist "coh.inval_fanout" ~limits:[| 0.; 1.; 2.; 4.; 8.; 16.; 32. |]
+
+(* Miss accounting: total, per space (CRL regions live in space -1 and skip
+   the space dimension), and per region. *)
+let count_miss stats sid fam_space (meta : Store.meta) =
+  Stats.incr_id stats sid;
+  if meta.Store.space >= 0 then Stats.incr_dim stats fam_space meta.Store.space;
+  Stats.incr_dim stats fam_miss_region meta.Store.rid
+
 let ctl_bytes = 16
 let data_bytes meta = Store.bytes meta + ctl_bytes
 
@@ -158,7 +175,7 @@ let fetch_shared ctx meta =
   if copy.Store.cstate <> Store.Invalid then ()
   else begin
     let home = meta.Store.home in
-    Ace_engine.Stats.incr_id (stats ctx) sid_read_miss;
+    count_miss (stats ctx) sid_read_miss fam_read_miss_space meta;
     Machine.advance ctx.proc (Am.cost ctx.am).Ace_net.Cost_model.miss_overhead;
     transact ctx meta (fun ~time finish ->
         recall_owner ctx meta ~time ~downgrade:Store.Shared (fun time ->
@@ -185,7 +202,7 @@ let fetch_exclusive ctx meta =
   if copy.Store.cstate = Store.Exclusive && d.Store.owner = n then ()
   else begin
     let home = meta.Store.home in
-    Ace_engine.Stats.incr_id (stats ctx) sid_write_miss;
+    count_miss (stats ctx) sid_write_miss fam_write_miss_space meta;
     Machine.advance ctx.proc (Am.cost ctx.am).Ace_net.Cost_model.miss_overhead;
     transact ctx meta (fun ~time finish ->
         recall_owner ctx meta ~time ~downgrade:Store.Invalid (fun time ->
@@ -222,6 +239,11 @@ let fetch_exclusive ctx meta =
             let outstanding =
               ref (!n_victims + if invalidate_home then 1 else 0)
             in
+            let st = stats ctx in
+            Stats.observe st hist_inval_fanout (float_of_int !outstanding);
+            if meta.Store.space >= 0 && !outstanding > 0 then
+              Stats.add_dim st fam_inval_space meta.Store.space
+                (float_of_int !outstanding);
             let acked time =
               decr outstanding;
               if !outstanding = 0 then grant time
@@ -336,7 +358,7 @@ let push_update ctx meta =
   let home = meta.Store.home in
   let snapshot = Array.copy copy.Store.cdata in
   let done_iv = Ivar.create () in
-  Ace_engine.Stats.incr_id (stats ctx) sid_update_push;
+  Stats.incr_id (stats ctx) sid_update_push;
   let all_delivered ~time = Ivar.fill done_iv ~time () in
   if n = home then
     (* Home writes land in the master via aliasing: only forward. *)
@@ -367,7 +389,7 @@ let push_to ctx meta ~dsts =
   let remote_targets =
     List.sort_uniq compare (List.filter (fun d -> d <> n) (home :: dsts))
   in
-  Ace_engine.Stats.incr_id (stats ctx) sid_static_push;
+  Stats.incr_id (stats ctx) sid_static_push;
   (* When the writer is the home, the master is already fresh (aliasing)
      and only remote consumers appear in [remote_targets]. *)
   let outstanding = ref (List.length remote_targets) in

@@ -29,11 +29,26 @@ type meta = {
   lock : hlock;
 }
 
-type t = { nprocs : int; mutable regions : meta array; mutable n : int }
+module Stats = Ace_engine.Stats
 
-let create ~nprocs =
+let sid_allocs = Stats.intern "region.allocs"
+let sid_bytes = Stats.intern "region.bytes"
+let fam_allocs_home = Stats.fam "region.allocs.by_home"
+
+let hist_bytes =
+  Stats.hist "region.alloc_bytes"
+    ~limits:[| 16.; 64.; 256.; 1024.; 4096.; 16384. |]
+
+type t = {
+  nprocs : int;
+  mutable regions : meta array;
+  mutable n : int;
+  stats : Stats.t option; (* the owning machine's counters, when attached *)
+}
+
+let create ?stats ~nprocs () =
   if nprocs <= 0 then invalid_arg "Store.create";
-  { nprocs; regions = [||]; n = 0 }
+  { nprocs; regions = [||]; n = 0; stats }
 
 let nprocs t = t.nprocs
 
@@ -69,6 +84,14 @@ let alloc t ~home ~len ~space =
   end;
   t.regions.(t.n) <- meta;
   t.n <- t.n + 1;
+  (match t.stats with
+  | None -> ()
+  | Some stats ->
+      let b = float_of_int (8 * len) in
+      Stats.incr_id stats sid_allocs;
+      Stats.add_id stats sid_bytes b;
+      Stats.incr_dim stats fam_allocs_home home;
+      Stats.observe stats hist_bytes b);
   meta
 
 let get t rid =

@@ -44,7 +44,12 @@ type meta = {
 
 type t
 
-val create : nprocs:int -> t
+(** [create ?stats ~nprocs ()] makes an empty store. When [stats] (the
+    owning machine's counters) is supplied, every allocation bumps
+    [region.allocs]/[region.bytes], the per-home [region.allocs.by_home]
+    family, and the [region.alloc_bytes] size histogram. *)
+val create : ?stats:Ace_engine.Stats.t -> nprocs:int -> unit -> t
+
 val nprocs : t -> int
 
 (** [alloc t ~home ~len ~space] creates a region homed at [home]. The home's

@@ -25,7 +25,7 @@ let make_world ~nprocs =
   {
     m;
     am = Am.create m Cost_model.cm5_ace;
-    store = Store.create ~nprocs;
+    store = Store.create ~nprocs ();
     barrier = Machine.Barrier.create m ~cost:(fun _ -> 10.);
   }
 
@@ -37,7 +37,7 @@ let bar w p = Machine.Barrier.wait w.barrier p
 (* ---- store ---- *)
 
 let store_alloc_get () =
-  let s = Store.create ~nprocs:4 in
+  let s = Store.create ~nprocs:4 () in
   let meta = Store.alloc s ~home:2 ~len:8 ~space:0 in
   check_int "rid" 0 meta.Store.rid;
   check_int "home" 2 meta.Store.home;
@@ -50,7 +50,7 @@ let store_alloc_get () =
   Store.check_invariants meta
 
 let store_bad_args () =
-  let s = Store.create ~nprocs:2 in
+  let s = Store.create ~nprocs:2 () in
   Alcotest.check_raises "bad home" (Invalid_argument "Store.alloc: bad home")
     (fun () -> ignore (Store.alloc s ~home:5 ~len:1 ~space:0));
   Alcotest.check_raises "bad len" (Invalid_argument "Store.alloc: bad length")
@@ -59,7 +59,7 @@ let store_bad_args () =
     (fun () -> ignore (Store.get s 0))
 
 let store_sharers () =
-  let s = Store.create ~nprocs:4 in
+  let s = Store.create ~nprocs:4 () in
   let meta = Store.alloc s ~home:0 ~len:1 ~space:0 in
   meta.Store.dir.Store.sharers.(2) <- true;
   Alcotest.(check (list int)) "sharers" [ 0; 2 ] (Store.sharers meta ~except:3);

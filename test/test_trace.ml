@@ -1,0 +1,300 @@
+(* Observability tests: histogram bucket edges, dimensioned counters, the
+   tracer's JSON (parsed back with ace_obs), trace analyses on synthetic
+   events, and the invariant that tracing never changes simulated time. *)
+
+module Stats = Ace_engine.Stats
+module Machine = Ace_engine.Machine
+module Trace = Ace_engine.Trace
+module Driver = Ace_harness.Driver
+module Trace_read = Ace_obs.Trace_read
+module Analyze = Ace_obs.Analyze
+
+let em3d_cfg = { Ace_apps.Em3d.default with Ace_apps.Em3d.n_nodes = 64; steps = 2 }
+
+let tmp_trace () = Filename.temp_file "ace" ".trace.json"
+
+(* ---- Stats: histograms and families ---- *)
+
+let test_bucket_edges () =
+  let h = Stats.hist "test.hist.edges" ~limits:[| 1.; 2.; 4. |] in
+  let t = Stats.create () in
+  List.iter (Stats.observe t h) [ 1.0; 1.5; 2.0; 4.0; 5.0 ];
+  let limits, counts = Stats.hist_counts t h in
+  Alcotest.(check (array (float 0.))) "limits" [| 1.; 2.; 4. |] limits;
+  (* le semantics: 1.0 -> le=1; 1.5 and 2.0 -> le=2; 4.0 -> le=4;
+     5.0 -> overflow *)
+  Alcotest.(check (array (float 0.))) "counts" [| 1.; 2.; 1.; 1. |] counts
+
+let test_hist_validation () =
+  Alcotest.check_raises "empty limits" (Invalid_argument "Stats.hist: no bucket limits")
+    (fun () -> ignore (Stats.hist "test.hist.empty" ~limits:[||]));
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Stats.hist: limits must be strictly increasing")
+    (fun () -> ignore (Stats.hist "test.hist.bad" ~limits:[| 2.; 1. |]));
+  let a = Stats.hist "test.hist.dup" ~limits:[| 1.; 2. |] in
+  let b = Stats.hist "test.hist.dup" ~limits:[| 1.; 2. |] in
+  let t = Stats.create () in
+  Stats.observe t a 0.5;
+  Stats.observe t b 0.5;
+  let _, counts = Stats.hist_counts t a in
+  Alcotest.(check (float 0.)) "same id on re-registration" 2. counts.(0);
+  Alcotest.check_raises "conflicting limits"
+    (Invalid_argument "Stats.hist: conflicting limits for test.hist.dup")
+    (fun () -> ignore (Stats.hist "test.hist.dup" ~limits:[| 3. |]))
+
+let test_fam () =
+  let f = Stats.fam "test.fam" in
+  let t = Stats.create () in
+  Stats.incr_dim t f 0;
+  Stats.incr_dim t f 7;
+  Stats.add_dim t f 7 2.;
+  Alcotest.(check (float 0.)) "cell 0" 1. (Stats.get_dim t f 0);
+  Alcotest.(check (float 0.)) "cell 7" 3. (Stats.get_dim t f 7);
+  Alcotest.(check (float 0.)) "untouched" 0. (Stats.get_dim t f 3);
+  Alcotest.(check (list (pair int (float 0.))))
+    "sparse cells" [ (0, 1.); (7, 3.) ] (Stats.dim_cells t f);
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Stats.add_dim: negative index") (fun () ->
+      Stats.incr_dim t f (-1))
+
+(* Ids registered after a [t] was created must still work (the arrays grow
+   on demand; create only snapshots the sizes known at that point). *)
+let test_late_registration () =
+  let t = Stats.create () in
+  let f = Stats.fam "test.fam.late" in
+  let h = Stats.hist "test.hist.late" ~limits:[| 10. |] in
+  Stats.incr_dim t f 2;
+  Stats.observe t h 3.;
+  Alcotest.(check (float 0.)) "late fam" 1. (Stats.get_dim t f 2);
+  let _, counts = Stats.hist_counts t h in
+  Alcotest.(check (array (float 0.))) "late hist" [| 1.; 0. |] counts
+
+(* ---- Am.send argument validation (the fixed ~src/~dst handling) ---- *)
+
+let test_send_validation () =
+  let m = Machine.create ~nprocs:2 in
+  let am = Ace_net.Am.create m Ace_net.Cost_model.cm5_ace in
+  Alcotest.check_raises "bad src" (Invalid_argument "Am.send: bad src")
+    (fun () -> Ace_net.Am.send am ~now:0. ~src:5 ~dst:0 ~bytes:0 (fun ~time:_ -> ()));
+  Alcotest.check_raises "bad dst" (Invalid_argument "Am.send: bad dst")
+    (fun () -> Ace_net.Am.send am ~now:0. ~src:0 ~dst:(-1) ~bytes:0 (fun ~time:_ -> ()))
+
+(* ---- per-node / per-link counters agree with the scalars ---- *)
+
+let test_net_dims_sum () =
+  let nprocs = 4 in
+  let rt = Ace_runtime.Runtime.create ~nprocs () in
+  for _ = 1 to Ace_apps.Em3d.n_spaces do
+    ignore (Ace_runtime.Runtime.new_space rt "SC")
+  done;
+  let module A = Ace_apps.Em3d.Make (Ace_runtime.Ops.Api) in
+  Ace_runtime.Runtime.run rt (fun ctx -> ignore (A.run em3d_cfg ctx));
+  let st = Machine.stats (Ace_runtime.Runtime.machine rt) in
+  let total = Stats.get st "net.messages" in
+  Alcotest.(check bool) "messages flowed" true (total > 0.);
+  let sum f =
+    List.fold_left (fun a (_, v) -> a +. v) 0. (Stats.dim_cells st (Stats.fam f))
+  in
+  Alcotest.(check (float 0.)) "by_src sums to total" total (sum "net.msgs.by_src");
+  Alcotest.(check (float 0.)) "by_dst sums to total" total (sum "net.msgs.by_dst");
+  Alcotest.(check (float 0.)) "by_link sums to total" total (sum "net.msgs.by_link");
+  Alcotest.(check (float 0.))
+    "bytes by_src sums to net.bytes" (Stats.get st "net.bytes")
+    (sum "net.bytes.by_src");
+  let _, counts =
+    Stats.hist_counts st
+      (Stats.hist "net.latency_cycles"
+         ~limits:[| 50.; 100.; 200.; 400.; 800.; 1600.; 3200.; 6400. |])
+  in
+  Alcotest.(check (float 0.))
+    "latency histogram counts every message" total
+    (Array.fold_left ( +. ) 0. counts)
+
+(* ---- the trace file: well-formed, per-proc rows, expected span kinds ---- *)
+
+let test_trace_file () =
+  let path = tmp_trace () in
+  let nprocs = 4 in
+  ignore (Driver.run_ace ~trace:path ~nprocs (module Ace_apps.Em3d) em3d_cfg);
+  let evs = Trace_read.load path in
+  Sys.remove path;
+  Alcotest.(check int) "proc rows" nprocs (Trace_read.nprocs evs);
+  let real = List.filter (fun e -> not (Trace_read.is_meta e)) evs in
+  Alcotest.(check bool) "has events" true (List.length real > 0);
+  List.iter
+    (fun (e : Trace_read.ev) ->
+      Alcotest.(check bool) "known phase" true
+        (List.mem e.Trace_read.ph [ 'X'; 'b'; 'e'; 'i' ]);
+      Alcotest.(check bool) "tid in range" true
+        (e.Trace_read.tid >= 0 && e.Trace_read.tid < nprocs))
+    real;
+  let count p = List.length (List.filter p real) in
+  let span cat (e : Trace_read.ev) = e.Trace_read.ph = 'X' && e.Trace_read.cat = cat in
+  Alcotest.(check bool) "protocol-call spans" true (count (span "call") > 0);
+  Alcotest.(check bool) "barrier spans" true (count (span "barrier") > 0);
+  List.iter
+    (fun (e : Trace_read.ev) ->
+      if span "barrier" e then
+        Alcotest.(check bool) "barrier has gen" true
+          (Trace_read.int_arg "gen" e <> None))
+    real;
+  (* every message arc is a matched b/e pair *)
+  let phase c (e : Trace_read.ev) = e.Trace_read.ph = c && e.Trace_read.cat = "msg" in
+  let ids c =
+    List.filter_map
+      (fun e -> if phase c e then Some e.Trace_read.id else None)
+      real
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "has message arcs" true (count (phase 'b') > 0);
+  Alcotest.(check int) "arcs pair up" 0 (compare (ids 'b') (ids 'e'));
+  Alcotest.(check int) "arc ids unique" (count (phase 'b')) (List.length (ids 'b'))
+
+(* Lock holds show up for applications that lock (TSP's best bound). *)
+let test_lock_holds () =
+  let path = tmp_trace () in
+  ignore (Driver.run_ace ~trace:path ~nprocs:4 (module Ace_apps.Tsp) Ace_apps.Tsp.default);
+  let evs = Trace_read.load path in
+  Sys.remove path;
+  let holds =
+    List.filter
+      (fun (e : Trace_read.ev) ->
+        e.Trace_read.ph = 'X' && e.Trace_read.cat = "lock"
+        && e.Trace_read.name = "lock.hold")
+      evs
+  in
+  Alcotest.(check bool) "lock.hold spans" true (List.length holds > 0);
+  List.iter
+    (fun (e : Trace_read.ev) ->
+      Alcotest.(check bool) "hold has rid" true (Trace_read.int_arg "rid" e <> None);
+      Alcotest.(check bool) "hold duration >= 0" true (e.Trace_read.dur >= 0.))
+    holds
+
+(* The CRL baseline traces too (no spaces: region args only). *)
+let test_crl_trace () =
+  let path = tmp_trace () in
+  ignore (Driver.run_crl ~trace:path ~nprocs:4 (module Ace_apps.Em3d) em3d_cfg);
+  let evs = Trace_read.load path in
+  Sys.remove path;
+  let real = List.filter (fun e -> not (Trace_read.is_meta e)) evs in
+  Alcotest.(check bool) "crl call spans" true
+    (List.exists
+       (fun (e : Trace_read.ev) ->
+         e.Trace_read.ph = 'X' && e.Trace_read.cat = "call")
+       real);
+  Alcotest.(check (list (pair string (float 0.))))
+    "no spaces in a crl trace" []
+    (List.map (fun (r : Analyze.row) -> (r.Analyze.label, r.Analyze.total))
+       (Analyze.hottest_spaces real))
+
+(* ---- determinism: tracing must not move a single simulated second ---- *)
+
+let test_traced_identical () =
+  let run trace =
+    Driver.run_ace ?trace ~nprocs:4 (module Ace_apps.Em3d) em3d_cfg
+  in
+  let plain = run None in
+  let path = tmp_trace () in
+  let traced = run (Some path) in
+  Sys.remove path;
+  Alcotest.(check bool) "simulated seconds bit-identical" true
+    (plain.Driver.seconds = traced.Driver.seconds);
+  Alcotest.(check bool) "results bit-identical" true
+    (plain.Driver.result = traced.Driver.result)
+
+(* ---- analyses on a hand-built trace with known answers ---- *)
+
+let test_analyze_synthetic () =
+  let tr = Trace.create () in
+  Trace.span tr ~name:"start_read" ~cat:"call" ~tid:0 ~ts:10. ~dur:5.
+    ~args:[ ("space", 0); ("rid", 3) ] ();
+  Trace.span tr ~name:"start_read" ~cat:"call" ~tid:1 ~ts:20. ~dur:7.
+    ~args:[ ("space", 0); ("rid", 3) ] ();
+  Trace.span tr ~name:"end_write" ~cat:"call" ~tid:0 ~ts:40. ~dur:2.
+    ~args:[ ("space", 1); ("rid", 4) ] ();
+  Trace.span tr ~name:"barrier" ~cat:"barrier" ~tid:0 ~ts:100. ~dur:8.
+    ~args:[ ("gen", 0) ] ();
+  Trace.span tr ~name:"barrier" ~cat:"barrier" ~tid:1 ~ts:103. ~dur:5.
+    ~args:[ ("gen", 0) ] ();
+  Trace.arc tr ~name:"msg" ~cat:"msg" ~tid_src:0 ~tid_dst:1 ~ts:50.
+    ~ts_end:120. ~args:[ ("src", 0); ("dst", 1); ("bytes", 16) ] ();
+  Trace.lock_acquired tr ~tid:1 ~rid:4 ~ts:60.;
+  Trace.lock_released tr ~tid:1 ~rid:4 ~ts:75.;
+  let path = tmp_trace () in
+  Trace.write_file tr ~nprocs:2 path;
+  let evs = Trace_read.load path in
+  Sys.remove path;
+  let real = List.filter (fun e -> not (Trace_read.is_meta e)) evs in
+
+  (match Analyze.call_breakdown real with
+  | [ a; b ] ->
+      Alcotest.(check string) "hottest call" "start_read" a.Analyze.label;
+      Alcotest.(check (float 0.)) "start_read total" 12. a.Analyze.total;
+      Alcotest.(check int) "start_read count" 2 a.Analyze.count;
+      Alcotest.(check string) "second call" "end_write" b.Analyze.label
+  | rows -> Alcotest.failf "expected 2 call rows, got %d" (List.length rows));
+
+  (match Analyze.hottest_regions real with
+  | hot :: _ ->
+      (* region 4: 2 cyc of end_write + 15 cyc of lock.hold *)
+      Alcotest.(check string) "hottest region" "region 4" hot.Analyze.label;
+      Alcotest.(check (float 0.)) "region 4 time" 17. hot.Analyze.total
+  | [] -> Alcotest.fail "no region rows");
+
+  (match Analyze.barrier_skew real with
+  | [ b ] ->
+      Alcotest.(check int) "gen" 0 b.Analyze.gen;
+      Alcotest.(check int) "arrivals" 2 b.Analyze.arrivals;
+      Alcotest.(check (float 0.)) "skew" 3. b.Analyze.skew;
+      Alcotest.(check (float 0.)) "span" 8. b.Analyze.span
+  | rows -> Alcotest.failf "expected 1 barrier row, got %d" (List.length rows));
+
+  let m = Analyze.messages real in
+  Alcotest.(check int) "one message" 1 m.Analyze.messages;
+  Alcotest.(check int) "bytes" 16 m.Analyze.bytes;
+  Alcotest.(check (float 0.)) "latency" 70. m.Analyze.mean_latency;
+  match m.Analyze.links with
+  | [ l ] -> Alcotest.(check string) "link" "0->1" l.Analyze.label
+  | rows -> Alcotest.failf "expected 1 link row, got %d" (List.length rows)
+
+(* ---- the JSON parser itself ---- *)
+
+let test_json_parser () =
+  let open Ace_obs.Json in
+  (match parse {| {"a": [1, 2.5, -3e2], "b": "x\ny", "c": true, "d": null} |} with
+  | Obj [ ("a", List [ Num 1.; Num 2.5; Num -300. ]); ("b", Str "x\ny");
+          ("c", Bool true); ("d", Null) ] -> ()
+  | _ -> Alcotest.fail "unexpected parse");
+  List.iter
+    (fun s ->
+      match parse s with
+      | exception Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed %S" s)
+    [ "{"; "[1,]"; "{\"a\":}"; "12 34"; "\"unterminated"; "nul" ]
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "bucket edges" `Quick test_bucket_edges;
+          Alcotest.test_case "hist validation" `Quick test_hist_validation;
+          Alcotest.test_case "families" `Quick test_fam;
+          Alcotest.test_case "late registration" `Quick test_late_registration;
+          Alcotest.test_case "net dims sum" `Quick test_net_dims_sum;
+        ] );
+      ( "am",
+        [ Alcotest.test_case "send validation" `Quick test_send_validation ] );
+      ( "trace",
+        [
+          Alcotest.test_case "file well-formed" `Quick test_trace_file;
+          Alcotest.test_case "lock holds" `Quick test_lock_holds;
+          Alcotest.test_case "crl trace" `Quick test_crl_trace;
+          Alcotest.test_case "tracing is invisible" `Quick test_traced_identical;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "synthetic trace" `Quick test_analyze_synthetic;
+          Alcotest.test_case "json parser" `Quick test_json_parser;
+        ] );
+    ]
