@@ -24,17 +24,44 @@
                    traced-vs-untraced wall-clock overhead (also a
                    trace_overhead row in --json)
      --trace-dir D record one trace per grid cell of the selected
-                   experiments into D/FIG-ROW-SIDE.trace.json *)
+                   experiments into D/FIG-ROW-SIDE.trace.json
+     --drop P      per-transmission drop probability in [0,1) (default 0)
+     --dup P       per-transmission duplication probability (default 0)
+     --jitter C    max extra transit cycles per copy (default 0)
+     --fault-seed N  RNG seed for the fault model
+
+   The fault flags attach a deterministic fault model to every simulation
+   of the selected experiments (the reliable transport retransmits, so
+   results stay correct; simulated times change). With none of them given
+   the network is perfect and output is bit-identical to older builds.
+   The extra selection [faultsweep] runs every benchmark on the Ace
+   runtime across drop rates (or just --drop P if given) and reports the
+   transport's counters. *)
 
 module E = Ace_harness.Experiments
 module T4 = Ace_harness.Table4
 module Pool = Ace_harness.Pool
+module Faults = Ace_net.Faults
 
 let scale = ref { E.nprocs = 32; factor = 1 }
 let jobs : int option ref = ref None
 let json_path : string option ref = ref None
 let trace_path : string option ref = ref None
 let trace_dir : string option ref = ref None
+let drop = ref 0.
+let dup = ref 0.
+let jitter = ref 0.
+let fault_seed = ref Faults.default_seed
+let fault_given = ref false
+
+(* The spec for the selected experiments; None when no fault flag was
+   given, so the default run stays bit-identical. Validation happens here,
+   once, so a bad probability fails before any simulation starts. *)
+let fault_spec () =
+  if not !fault_given then None
+  else
+    Some
+      (Faults.spec ~drop:!drop ~dup:!dup ~jitter:!jitter ~seed:!fault_seed ())
 
 let line () = print_endline (String.make 72 '=')
 
@@ -94,7 +121,10 @@ let fig7a () =
   Printf.printf "Figure 7a: Ace runtime system versus CRL (SC protocol, %d procs)\n"
     !scale.E.nprocs;
   line ();
-  let rows = E.fig7a ~scale:!scale ?jobs:!jobs ?trace_dir:!trace_dir () in
+  let rows =
+    E.fig7a ~scale:!scale ?jobs:!jobs ?trace_dir:!trace_dir
+      ?faults:(fault_spec ()) ()
+  in
   E.print_rows ~left:"CRL" ~right:"Ace" rows;
   List.iter
     (fun r ->
@@ -109,7 +139,10 @@ let fig7b () =
     "Figure 7b: single (SC) protocol vs application-specific protocols (%d procs)\n"
     !scale.E.nprocs;
   line ();
-  let rows = E.fig7b ~scale:!scale ?jobs:!jobs ?trace_dir:!trace_dir () in
+  let rows =
+    E.fig7b ~scale:!scale ?jobs:!jobs ?trace_dir:!trace_dir
+      ?faults:(fault_spec ()) ()
+  in
   E.print_rows ~left:"SC" ~right:"custom" rows;
   List.iter
     (fun r ->
@@ -139,6 +172,34 @@ let table4 () =
           ("li_mc", r.T4.li_mc);
           ("li_mc_dc", r.T4.li_mc_dc);
           ("hand", r.T4.hand);
+        ])
+    rows;
+  print_newline ()
+
+(* ---- fault sweep (faultsweep selection) ---- *)
+
+let faultsweep () =
+  line ();
+  Printf.printf
+    "Fault sweep: Ace benchmarks on a lossy network (%d procs, seed %d)\n"
+    !scale.E.nprocs !fault_seed;
+  line ();
+  let base = Faults.spec ~dup:!dup ~jitter:!jitter ~seed:!fault_seed () in
+  let drops = if !drop > 0. then Some [ 0.0; !drop ] else None in
+  let rows = E.fault_sweep ~scale:!scale ?jobs:!jobs ?drops ~base () in
+  E.print_fault_rows rows;
+  List.iter
+    (fun r ->
+      record ~experiment:"faultsweep"
+        ~name:(Printf.sprintf "%s@%g" r.E.fr_bench r.E.fr_drop)
+        ~wall:r.E.fr_wall
+        [
+          ("seconds", r.E.fr_seconds);
+          ("retransmits", r.E.fr_retransmits);
+          ("timeouts", r.E.fr_timeouts);
+          ("dup_suppressed", r.E.fr_dup_suppressed);
+          ("dropped", r.E.fr_dropped);
+          ("giveups", r.E.fr_giveups);
         ])
     rows;
   print_newline ()
@@ -368,8 +429,9 @@ let micro () =
 let usage () =
   Printf.eprintf
     "usage: main [fig7a] [fig7b] [table4] [ablation] [micro] \
-     [trace_overhead] [--small] [--jobs N] [--json FILE] [--trace FILE] \
-     [--trace-dir DIR]\n";
+     [trace_overhead] [faultsweep] [--small] [--jobs N] [--json FILE] \
+     [--trace FILE] [--trace-dir DIR] [--drop P] [--dup P] [--jitter C] \
+     [--fault-seed N]\n";
   exit 2
 
 let () =
@@ -396,11 +458,33 @@ let () =
     | "--trace-dir" :: dir :: rest ->
         trace_dir := Some dir;
         parse rest
-    | [ (("--jobs" | "--json" | "--trace" | "--trace-dir") as flag) ] ->
+    | (("--drop" | "--dup" | "--jitter") as flag) :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f >= 0. ->
+            (match flag with
+            | "--drop" -> drop := f
+            | "--dup" -> dup := f
+            | _ -> jitter := f);
+            fault_given := true;
+            parse rest
+        | Some _ | None ->
+            Printf.eprintf "%s expects a non-negative number, got %s\n" flag v;
+            exit 2)
+    | "--fault-seed" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some s ->
+            fault_seed := s;
+            fault_given := true;
+            parse rest
+        | None ->
+            Printf.eprintf "--fault-seed expects an integer, got %s\n" v;
+            exit 2)
+    | [ (("--jobs" | "--json" | "--trace" | "--trace-dir" | "--drop" | "--dup"
+        | "--jitter" | "--fault-seed") as flag) ] ->
         Printf.eprintf "missing argument to %s\n" flag;
         usage ()
-    | (("fig7a" | "fig7b" | "table4" | "ablation" | "micro" | "trace_overhead")
-       as s)
+    | (("fig7a" | "fig7b" | "table4" | "ablation" | "micro" | "trace_overhead"
+       | "faultsweep") as s)
       :: rest ->
         s :: parse rest
     | other :: _ ->
@@ -408,6 +492,11 @@ let () =
         usage ()
   in
   let selections = parse args in
+  (* fail fast on out-of-range fault probabilities rather than mid-grid *)
+  (try ignore (fault_spec ())
+   with Invalid_argument m ->
+     Printf.eprintf "%s\n" m;
+     exit 2);
   (* fail fast on an unwritable report path rather than after the run *)
   (match !json_path with
   | Some p -> (
@@ -436,6 +525,7 @@ let () =
         Printf.eprintf "trace_overhead requires --trace FILE\n";
         exit 2
       end);
+  if List.mem "faultsweep" selections then faultsweep ();
   if List.mem "micro" selections then micro ();
   match !json_path with
   | Some path -> write_json path ~total_wall:(Unix.gettimeofday () -. t0)

@@ -8,13 +8,31 @@
 
 open Cmdliner
 
-let run_app app backend nprocs protocol steps scale verbose trace dump_stats =
+let run_app app backend nprocs protocol steps scale verbose trace dump_stats
+    faults =
   let module D = Ace_harness.Driver in
   let factor = scale in
+  (* Under a fault model, capture the reliable transport's counters so the
+     run can report what the lossy network cost. *)
+  let fault_counts = ref None in
+  let capture s =
+    if faults <> None then
+      let get = Ace_engine.Stats.get s in
+      fault_counts :=
+        Some
+          ( get "net.fault.dropped",
+            get "net.retransmits",
+            get "net.timeouts",
+            get "net.dup_suppressed",
+            get "net.giveups" )
+  in
   let stats =
     if dump_stats then
-      Some (fun s -> Format.printf "%a@?" Ace_engine.Stats.pp s)
-    else None
+      Some
+        (fun s ->
+          Format.printf "%a@?" Ace_engine.Stats.pp s;
+          capture s)
+    else Some capture
   in
   let pick crl ace = match backend with `Crl -> crl () | `Ace -> ace () in
   let outcome, reference =
@@ -29,8 +47,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats =
           }
         in
         ( pick
-            (fun () -> D.run_crl ?trace ?stats ~nprocs (module Ace_apps.Em3d) cfg)
-            (fun () -> D.run_ace ?trace ?stats ~nprocs (module Ace_apps.Em3d) cfg),
+            (fun () -> D.run_crl ?faults ?trace ?stats ~nprocs (module Ace_apps.Em3d) cfg)
+            (fun () -> D.run_ace ?faults ?trace ?stats ~nprocs (module Ace_apps.Em3d) cfg),
           Some
             (Ace_apps.Em3d.checksum (Ace_apps.Em3d.reference cfg ~nprocs)) )
     | `Barnes_hut ->
@@ -43,8 +61,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats =
           }
         in
         ( pick
-            (fun () -> D.run_crl ?trace ?stats ~nprocs (module Ace_apps.Barnes_hut) cfg)
-            (fun () -> D.run_ace ?trace ?stats ~nprocs (module Ace_apps.Barnes_hut) cfg),
+            (fun () -> D.run_crl ?faults ?trace ?stats ~nprocs (module Ace_apps.Barnes_hut) cfg)
+            (fun () -> D.run_ace ?faults ?trace ?stats ~nprocs (module Ace_apps.Barnes_hut) cfg),
           Some (Ace_apps.Barnes_hut.checksum (Ace_apps.Barnes_hut.reference cfg))
         )
     | `Bsc ->
@@ -60,8 +78,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats =
           }
         in
         ( pick
-            (fun () -> D.run_crl ?trace ?stats ~nprocs (module Ace_apps.Cholesky) cfg)
-            (fun () -> D.run_ace ?trace ?stats ~nprocs (module Ace_apps.Cholesky) cfg),
+            (fun () -> D.run_crl ?faults ?trace ?stats ~nprocs (module Ace_apps.Cholesky) cfg)
+            (fun () -> D.run_ace ?faults ?trace ?stats ~nprocs (module Ace_apps.Cholesky) cfg),
           Some
             (Ace_apps.Chol_core.checksum
                (Ace_apps.Chol_core.reference cfg.Ace_apps.Cholesky.core)) )
@@ -74,8 +92,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats =
           }
         in
         ( pick
-            (fun () -> D.run_crl ?trace ?stats ~nprocs (module Ace_apps.Tsp) cfg)
-            (fun () -> D.run_ace ?trace ?stats ~nprocs (module Ace_apps.Tsp) cfg),
+            (fun () -> D.run_crl ?faults ?trace ?stats ~nprocs (module Ace_apps.Tsp) cfg)
+            (fun () -> D.run_ace ?faults ?trace ?stats ~nprocs (module Ace_apps.Tsp) cfg),
           Some (Ace_apps.Tsp_core.reference cfg.Ace_apps.Tsp.core) )
     | `Water phase_protocols ->
         let cfg : Ace_apps.Water.config =
@@ -91,8 +109,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats =
           }
         in
         ( pick
-            (fun () -> D.run_crl ?trace ?stats ~nprocs (module Ace_apps.Water) cfg)
-            (fun () -> D.run_ace ?trace ?stats ~nprocs (module Ace_apps.Water) cfg),
+            (fun () -> D.run_crl ?faults ?trace ?stats ~nprocs (module Ace_apps.Water) cfg)
+            (fun () -> D.run_ace ?faults ?trace ?stats ~nprocs (module Ace_apps.Water) cfg),
           Some
             (Ace_apps.Water_core.checksum
                (Ace_apps.Water_core.reference cfg.Ace_apps.Water.core)) )
@@ -105,6 +123,13 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats =
       Printf.printf "sequential reference: %.9g (delta %.3g)\n" r
         (abs_float (r -. outcome.D.result))
   | _ -> ());
+  (match !fault_counts with
+  | Some (dropped, rexmit, timeouts, dupsup, giveups) ->
+      Printf.printf
+        "reliability: %.0f dropped, %.0f retransmits, %.0f timeouts, %.0f \
+         duplicates suppressed, %.0f giveups\n"
+        dropped rexmit timeouts dupsup giveups
+  | None -> ());
   (match trace with
   | Some path -> Printf.printf "wrote trace: %s\n" path
   | None -> ());
@@ -166,6 +191,38 @@ let stats_arg =
           "Dump all nonzero counters, dimensioned counter families and \
            histograms after the run.")
 
+let drop_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "drop" ] ~docv:"P"
+        ~doc:
+          "Per-transmission drop probability in [0,1). The reliable \
+           transport retransmits, so the run still completes correctly.")
+
+let dup_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "dup" ] ~docv:"P"
+        ~doc:"Per-transmission duplication probability in [0,1).")
+
+let jitter_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "jitter" ] ~docv:"CYCLES"
+        ~doc:"Maximum extra transit delay per message copy, in cycles.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt int Ace_net.Faults.default_seed
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:
+          "Fault-model RNG seed. The same seed reproduces the same \
+           loss/duplication/jitter pattern bit for bit.")
+
 let trace_arg =
   Arg.(
     value
@@ -181,7 +238,8 @@ let cmd =
   Cmd.v
     (Cmd.info "ace_demo" ~doc)
     Term.(
-      const (fun app backend nprocs protocol phases steps scale verbose trace stats ->
+      const (fun app backend nprocs protocol phases steps scale verbose trace
+                 stats drop dup jitter fault_seed ->
           let app =
             match app with
             | `Water_marker -> `Water phases
@@ -190,8 +248,16 @@ let cmd =
             | `Bsc -> `Bsc
             | `Tsp -> `Tsp
           in
-          run_app app backend nprocs protocol steps scale verbose trace stats)
+          let faults =
+            if drop > 0. || dup > 0. || jitter > 0. then
+              Some
+                (Ace_net.Faults.spec ~drop ~dup ~jitter ~seed:fault_seed ())
+            else None
+          in
+          run_app app backend nprocs protocol steps scale verbose trace stats
+            faults)
       $ app_arg $ backend_arg $ procs_arg $ protocol_arg $ phases_arg
-      $ steps_arg $ scale_arg $ verbose_arg $ trace_arg $ stats_arg)
+      $ steps_arg $ scale_arg $ verbose_arg $ trace_arg $ stats_arg
+      $ drop_arg $ dup_arg $ jitter_arg $ fault_seed_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -178,7 +178,15 @@ let new_space (ctx : ctx) proto_name =
     if k < rt.Protocol.nspaces then Runtime.space rt k
     else Runtime.new_space rt proto_name
   in
-  assert (String.equal sp.Protocol.proto.Protocol.name proto_name);
+  (* Collective-call matching is a correctness condition, not a debug
+     check: it must survive -noassert builds and name the mismatch. *)
+  if not (String.equal sp.Protocol.proto.Protocol.name proto_name) then
+    invalid_arg
+      (Printf.sprintf
+         "Ops.new_space: collective call %d on node %d requests protocol %S \
+          but space %d is bound to %S (mismatched Ace_NewSpace sequence \
+          across nodes?)"
+         k (me ctx) proto_name sp.Protocol.sid sp.Protocol.proto.Protocol.name);
   sp.Protocol.proto.Protocol.attach ctx sp;
   sp.Protocol.sid
 
@@ -203,10 +211,10 @@ let global_id (ctx : ctx) ~space ~owner ~seq =
     lookup ()
   end
   else
-    Ace_net.Am.rpc ctx.Protocol.bctx.Blocks.am ctx.Protocol.proc ~dst:owner
-      ~bytes:Blocks.ctl_bytes (fun reply ~time ->
+    Ace_net.Reliable.rpc ctx.Protocol.bctx.Blocks.net ctx.Protocol.proc
+      ~dst:owner ~bytes:Blocks.ctl_bytes (fun reply ~time ->
         let rid = lookup () in
-        Ace_net.Am.send ctx.Protocol.bctx.Blocks.am ~now:time ~src:owner
+        Ace_net.Reliable.send ctx.Protocol.bctx.Blocks.net ~now:time ~src:owner
           ~dst:(me ctx) ~bytes:Blocks.ctl_bytes (fun ~time ->
             Ace_engine.Ivar.fill reply ~time rid))
 

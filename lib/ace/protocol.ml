@@ -21,6 +21,8 @@ type pstate += Pstate_none
 type runtime = {
   machine : Machine.t;
   am : Ace_net.Am.t;
+  net : Ace_net.Reliable.t; (* reliable transport over [am]; all region
+                               traffic routes through it *)
   cost : Ace_net.Cost_model.t;
   store : Store.t;
   mutable spaces : space array;

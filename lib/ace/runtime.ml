@@ -17,6 +17,7 @@ let create ?(cost = Cost_model.cm5_ace) ~nprocs () =
     {
       Protocol.machine;
       am;
+      net = Ace_net.Reliable.create am;
       cost;
       store;
       spaces = [||];
@@ -34,6 +35,8 @@ let create ?(cost = Cost_model.cm5_ace) ~nprocs () =
   rt
 
 let machine (rt : Protocol.runtime) = rt.Protocol.machine
+let am (rt : Protocol.runtime) = rt.Protocol.am
+let net (rt : Protocol.runtime) = rt.Protocol.net
 let store (rt : Protocol.runtime) = rt.Protocol.store
 let nprocs (rt : Protocol.runtime) = Machine.nprocs rt.Protocol.machine
 let set_trace (rt : Protocol.runtime) tr = Machine.set_trace rt.Protocol.machine tr
@@ -84,7 +87,7 @@ let make_ctx (rt : Protocol.runtime) (proc : Machine.proc) =
   {
     Protocol.rt;
     proc;
-    bctx = Blocks.make_ctx rt.Protocol.am rt.Protocol.store proc;
+    bctx = Blocks.make_ctx rt.Protocol.net rt.Protocol.store proc;
     coll_ctr = 0;
     space_ctr = 0;
   }

@@ -9,6 +9,13 @@ val create :
   ?cost:Ace_net.Cost_model.t -> nprocs:int -> unit -> Protocol.runtime
 
 val machine : Protocol.runtime -> Ace_engine.Machine.t
+
+(** The raw Active Messages layer (attach a fault model here with
+    [Am.set_faults]) and the reliable transport the runtime routes
+    through. *)
+val am : Protocol.runtime -> Ace_net.Am.t
+
+val net : Protocol.runtime -> Ace_net.Reliable.t
 val store : Protocol.runtime -> Ace_region.Store.t
 val nprocs : Protocol.runtime -> int
 

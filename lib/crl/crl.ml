@@ -16,6 +16,7 @@ let fam_calls_node = Stats.fam "crl.calls.by_node"
 type t = {
   machine : Machine.t;
   am : Ace_net.Am.t;
+  net : Ace_net.Reliable.t;
   cost : Cost_model.t;
   store : Store.t;
   base_barrier : Machine.Barrier.b;
@@ -24,9 +25,11 @@ type t = {
 
 let create ?(cost = Cost_model.cm5_crl) ~nprocs () =
   let machine = Machine.create ~nprocs in
+  let am = Ace_net.Am.create machine cost in
   {
     machine;
-    am = Ace_net.Am.create machine cost;
+    am;
+    net = Ace_net.Reliable.create am;
     cost;
     store = Ace_region.Store.create ~stats:(Machine.stats machine) ~nprocs ();
     base_barrier =
@@ -42,11 +45,13 @@ type ctx = {
 }
 
 let make_ctx sys proc =
-  { sys; proc; bctx = Blocks.make_ctx sys.am sys.store proc; coll_ctr = 0 }
+  { sys; proc; bctx = Blocks.make_ctx sys.net sys.store proc; coll_ctr = 0 }
 
 let run sys program = Machine.run sys.machine (fun proc -> program (make_ctx sys proc))
 
 let machine sys = sys.machine
+let am sys = sys.am
+let net sys = sys.net
 let store sys = sys.store
 
 let time_seconds sys =

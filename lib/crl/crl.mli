@@ -16,6 +16,13 @@ type ctx
 val run : t -> (ctx -> unit) -> unit
 
 val machine : t -> Ace_engine.Machine.t
+
+(** The raw Active Messages layer (attach a fault model here with
+    [Am.set_faults]) and the reliable transport the runtime routes
+    through. *)
+val am : t -> Ace_net.Am.t
+
+val net : t -> Ace_net.Reliable.t
 val store : t -> Ace_region.Store.t
 
 (** Total simulated seconds at the modelled clock rate. *)

@@ -135,7 +135,12 @@ let popped_thunk t = t.popped_thunk
 let drain t f =
   while pop_min t do
     f t.popped_time t.popped_thunk
-  done
+  done;
+  (* Drop the last popped closure: leaving it in [popped_thunk] would keep
+     one arbitrary run's whole closure graph (captured regions, handlers,
+     continuations) live for as long as the queue object is — across every
+     later grid cell that reuses the machine. *)
+  t.popped_thunk <- ignore
 
 let is_empty t = t.size = 0
 let length t = t.size

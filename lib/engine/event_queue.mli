@@ -27,7 +27,8 @@ val popped_thunk : t -> unit -> unit
 
 (** [drain t f] pops every event in order, calling [f time thunk] for each.
     [f] may push further events; draining continues until the queue is
-    empty. *)
+    empty. On return the {!popped_thunk} slot is cleared, so the queue
+    retains no reference into the last event's closure graph. *)
 val drain : t -> (float -> (unit -> unit) -> unit) -> unit
 
 val is_empty : t -> bool

@@ -73,17 +73,34 @@ let spawn_fiber t (body : unit -> unit) =
 
 let run t program =
   let procs = Array.init t.nprocs (fun id -> { id; clock = t.max_clock; machine = t }) in
+  let finished = Array.make t.nprocs false in
   Array.iter
     (fun p ->
       Event_queue.push t.events ~time:p.clock (fun () ->
-          spawn_fiber t (fun () -> program p)))
+          spawn_fiber t (fun () ->
+              program p;
+              finished.(p.id) <- true)))
     procs;
   Event_queue.drain t.events (fun time thunk ->
       if time > t.max_clock then t.max_clock <- time;
       thunk ());
-  if t.live > 0 then
+  if t.live > 0 then begin
+    (* Name the stuck processors and where their clocks stopped, so a
+       deadlock (a lost-and-abandoned message, a mis-tuned retransmit
+       timeout, a missing barrier arrival) is diagnosable from the error
+       alone. *)
+    let blocked =
+      Array.to_list procs
+      |> List.filter (fun p -> not finished.(p.id))
+      |> List.map (fun p -> Printf.sprintf "P%d@%.0f" p.id p.clock)
+    in
     failwith
-      (Printf.sprintf "Machine.run: deadlock (%d fibers blocked forever)" t.live);
+      (Printf.sprintf
+         "Machine.run: deadlock: %d fiber(s) blocked forever with no \
+          pending events (last event at t=%.0f); blocked processors: %s"
+         t.live t.max_clock
+         (String.concat ", " blocked))
+  end;
   Array.iter (fun p -> if p.clock > t.max_clock then t.max_clock <- p.clock) procs
 
 let time t = t.max_clock

@@ -44,7 +44,8 @@ val await : proc -> 'a Ivar.t -> 'a
 
 (** [run t program] spawns [program proc] on every processor at time 0 and
     runs to completion. Raises [Failure] on deadlock (fibers alive, no
-    events). May be called repeatedly (e.g., successive phases). *)
+    events); the message names each blocked processor and the clock it
+    stopped at. May be called repeatedly (e.g., successive phases). *)
 val run : t -> (proc -> unit) -> unit
 
 (** Maximum processor clock observed (total simulated time, cycles). *)

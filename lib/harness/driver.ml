@@ -2,10 +2,21 @@
    the CRL baseline or on the Ace runtime, returning simulated seconds and
    the node-0 result value. Pass [?trace] to record the run as a Chrome
    trace-event JSON file (simulated output is unaffected; see
-   Ace_engine.Trace). *)
+   Ace_engine.Trace). Pass [?faults] to run on a lossy network: each
+   simulation instantiates its own RNG stream from the spec's seed, so
+   results are reproducible and independent of how the pool schedules
+   cells; the reliable transport keeps every protocol correct. *)
 
 module Machine = Ace_engine.Machine
 module Trace = Ace_engine.Trace
+module Faults = Ace_net.Faults
+
+(* A disabled spec (all knobs zero) attaches nothing, keeping the
+   zero-overhead faultless path and its bit-identical output. *)
+let attach_faults am = function
+  | Some spec when Faults.enabled spec ->
+      Ace_net.Am.set_faults am (Some (Faults.make spec))
+  | Some _ | None -> ()
 
 module type APP = sig
   type config
@@ -31,9 +42,10 @@ let traced ?trace machine ~nprocs body =
       Trace.write_file tr ~nprocs path;
       out
 
-let run_crl (type cfg) ?trace ?stats ~nprocs
+let run_crl (type cfg) ?faults ?trace ?stats ~nprocs
     (module App : APP with type config = cfg) (cfg : cfg) =
   let sys = Ace_crl.Crl.create ~nprocs () in
+  attach_faults (Ace_crl.Crl.am sys) faults;
   let machine = Ace_crl.Crl.machine sys in
   let out =
     traced ?trace machine ~nprocs (fun () ->
@@ -47,9 +59,10 @@ let run_crl (type cfg) ?trace ?stats ~nprocs
   Option.iter (fun f -> f (Machine.stats machine)) stats;
   out
 
-let run_ace (type cfg) ?trace ?stats ~nprocs
+let run_ace (type cfg) ?faults ?trace ?stats ~nprocs
     (module App : APP with type config = cfg) (cfg : cfg) =
   let rt = Ace_runtime.Runtime.create ~nprocs () in
+  attach_faults (Ace_runtime.Runtime.am rt) faults;
   Ace_protocols.Proto_lib.register_all rt;
   for _ = 1 to App.n_spaces do
     ignore (Ace_runtime.Runtime.new_space rt "SC")

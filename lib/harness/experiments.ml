@@ -1,6 +1,8 @@
 (* The paper's evaluation (Section 5), regenerated. Every row reports
    simulated seconds on the modelled 32-node CM-5. *)
 
+module Stats = Ace_engine.Stats
+module Faults = Ace_net.Faults
 module Em3d = Ace_apps.Em3d
 module Barnes_hut = Ace_apps.Barnes_hut
 module Cholesky = Ace_apps.Cholesky
@@ -127,7 +129,7 @@ let collect ?jobs (specs : spec array) =
        specs)
 
 (* Fig. 7a: Ace runtime vs CRL, both under the SC invalidation protocol. *)
-let fig7a ?(scale = default_scale) ?jobs ?trace_dir () =
+let fig7a ?(scale = default_scale) ?jobs ?trace_dir ?faults () =
   let iters = 4 in
   let nprocs = scale.nprocs in
   let pi run = Driver.per_iteration ~run_with_steps:run ~iters in
@@ -141,12 +143,12 @@ let fig7a ?(scale = default_scale) ?jobs ?trace_dir () =
         sbase =
           (fun () ->
             pi (fun steps ->
-                Driver.run_crl ?trace:(tp "Barnes-Hut" "crl") ~nprocs
+                Driver.run_crl ?faults ?trace:(tp "Barnes-Hut" "crl") ~nprocs
                   (module Barnes_hut) (bh_cfg scale steps)));
         sace =
           (fun () ->
             pi (fun steps ->
-                Driver.run_ace ?trace:(tp "Barnes-Hut" "ace") ~nprocs
+                Driver.run_ace ?faults ?trace:(tp "Barnes-Hut" "ace") ~nprocs
                   (module Barnes_hut) (bh_cfg scale steps)));
       };
       {
@@ -154,11 +156,11 @@ let fig7a ?(scale = default_scale) ?jobs ?trace_dir () =
         sper_iteration = false;
         sbase =
           (fun () ->
-            Driver.run_crl ?trace:(tp "BSC" "crl") ~nprocs (module Cholesky)
+            Driver.run_crl ?faults ?trace:(tp "BSC" "crl") ~nprocs (module Cholesky)
               (bsc_cfg scale));
         sace =
           (fun () ->
-            Driver.run_ace ?trace:(tp "BSC" "ace") ~nprocs (module Cholesky)
+            Driver.run_ace ?faults ?trace:(tp "BSC" "ace") ~nprocs (module Cholesky)
               (bsc_cfg scale));
       };
       {
@@ -167,21 +169,21 @@ let fig7a ?(scale = default_scale) ?jobs ?trace_dir () =
         sbase =
           (fun () ->
             pi (fun steps ->
-                Driver.run_crl ?trace:(tp "EM3D" "crl") ~nprocs (module Em3d)
+                Driver.run_crl ?faults ?trace:(tp "EM3D" "crl") ~nprocs (module Em3d)
                   (em3d_cfg scale steps)));
         sace =
           (fun () ->
             pi (fun steps ->
-                Driver.run_ace ?trace:(tp "EM3D" "ace") ~nprocs (module Em3d)
+                Driver.run_ace ?faults ?trace:(tp "EM3D" "ace") ~nprocs (module Em3d)
                   (em3d_cfg scale steps)));
       };
       {
         sname = "TSP";
         sper_iteration = false;
         sbase =
-          (fun () -> avg (Driver.run_crl ?trace:(tp "TSP" "crl") ~nprocs (module Tsp)));
+          (fun () -> avg (Driver.run_crl ?faults ?trace:(tp "TSP" "crl") ~nprocs (module Tsp)));
         sace =
-          (fun () -> avg (Driver.run_ace ?trace:(tp "TSP" "ace") ~nprocs (module Tsp)));
+          (fun () -> avg (Driver.run_ace ?faults ?trace:(tp "TSP" "ace") ~nprocs (module Tsp)));
       };
       {
         sname = "Water";
@@ -189,19 +191,19 @@ let fig7a ?(scale = default_scale) ?jobs ?trace_dir () =
         sbase =
           (fun () ->
             pi (fun steps ->
-                Driver.run_crl ?trace:(tp "Water" "crl") ~nprocs (module Water)
+                Driver.run_crl ?faults ?trace:(tp "Water" "crl") ~nprocs (module Water)
                   (water_cfg scale steps)));
         sace =
           (fun () ->
             pi (fun steps ->
-                Driver.run_ace ?trace:(tp "Water" "ace") ~nprocs (module Water)
+                Driver.run_ace ?faults ?trace:(tp "Water" "ace") ~nprocs (module Water)
                   (water_cfg scale steps)));
       };
     |]
 
 (* Fig. 7b: single (SC) protocol vs application-specific protocols, both on
    the Ace runtime. *)
-let fig7b ?(scale = default_scale) ?jobs ?trace_dir () =
+let fig7b ?(scale = default_scale) ?jobs ?trace_dir ?faults () =
   let iters = 4 in
   let nprocs = scale.nprocs in
   let pi run = Driver.per_iteration ~run_with_steps:run ~iters in
@@ -209,25 +211,25 @@ let fig7b ?(scale = default_scale) ?jobs ?trace_dir () =
   let tp row side = trace_path trace_dir ~fig:"fig7b" ~row ~side in
   (* sides: "sc" = default protocol, "custom" = application-specific *)
   let em3d side proto steps =
-    Driver.run_ace ?trace:(tp "EM3D (static update)" side) ~nprocs (module Em3d)
+    Driver.run_ace ?faults ?trace:(tp "EM3D (static update)" side) ~nprocs (module Em3d)
       { (em3d_cfg scale steps) with Em3d.protocol = proto }
   in
   let bh side proto steps =
-    Driver.run_ace ?trace:(tp "Barnes-Hut (dyn update)" side) ~nprocs
+    Driver.run_ace ?faults ?trace:(tp "Barnes-Hut (dyn update)" side) ~nprocs
       (module Barnes_hut)
       { (bh_cfg scale steps) with Barnes_hut.protocol = proto }
   in
   let water side protos steps =
-    Driver.run_ace ?trace:(tp "Water (null+pipeline)" side) ~nprocs
+    Driver.run_ace ?faults ?trace:(tp "Water (null+pipeline)" side) ~nprocs
       (module Water)
       { (water_cfg scale steps) with Water.phase_protocols = protos }
   in
   let bsc side proto =
-    Driver.run_ace ?trace:(tp "BSC (write-once)" side) ~nprocs (module Cholesky)
+    Driver.run_ace ?faults ?trace:(tp "BSC (write-once)" side) ~nprocs (module Cholesky)
       { (bsc_cfg scale) with Cholesky.protocol = proto }
   in
   let tsp side proto cfg =
-    Driver.run_ace ?trace:(tp "TSP (counter)" side) ~nprocs (module Tsp)
+    Driver.run_ace ?faults ?trace:(tp "TSP (counter)" side) ~nprocs (module Tsp)
       { cfg with Tsp.counter_protocol = proto }
   in
   collect ?jobs
@@ -273,4 +275,106 @@ let print_rows ~left ~right rows =
       Printf.printf "%-26s %12.6f %12.6f %8.2fx  %s\n" r.name r.baseline r.ace
         (speedup r)
         (if r.per_iteration then "s/iter" else "s total"))
+    rows
+
+(* {2 Fault sweep}
+
+   Every benchmark on the Ace runtime across a list of drop rates: the
+   protocols themselves are unchanged, so any completion at all is the
+   reliable transport doing its job, and the counters quantify what it
+   cost. One cell per (benchmark, drop rate) pair, parallelised like the
+   figures; each cell instantiates its own RNG stream from the shared
+   spec's seed, so rows are independent of pool scheduling. *)
+
+type fault_row = {
+  fr_bench : string;
+  fr_drop : float;
+  fr_seconds : float; (* simulated, total *)
+  fr_retransmits : float;
+  fr_timeouts : float;
+  fr_dup_suppressed : float;
+  fr_dropped : float; (* transmissions eaten by the network *)
+  fr_giveups : float;
+  fr_wall : float;
+}
+
+let fault_sweep ?(scale = default_scale) ?jobs
+    ?(drops = [ 0.0; 0.01; 0.02; 0.05 ]) ?(base = Faults.spec ()) () =
+  let nprocs = scale.nprocs in
+  (* Short runs: the sweep measures transport behaviour, not steady-state
+     application speed, so two steps per iterative benchmark suffice. *)
+  let benches :
+      (string
+      * (?faults:Faults.spec ->
+         ?stats:(Stats.t -> unit) ->
+         unit ->
+         Driver.outcome))
+      array =
+    [|
+      ( "Barnes-Hut",
+        fun ?faults ?stats () ->
+          Driver.run_ace ?faults ?stats ~nprocs (module Barnes_hut)
+            (bh_cfg scale 2) );
+      ( "BSC",
+        fun ?faults ?stats () ->
+          Driver.run_ace ?faults ?stats ~nprocs (module Cholesky)
+            (bsc_cfg scale) );
+      ( "EM3D",
+        fun ?faults ?stats () ->
+          Driver.run_ace ?faults ?stats ~nprocs (module Em3d)
+            (em3d_cfg scale 2) );
+      ( "TSP",
+        fun ?faults ?stats () ->
+          Driver.run_ace ?faults ?stats ~nprocs (module Tsp) (tsp_cfg scale) );
+      ( "Water",
+        fun ?faults ?stats () ->
+          Driver.run_ace ?faults ?stats ~nprocs (module Water)
+            (water_cfg scale 2) );
+    |]
+  in
+  let drops = Array.of_list drops in
+  let cells =
+    Array.init
+      (Array.length drops * Array.length benches)
+      (fun i ->
+        let drop = drops.(i / Array.length benches) in
+        let name, run = benches.(i mod Array.length benches) in
+        Pool.timed (fun () ->
+            let faults =
+              Faults.spec ~drop ~dup:base.Faults.dup ~jitter:base.Faults.jitter
+                ~seed:base.Faults.seed ()
+            in
+            let row = ref None in
+            let out =
+              run ~faults
+                ~stats:(fun st ->
+                  row :=
+                    Some
+                      {
+                        fr_bench = name;
+                        fr_drop = drop;
+                        fr_seconds = 0.;
+                        fr_retransmits = Stats.get st "net.retransmits";
+                        fr_timeouts = Stats.get st "net.timeouts";
+                        fr_dup_suppressed = Stats.get st "net.dup_suppressed";
+                        fr_dropped = Stats.get st "net.fault.dropped";
+                        fr_giveups = Stats.get st "net.giveups";
+                        fr_wall = 0.;
+                      })
+                ()
+            in
+            { (Option.get !row) with fr_seconds = out.Driver.seconds }))
+  in
+  let out = Pool.run_all ?jobs cells in
+  Array.to_list (Array.map (fun (r, wall) -> { r with fr_wall = wall }) out)
+
+let print_fault_rows rows =
+  Printf.printf "%-12s %6s %12s %8s %8s %8s %8s %8s\n" "benchmark" "drop"
+    "sim s" "rexmit" "timeout" "dupsup" "dropped" "giveup";
+  Printf.printf "%s\n" (String.make 78 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %6.3f %12.6f %8.0f %8.0f %8.0f %8.0f %8.0f\n"
+        r.fr_bench r.fr_drop r.fr_seconds r.fr_retransmits r.fr_timeouts
+        r.fr_dup_suppressed r.fr_dropped r.fr_giveups)
     rows

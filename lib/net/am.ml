@@ -5,11 +5,14 @@ module Trace = Ace_engine.Trace
 
 let sid_messages = Stats.intern "net.messages"
 let sid_bytes = Stats.intern "net.bytes"
+let sid_dropped = Stats.intern "net.fault.dropped"
+let sid_duplicated = Stats.intern "net.fault.duplicated"
 let fam_msgs_src = Stats.fam "net.msgs.by_src"
 let fam_msgs_dst = Stats.fam "net.msgs.by_dst"
 let fam_bytes_src = Stats.fam "net.bytes.by_src"
 let fam_bytes_dst = Stats.fam "net.bytes.by_dst"
 let fam_msgs_link = Stats.fam "net.msgs.by_link"
+let fam_drop_link = Stats.fam "net.fault.dropped.by_link"
 
 let hist_latency =
   Stats.hist "net.latency_cycles"
@@ -18,8 +21,9 @@ let hist_latency =
 type t = {
   machine : Machine.t;
   cost : Cost_model.t;
-  mutable messages : int;
+  mutable messages : int; (* logical sends: one per [send] call *)
   mutable bytes_sent : int;
+  mutable faults : Faults.t option;
   nprocs : int;
   (* live Stats cell arrays, opened once so the per-message accounting is
      plain array stores (Am.send is the simulator's hottest path; the
@@ -43,6 +47,7 @@ let create machine cost =
     cost;
     messages = 0;
     bytes_sent = 0;
+    faults = None;
     nprocs = n;
     msgs_src = Stats.dim_open stats fam_msgs_src ~size:n;
     msgs_dst = Stats.dim_open stats fam_msgs_dst ~size:n;
@@ -55,26 +60,27 @@ let create machine cost =
 
 let machine t = t.machine
 let cost t = t.cost
+let set_faults t f = t.faults <- f
+let faults t = t.faults
 
-let send t ~now ~src ~dst ~bytes handler =
-  if bytes < 0 then invalid_arg "Am.send: negative size";
-  let nprocs = t.nprocs in
-  if src < 0 || src >= nprocs then invalid_arg "Am.send: bad src";
-  if dst < 0 || dst >= nprocs then invalid_arg "Am.send: bad dst";
-  t.messages <- t.messages + 1;
-  t.bytes_sent <- t.bytes_sent + bytes;
+(* Put one copy on the wire: physical accounting (the net.* counters count
+   copies that actually travel and deliver), latency bucketing, the trace
+   arc, and the delivery event. [extra] is fault-injected transit jitter
+   (0 on the faultless path, where [arrival] reduces bit-exactly to the
+   historical [now + transit + recv_overhead]). *)
+let deliver t ~now ~src ~dst ~bytes ~fbytes ~extra handler =
   let stats = Machine.stats t.machine in
-  let fbytes = float_of_int bytes in
   Stats.incr_id stats sid_messages;
   Stats.add_id stats sid_bytes fbytes;
   t.msgs_src.(src) <- t.msgs_src.(src) +. 1.;
   t.msgs_dst.(dst) <- t.msgs_dst.(dst) +. 1.;
   t.bytes_src.(src) <- t.bytes_src.(src) +. fbytes;
   t.bytes_dst.(dst) <- t.bytes_dst.(dst) +. fbytes;
-  let link = (src * nprocs) + dst in
+  let link = (src * t.nprocs) + dst in
   t.msgs_link.(link) <- t.msgs_link.(link) +. 1.;
   let arrival =
-    now +. Cost_model.transit t.cost ~bytes +. t.cost.Cost_model.am_recv_overhead
+    now +. Cost_model.transit t.cost ~bytes
+    +. t.cost.Cost_model.am_recv_overhead +. extra
   in
   let b = Stats.bucket t.lat_limits (arrival -. now) in
   t.lat_counts.(b) <- t.lat_counts.(b) +. 1.;
@@ -85,6 +91,34 @@ let send t ~now ~src ~dst ~bytes handler =
         ~ts_end:arrival
         ~args:[ ("src", src); ("dst", dst); ("bytes", bytes) ] ());
   Machine.schedule t.machine ~time:arrival (fun () -> handler ~time:arrival)
+
+let send t ~now ~src ~dst ~bytes handler =
+  if bytes < 0 then invalid_arg "Am.send: negative size";
+  let nprocs = t.nprocs in
+  if src < 0 || src >= nprocs then invalid_arg "Am.send: bad src";
+  if dst < 0 || dst >= nprocs then invalid_arg "Am.send: bad dst";
+  t.messages <- t.messages + 1;
+  t.bytes_sent <- t.bytes_sent + bytes;
+  let fbytes = float_of_int bytes in
+  match t.faults with
+  | None -> deliver t ~now ~src ~dst ~bytes ~fbytes ~extra:0. handler
+  | Some f ->
+      let fate = Faults.draw f in
+      let stats = Machine.stats t.machine in
+      if fate.Faults.dropped then begin
+        Stats.incr_id stats sid_dropped;
+        Stats.incr_dim stats fam_drop_link ((src * nprocs) + dst);
+        match Machine.trace t.machine with
+        | None -> ()
+        | Some tr ->
+            Trace.instant tr ~name:"drop" ~cat:"net" ~tid:src ~ts:now
+              ~args:[ ("dst", dst); ("bytes", bytes) ] ()
+      end;
+      if fate.Faults.duplicated then Stats.incr_id stats sid_duplicated;
+      for _ = 1 to fate.Faults.copies do
+        deliver t ~now ~src ~dst ~bytes ~fbytes ~extra:(Faults.jitter_of f)
+          handler
+      done
 
 let send_from t (p : Machine.proc) ~dst ~bytes handler =
   Machine.advance p t.cost.Cost_model.am_send_overhead;

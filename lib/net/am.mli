@@ -4,7 +4,24 @@
     destination at delivery time — the same restriction as real Active
     Messages (von Eicken et al.): handlers must not block; they may send
     further messages and fill ivars. Payload size is declared for the cost
-    model; the closure carries the actual data. *)
+    model; the closure carries the actual data.
+
+    {2 Message accounting}
+
+    Two tallies exist and they deliberately count different things:
+
+    - {!messages}/{!bytes_sent} count {e logical} sends — one per {!send}
+      call, whatever the network later does to the message.
+    - The [net.messages]/[net.bytes] Stats counters (and the per-src/dst,
+      per-link families and the latency histogram) count {e physical}
+      copies that travel the wire and deliver: a fault-dropped copy is
+      excluded (tallied under [net.fault.dropped] and its per-link family
+      instead), a fault-duplicated copy counts twice (the extra copy also
+      tallied under [net.fault.duplicated]).
+
+    With no fault model attached the two necessarily agree — every logical
+    send is exactly one physical delivery (see the invariant test in
+    [test_faults.ml]). *)
 
 type t
 
@@ -13,12 +30,23 @@ val create : Ace_engine.Machine.t -> Cost_model.t -> t
 val machine : t -> Ace_engine.Machine.t
 val cost : t -> Cost_model.t
 
+(** Attach (or detach) a fault model. With [None] — the default — every
+    send takes the historical zero-overhead path and delivers exactly once,
+    bit-identically to a build without fault support. With [Some f], every
+    transmission draws drop/duplicate/jitter fates from [f]. Raw [Am] users
+    see lost and duplicated handlers; route through {!Reliable} to get
+    exactly-once delivery on a faulty network. *)
+val set_faults : t -> Faults.t option -> unit
+
+val faults : t -> Faults.t option
+
 (** [send t ~now ~src ~dst ~bytes h] injects a message at time [now]; the
     handler [h ~time] runs at the destination at delivery time. Does not
     charge sender processor overhead (see {!send_from}). Usable from inside
     message handlers. [src]/[dst] must name simulated processors — they
     feed the per-node and per-link message counters and the trace's
-    send->deliver arcs. *)
+    send->deliver arcs. Under an attached fault model the handler may run
+    zero, one or two times. *)
 val send : t -> now:float -> src:int -> dst:int -> bytes:int -> (time:float -> unit) -> unit
 
 (** [send_from t proc ~dst ~bytes h] charges the calling fiber the send
@@ -32,5 +60,8 @@ val rpc :
   t -> Ace_engine.Machine.proc -> dst:int -> bytes:int ->
   ('a Ace_engine.Ivar.t -> time:float -> unit) -> 'a
 
+(** Logical sends / bytes: one per {!send} call (see {e Message accounting}
+    above). *)
 val messages : t -> int
+
 val bytes_sent : t -> int

@@ -1,0 +1,67 @@
+(* Deterministic per-message network fault model.
+
+   Every transmission attempt on a link draws its fate from one seeded
+   splitmix64 stream: drop?, duplicate?, then one jitter draw per copy that
+   actually travels. The draws happen in a fixed order on every send —
+   including when a probability is zero — so the stream position (and hence
+   every later decision) depends only on the fault seed and the simulation's
+   deterministic event order, never on which knobs are enabled. *)
+
+module Det_rng = Ace_engine.Det_rng
+
+type spec = { drop : float; dup : float; jitter : float; seed : int }
+
+let default_seed = 0x5eed
+
+let spec ?(drop = 0.) ?(dup = 0.) ?(jitter = 0.) ?(seed = default_seed) () =
+  let prob what p =
+    if not (Float.is_finite p) || p < 0. || p >= 1. then
+      invalid_arg (Printf.sprintf "Faults.spec: %s must be in [0, 1)" what)
+  in
+  prob "drop" drop;
+  prob "dup" dup;
+  if not (Float.is_finite jitter) || jitter < 0. then
+    invalid_arg "Faults.spec: jitter must be >= 0 cycles";
+  { drop; dup; jitter; seed }
+
+let enabled s = s.drop > 0. || s.dup > 0. || s.jitter > 0.
+
+type t = {
+  mutable drop : float;
+  mutable dup : float;
+  mutable jitter : float;
+  seed : int;
+  rng : Det_rng.t;
+}
+
+let make (s : spec) =
+  { drop = s.drop; dup = s.dup; jitter = s.jitter; seed = s.seed;
+    rng = Det_rng.create s.seed }
+
+let create ?drop ?dup ?jitter ?seed () =
+  make (spec ?drop ?dup ?jitter ?seed ())
+
+let seed t = t.seed
+
+(* Mutators for tests that choreograph exact loss patterns (e.g. drop the
+   first transmission, then let the retransmit through). *)
+let set_drop t p = t.drop <- p
+let set_dup t p = t.dup <- p
+let set_jitter t j = t.jitter <- j
+
+(* The fate of one send: how many copies travel (0 with a drop, 2 with a
+   duplicate, 1 with a drop+duplicate — the network lost the original but
+   had already forked a copy) and whether the original was dropped. *)
+type fate = { copies : int; dropped : bool; duplicated : bool }
+
+let draw t =
+  let dropped = Det_rng.float t.rng < t.drop in
+  let duplicated = Det_rng.float t.rng < t.dup in
+  { copies = (if dropped then 0 else 1) + (if duplicated then 1 else 0);
+    dropped;
+    duplicated }
+
+(* Extra transit cycles for one traveling copy; drawn per copy so duplicates
+   can overtake their originals. Always draws (jitter = 0 scales the draw to
+   0) to keep the stream position independent of the knob settings. *)
+let jitter_of t = Det_rng.float t.rng *. t.jitter

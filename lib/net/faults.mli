@@ -1,0 +1,54 @@
+(** Deterministic per-message network fault injection.
+
+    A fault model attached to an {!Am.t} (via [Am.set_faults]) makes every
+    transmission attempt on every link draw — from one seeded
+    {!Ace_engine.Det_rng} stream — whether it is dropped, duplicated, and
+    how many extra transit cycles of jitter each traveling copy suffers.
+    Because the simulation's event order is deterministic, the same seed
+    reproduces the same loss/reorder pattern bit for bit. *)
+
+(** An immutable fault configuration, safe to share across parallel
+    experiment cells: each simulation instantiates its own {!t} (and thus
+    its own RNG stream) with {!make}. *)
+type spec = private { drop : float; dup : float; jitter : float; seed : int }
+
+val default_seed : int
+
+(** [spec ?drop ?dup ?jitter ?seed ()] validates and packs a configuration.
+    [drop] and [dup] are per-transmission probabilities in [0, 1); [jitter]
+    is the maximum extra transit delay in cycles (uniform in [0, jitter)).
+    Raises [Invalid_argument] on out-of-range values. *)
+val spec :
+  ?drop:float -> ?dup:float -> ?jitter:float -> ?seed:int -> unit -> spec
+
+(** Whether the configuration can perturb anything (any knob nonzero).
+    A disabled spec need not be attached at all. *)
+val enabled : spec -> bool
+
+type t
+
+(** Instantiate a live fault model (fresh RNG stream) from a spec. *)
+val make : spec -> t
+
+val create : ?drop:float -> ?dup:float -> ?jitter:float -> ?seed:int -> unit -> t
+val seed : t -> int
+
+(** Test hooks: choreograph exact loss patterns mid-simulation (e.g. drop
+    everything until time T, then heal the link). Deterministic as long as
+    the calls themselves are event-ordered. *)
+val set_drop : t -> float -> unit
+
+val set_dup : t -> float -> unit
+val set_jitter : t -> float -> unit
+
+type fate = { copies : int; dropped : bool; duplicated : bool }
+
+(** Draw the fate of one send: [copies] is how many copies actually travel
+    (0 = dropped; 2 = duplicated; 1 copy still travels when a dropped
+    message had already been forked by the network). Consumes exactly two
+    RNG draws regardless of the knob settings. *)
+val draw : t -> fate
+
+(** Extra transit cycles for one traveling copy (uniform in [0, jitter));
+    one RNG draw. *)
+val jitter_of : t -> float

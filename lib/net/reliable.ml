@@ -1,0 +1,200 @@
+(* Reliable, exactly-once, in-order delivery over the (possibly faulty)
+   Active Messages layer.
+
+   Each directed (src, dst) pair is a channel. The sender stamps every
+   message with a per-channel sequence number and keeps it in an in-flight
+   table; a timer retransmits with exponential backoff until the receiver's
+   ACK lands (ACKs travel the same faulty network and are themselves
+   repaired by retransmission). The receiver ACKs every copy it sees,
+   suppresses duplicates, and releases handlers strictly in sequence order,
+   parking early arrivals in a reorder buffer — so upper layers (the
+   coherence building blocks, the collectives) keep their exactly-once,
+   FIFO-per-link delivery model on a network that drops, duplicates and
+   reorders.
+
+   When no fault model is attached to the underlying [Am.t], every entry
+   point forwards straight to [Am] — no sequence numbers, no ACKs, no
+   timers — so faultless runs are bit-identical to the historical
+   transport. *)
+
+module Machine = Ace_engine.Machine
+module Ivar = Ace_engine.Ivar
+module Stats = Ace_engine.Stats
+module Trace = Ace_engine.Trace
+
+let sid_retransmits = Stats.intern "net.retransmits"
+let sid_timeouts = Stats.intern "net.timeouts"
+let sid_acks = Stats.intern "net.acks"
+let sid_dup_suppressed = Stats.intern "net.dup_suppressed"
+let sid_giveups = Stats.intern "net.giveups"
+let fam_retrans_link = Stats.fam "net.retransmits.by_link"
+
+(* Size of an ACK on the wire (sequence number + channel tag). *)
+let ack_bytes = 8
+
+type inflight = {
+  i_seq : int;
+  i_bytes : int;
+  i_handler : time:float -> unit;
+  mutable acked : bool;
+  mutable attempts : int; (* transmissions so far, initial send included *)
+  mutable rto : float; (* timeout armed after the latest transmission *)
+}
+
+type chan = {
+  c_src : int;
+  c_dst : int;
+  mutable snext : int; (* sender: next sequence number *)
+  inflight : (int, inflight) Hashtbl.t;
+  mutable rnext : int; (* receiver: next sequence to release *)
+  rbuf : (int, time:float -> unit) Hashtbl.t; (* early arrivals, by seq *)
+}
+
+type t = {
+  am : Am.t;
+  nprocs : int;
+  rto : float;
+  backoff : float;
+  max_retries : int;
+  chans : chan option array; (* src * nprocs + dst, created on first use *)
+}
+
+let default_rto = 4000.
+let default_backoff = 2.
+let default_max_retries = 20
+
+let create ?(rto = default_rto) ?(backoff = default_backoff)
+    ?(max_retries = default_max_retries) am =
+  if not (Float.is_finite rto) || rto <= 0. then
+    invalid_arg "Reliable.create: rto must be positive";
+  if not (Float.is_finite backoff) || backoff < 1. then
+    invalid_arg "Reliable.create: backoff must be >= 1";
+  if max_retries < 0 then invalid_arg "Reliable.create: negative max_retries";
+  let n = Machine.nprocs (Am.machine am) in
+  { am; nprocs = n; rto; backoff; max_retries; chans = Array.make (n * n) None }
+
+let am t = t.am
+let machine t = Am.machine t.am
+let cost t = Am.cost t.am
+
+let channel t ~src ~dst =
+  let ix = (src * t.nprocs) + dst in
+  match t.chans.(ix) with
+  | Some ch -> ch
+  | None ->
+      let ch =
+        {
+          c_src = src;
+          c_dst = dst;
+          snext = 0;
+          inflight = Hashtbl.create 8;
+          rnext = 0;
+          rbuf = Hashtbl.create 8;
+        }
+      in
+      t.chans.(ix) <- Some ch;
+      ch
+
+(* Unacked messages across all channels (a diagnosis aid: nonzero after a
+   run means senders gave up — see the deadlock report in Machine.run). *)
+let pending t =
+  Array.fold_left
+    (fun acc ch ->
+      match ch with None -> acc | Some ch -> acc + Hashtbl.length ch.inflight)
+    0 t.chans
+
+(* Receiver side: ACK every copy, release handlers in sequence order. *)
+let on_data t ch (m : inflight) ~time =
+  let stats = Machine.stats (Am.machine t.am) in
+  Stats.incr_id stats sid_acks;
+  Am.send t.am ~now:time ~src:ch.c_dst ~dst:ch.c_src ~bytes:ack_bytes
+    (fun ~time:_ ->
+      if not m.acked then begin
+        m.acked <- true;
+        Hashtbl.remove ch.inflight m.i_seq
+      end);
+  if m.i_seq < ch.rnext || Hashtbl.mem ch.rbuf m.i_seq then
+    Stats.incr_id stats sid_dup_suppressed
+  else begin
+    Hashtbl.add ch.rbuf m.i_seq m.i_handler;
+    let rec release () =
+      match Hashtbl.find_opt ch.rbuf ch.rnext with
+      | None -> ()
+      | Some h ->
+          Hashtbl.remove ch.rbuf ch.rnext;
+          ch.rnext <- ch.rnext + 1;
+          h ~time;
+          release ()
+    in
+    release ()
+  end
+
+let transmit t ch m ~now =
+  Am.send t.am ~now ~src:ch.c_src ~dst:ch.c_dst ~bytes:m.i_bytes
+    (fun ~time -> on_data t ch m ~time)
+
+(* Arm the retransmit timer for the latest transmission. The event cannot
+   be cancelled, so an already-ACKed message just lets it fire as a no-op;
+   otherwise the timer retransmits, doubles the timeout and re-arms, until
+   [max_retries] retransmissions have failed — then it abandons the message
+   (counted in net.giveups) and the blocked requester shows up, with its
+   clock, in Machine.run's deadlock report. *)
+let rec arm t ch m ~at =
+  Machine.schedule (Am.machine t.am) ~time:at (fun () ->
+      if not m.acked then begin
+        let stats = Machine.stats (Am.machine t.am) in
+        Stats.incr_id stats sid_timeouts;
+        if m.attempts - 1 >= t.max_retries then
+          Stats.incr_id stats sid_giveups
+        else begin
+          m.attempts <- m.attempts + 1;
+          Stats.incr_id stats sid_retransmits;
+          Stats.incr_dim stats fam_retrans_link
+            ((ch.c_src * t.nprocs) + ch.c_dst);
+          (match Machine.trace (Am.machine t.am) with
+          | None -> ()
+          | Some tr ->
+              Trace.instant tr ~name:"retransmit" ~cat:"net" ~tid:ch.c_src
+                ~ts:at
+                ~args:
+                  [
+                    ("dst", ch.c_dst); ("seq", m.i_seq); ("attempt", m.attempts);
+                  ]
+                ());
+          transmit t ch m ~now:at;
+          m.rto <- m.rto *. t.backoff;
+          arm t ch m ~at:(at +. m.rto)
+        end
+      end)
+
+let send t ~now ~src ~dst ~bytes handler =
+  match Am.faults t.am with
+  | None -> Am.send t.am ~now ~src ~dst ~bytes handler
+  | Some _ ->
+      if bytes < 0 then invalid_arg "Reliable.send: negative size";
+      if src < 0 || src >= t.nprocs then invalid_arg "Reliable.send: bad src";
+      if dst < 0 || dst >= t.nprocs then invalid_arg "Reliable.send: bad dst";
+      let ch = channel t ~src ~dst in
+      let m =
+        {
+          i_seq = ch.snext;
+          i_bytes = bytes;
+          i_handler = handler;
+          acked = false;
+          attempts = 1;
+          rto = t.rto;
+        }
+      in
+      ch.snext <- ch.snext + 1;
+      Hashtbl.add ch.inflight m.i_seq m;
+      transmit t ch m ~now;
+      arm t ch m ~at:(now +. m.rto)
+
+let send_from t (p : Machine.proc) ~dst ~bytes handler =
+  Machine.advance p (Am.cost t.am).Cost_model.am_send_overhead;
+  send t ~now:p.Machine.clock ~src:p.Machine.id ~dst ~bytes handler
+
+let rpc t p ~dst ~bytes handler =
+  let reply = Ivar.create () in
+  send_from t p ~dst ~bytes (fun ~time -> handler reply ~time);
+  Machine.await p reply

@@ -1,0 +1,56 @@
+(** Reliable, exactly-once, in-order message delivery over {!Am}.
+
+    The region runtime (coherence building blocks, collectives, the name
+    service) routes all its traffic through this transport, so every
+    protocol survives a lossy network unchanged. Per directed link the
+    sender numbers messages, retransmits on timeout with exponential
+    backoff, and the receiver ACKs every copy, suppresses duplicates, and
+    releases handlers strictly in sequence order (early arrivals wait in a
+    reorder buffer).
+
+    When the underlying [Am.t] has no fault model attached, every entry
+    point forwards straight to [Am] with zero protocol overhead — no
+    sequence numbers, ACKs or timers — so faultless runs are bit-identical
+    to the raw transport.
+
+    Counters (all under the machine's Stats): [net.retransmits] (plus the
+    [net.retransmits.by_link] family), [net.timeouts] (timer expirations
+    that found the message unACKed), [net.acks], [net.dup_suppressed], and
+    [net.giveups] (messages abandoned after [max_retries] failed
+    retransmissions — the blocked requester then appears in
+    [Machine.run]'s deadlock report). Retransmissions are recorded in an
+    attached trace as ["retransmit"] instants (category ["net"]). *)
+
+type t
+
+val default_rto : float
+val default_backoff : float
+val default_max_retries : int
+
+(** [create ?rto ?backoff ?max_retries am]: [rto] is the initial
+    retransmit timeout in cycles (armed after every transmission), scaled
+    by [backoff] after each retransmission; after [max_retries] failed
+    retransmissions the message is abandoned. Raises [Invalid_argument] on
+    a non-positive [rto], [backoff < 1] or negative [max_retries]. *)
+val create : ?rto:float -> ?backoff:float -> ?max_retries:int -> Am.t -> t
+
+val am : t -> Am.t
+val machine : t -> Ace_engine.Machine.t
+val cost : t -> Cost_model.t
+
+(** Messages sent but not yet ACKed, across all channels. Nonzero after a
+    completed run means some sender gave up. *)
+val pending : t -> int
+
+(** Same contracts as {!Am.send}/{!Am.send_from}/{!Am.rpc}, with the added
+    guarantee that under a fault model the handler runs exactly once, and
+    handlers on the same directed link run in send order. *)
+val send :
+  t -> now:float -> src:int -> dst:int -> bytes:int -> (time:float -> unit) -> unit
+
+val send_from :
+  t -> Ace_engine.Machine.proc -> dst:int -> bytes:int -> (time:float -> unit) -> unit
+
+val rpc :
+  t -> Ace_engine.Machine.proc -> dst:int -> bytes:int ->
+  ('a Ace_engine.Ivar.t -> time:float -> unit) -> 'a

@@ -1,9 +1,11 @@
 module Machine = Ace_engine.Machine
 module Ivar = Ace_engine.Ivar
-module Am = Ace_net.Am
+module Net = Ace_net.Reliable
 
 type ctx = {
-  am : Am.t;
+  net : Net.t;
+      (* the reliable transport; all coherence and collective traffic goes
+         through it so every protocol survives a lossy link unchanged *)
   store : Store.t;
   proc : Machine.proc;
   node : int; (* proc.id, cached *)
@@ -15,8 +17,8 @@ type ctx = {
          go stale. *)
 }
 
-let make_ctx am store proc =
-  { am; store; proc; node = proc.Machine.id; lcache = None }
+let make_ctx net store proc =
+  { net; store; proc; node = proc.Machine.id; lcache = None }
 
 let node ctx = ctx.node
 
@@ -115,7 +117,7 @@ let transact ctx meta body =
     Machine.await ctx.proc iv
   end
   else
-    Am.rpc ctx.am ctx.proc ~dst:home ~bytes:ctl_bytes (fun reply ~time ->
+    Net.rpc ctx.net ctx.proc ~dst:home ~bytes:ctl_bytes (fun reply ~time ->
         dir_enter meta ~time (fun time ->
             body ~time (fun ~time ->
                 Ivar.fill reply ~time ();
@@ -150,7 +152,7 @@ let recall_owner ctx meta ~time ~downgrade k =
           k time)
     end
     else
-      Am.send ctx.am ~now:time ~src:home ~dst:o ~bytes:ctl_bytes (fun ~time ->
+      Net.send ctx.net ~now:time ~src:home ~dst:o ~bytes:ctl_bytes (fun ~time ->
           let oc =
             match Store.copy_of meta ~node:o with
             | Some c -> c
@@ -161,13 +163,13 @@ let recall_owner ctx meta ~time ~downgrade k =
               oc.Store.cstate <- downgrade;
               if downgrade = Store.Invalid then d.Store.sharers.(o) <- false;
               let snapshot = Array.copy oc.Store.cdata in
-              Am.send ctx.am ~now:time ~src:o ~dst:home ~bytes:(data_bytes meta)
+              Net.send ctx.net ~now:time ~src:o ~dst:home ~bytes:(data_bytes meta)
                 (fun ~time ->
                   Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
                   finish time)))
   end
 
-let stats ctx = Machine.stats (Am.machine ctx.am)
+let stats ctx = Machine.stats (Net.machine ctx.net)
 
 let fetch_shared ctx meta =
   let n = node ctx in
@@ -176,7 +178,7 @@ let fetch_shared ctx meta =
   else begin
     let home = meta.Store.home in
     count_miss (stats ctx) sid_read_miss fam_read_miss_space meta;
-    Machine.advance ctx.proc (Am.cost ctx.am).Ace_net.Cost_model.miss_overhead;
+    Machine.advance ctx.proc (Net.cost ctx.net).Ace_net.Cost_model.miss_overhead;
     transact ctx meta (fun ~time finish ->
         recall_owner ctx meta ~time ~downgrade:Store.Shared (fun time ->
             meta.Store.dir.Store.sharers.(n) <- true;
@@ -187,7 +189,7 @@ let fetch_shared ctx meta =
             end
             else begin
               let snapshot = Array.copy meta.Store.master in
-              Am.send ctx.am ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
+              Net.send ctx.net ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
                 (fun ~time ->
                   Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
                   copy.Store.cstate <- Store.Shared;
@@ -203,7 +205,7 @@ let fetch_exclusive ctx meta =
   else begin
     let home = meta.Store.home in
     count_miss (stats ctx) sid_write_miss fam_write_miss_space meta;
-    Machine.advance ctx.proc (Am.cost ctx.am).Ace_net.Cost_model.miss_overhead;
+    Machine.advance ctx.proc (Net.cost ctx.net).Ace_net.Cost_model.miss_overhead;
     transact ctx meta (fun ~time finish ->
         recall_owner ctx meta ~time ~downgrade:Store.Invalid (fun time ->
             (* Invalidate every sharer except the requester, gathering acks;
@@ -229,7 +231,7 @@ let fetch_exclusive ctx meta =
                 let snapshot =
                   if had_valid_copy then [||] else Array.copy meta.Store.master
                 in
-                Am.send ctx.am ~now:time ~src:home ~dst:n ~bytes (fun ~time ->
+                Net.send ctx.net ~now:time ~src:home ~dst:n ~bytes (fun ~time ->
                     if not had_valid_copy then
                       Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
                     copy.Store.cstate <- Store.Exclusive;
@@ -263,14 +265,14 @@ let fetch_exclusive ctx meta =
               end;
               Store.iter_sharers meta ~except:n (fun s ->
                   if s <> home then
-                    Am.send ctx.am ~now:time ~src:home ~dst:s ~bytes:ctl_bytes
+                    Net.send ctx.net ~now:time ~src:home ~dst:s ~bytes:ctl_bytes
                       (fun ~time ->
                         let act time =
                           (match Store.copy_of meta ~node:s with
                           | Some c -> c.Store.cstate <- Store.Invalid
                           | None -> ());
                           d.Store.sharers.(s) <- false;
-                          Am.send ctx.am ~now:time ~src:s ~dst:home
+                          Net.send ctx.net ~now:time ~src:s ~dst:home
                             ~bytes:ctl_bytes (fun ~time -> acked time)
                         in
                         match Store.copy_of meta ~node:s with
@@ -295,7 +297,7 @@ let writeback ctx meta =
           finish ~time)
     else begin
       let snapshot = Array.copy copy.Store.cdata in
-      Am.rpc ctx.am ctx.proc ~dst:home ~bytes:(data_bytes meta)
+      Net.rpc ctx.net ctx.proc ~dst:home ~bytes:(data_bytes meta)
         (fun reply ~time ->
           dir_enter meta ~time (fun time ->
               Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
@@ -338,7 +340,7 @@ let forward_to_sharers ctx meta ~time ~snapshot ~n ~all_delivered =
   else
     Store.iter_sharers meta ~except:n (fun s ->
         if s <> home then
-          Am.send ctx.am ~now:time ~src:home ~dst:s ~bytes:(data_bytes meta)
+          Net.send ctx.net ~now:time ~src:home ~dst:s ~bytes:(data_bytes meta)
             (fun ~time ->
               (match Store.copy_of meta ~node:s with
               | Some c ->
@@ -366,7 +368,7 @@ let push_update ctx meta =
         forward_to_sharers ctx meta ~time ~snapshot ~n ~all_delivered;
         dir_exit meta ~time)
   else
-    Am.send_from ctx.am ctx.proc ~dst:home ~bytes:(data_bytes meta)
+    Net.send_from ctx.net ctx.proc ~dst:home ~bytes:(data_bytes meta)
       (fun ~time ->
         dir_enter meta ~time (fun time ->
             Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
@@ -397,7 +399,7 @@ let push_to ctx meta ~dsts =
   else
     List.iter
       (fun dst ->
-        Am.send_from ctx.am ctx.proc ~dst ~bytes:(data_bytes meta)
+        Net.send_from ctx.net ctx.proc ~dst ~bytes:(data_bytes meta)
           (fun ~time ->
             (if dst = home then begin
                Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
@@ -429,7 +431,7 @@ let read_home ctx meta =
     transact ctx meta (fun ~time finish ->
         recall_owner ctx meta ~time ~downgrade:Store.Shared (fun time ->
             let snapshot = Array.copy meta.Store.master in
-            Am.send ctx.am ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
+            Net.send ctx.net ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
               (fun ~time ->
                 Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
                 finish ~time)))
@@ -443,7 +445,7 @@ let write_home_async ctx meta =
   else begin
     let home = meta.Store.home in
     let snapshot = Array.copy copy.Store.cdata in
-    Am.send_from ctx.am ctx.proc ~dst:home ~bytes:(data_bytes meta)
+    Net.send_from ctx.net ctx.proc ~dst:home ~bytes:(data_bytes meta)
       (fun ~time ->
         dir_enter meta ~time (fun time ->
             Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
@@ -469,9 +471,9 @@ let home_lock ctx meta =
     end
   end
   else
-    Am.rpc ctx.am ctx.proc ~dst:home ~bytes:ctl_bytes (fun reply ~time ->
+    Net.rpc ctx.net ctx.proc ~dst:home ~bytes:ctl_bytes (fun reply ~time ->
         let grant time =
-          Am.send ctx.am ~now:time ~src:home ~dst:n ~bytes:ctl_bytes
+          Net.send ctx.net ~now:time ~src:home ~dst:n ~bytes:ctl_bytes
             (fun ~time -> Ivar.fill reply ~time ())
         in
         if l.Store.held_by < 0 then begin
@@ -495,7 +497,7 @@ let home_unlock ctx meta =
     release_lock l ~time:ctx.proc.Machine.clock
   end
   else
-    Am.send_from ctx.am ctx.proc ~dst:meta.Store.home ~bytes:ctl_bytes
+    Net.send_from ctx.net ctx.proc ~dst:meta.Store.home ~bytes:ctl_bytes
       (fun ~time ->
         assert (l.Store.held_by = n);
         release_lock l ~time)
@@ -518,10 +520,10 @@ let rmw_acquire ctx meta =
   end
   else begin
     let home = meta.Store.home in
-    Am.rpc ctx.am ctx.proc ~dst:home ~bytes:ctl_bytes (fun reply ~time ->
+    Net.rpc ctx.net ctx.proc ~dst:home ~bytes:ctl_bytes (fun reply ~time ->
         let grant time =
           let snapshot = Array.copy meta.Store.master in
-          Am.send ctx.am ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
+          Net.send ctx.net ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
             (fun ~time ->
               Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
               Ivar.fill reply ~time ())
@@ -547,7 +549,7 @@ let rmw_release ctx meta =
       match Store.copy_of meta ~node:n with Some c -> c | None -> assert false
     in
     let snapshot = Array.copy copy.Store.cdata in
-    Am.send_from ctx.am ctx.proc ~dst:meta.Store.home ~bytes:(data_bytes meta)
+    Net.send_from ctx.net ctx.proc ~dst:meta.Store.home ~bytes:(data_bytes meta)
       (fun ~time ->
         assert (l.Store.held_by = n);
         Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
@@ -568,12 +570,12 @@ let fetch_add ctx meta ~delta =
   let n = node ctx in
   let copy = local_copy ctx meta in
   assert (n <> meta.Store.home);
-  Am.rpc ctx.am ctx.proc ~dst:meta.Store.home ~bytes:ctl_bytes
+  Net.rpc ctx.net ctx.proc ~dst:meta.Store.home ~bytes:ctl_bytes
     (fun reply ~time ->
       dir_enter meta ~time (fun time ->
           let old = meta.Store.master.(0) in
           meta.Store.master.(0) <- old +. delta;
-          Am.send ctx.am ~now:time ~src:meta.Store.home ~dst:n ~bytes:ctl_bytes
+          Net.send ctx.net ~now:time ~src:meta.Store.home ~dst:n ~bytes:ctl_bytes
             (fun ~time ->
               copy.Store.cdata.(0) <- old;
               Ivar.fill reply ~time ());
@@ -620,10 +622,10 @@ let lock_fetch ctx meta =
     end
   end
   else
-    Am.rpc ctx.am ctx.proc ~dst:home ~bytes:ctl_bytes (fun reply ~time ->
+    Net.rpc ctx.net ctx.proc ~dst:home ~bytes:ctl_bytes (fun reply ~time ->
         let grant time =
           let snapshot = Array.copy meta.Store.master in
-          Am.send ctx.am ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
+          Net.send ctx.net ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
             (fun ~time ->
               Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
               copy.Store.cstate <- Store.Shared;

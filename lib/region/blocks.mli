@@ -8,7 +8,9 @@
     directory's busy/pending queue. *)
 
 type ctx = {
-  am : Ace_net.Am.t;
+  net : Ace_net.Reliable.t;
+      (** the reliable transport all coherence traffic routes through;
+          with no fault model attached it forwards straight to [Am] *)
   store : Store.t;
   proc : Ace_engine.Machine.proc;
   node : int;  (** [proc.id], cached for the access hot path *)
@@ -16,7 +18,7 @@ type ctx = {
       (** one-slot memo of the last local-copy lookup (see [local_copy]) *)
 }
 
-val make_ctx : Ace_net.Am.t -> Store.t -> Ace_engine.Machine.proc -> ctx
+val make_ctx : Ace_net.Reliable.t -> Store.t -> Ace_engine.Machine.proc -> ctx
 val node : ctx -> int
 
 (** Size in bytes of a small control message. *)

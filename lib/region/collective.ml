@@ -5,7 +5,7 @@
 
 module Machine = Ace_engine.Machine
 module Ivar = Ace_engine.Ivar
-module Am = Ace_net.Am
+module Net = Ace_net.Reliable
 
 type t = {
   slots : (int, int array Ivar.t array) Hashtbl.t; (* op id -> per-node ivar *)
@@ -35,7 +35,7 @@ let bcast t (bctx : Blocks.ctx) ~ctr ~root f =
     let bytes = (8 * Array.length arr) + Blocks.ctl_bytes in
     for dst = 0 to t.nprocs - 1 do
       if dst <> root then
-        Am.send_from bctx.Blocks.am p ~dst ~bytes (fun ~time ->
+        Net.send_from bctx.Blocks.net p ~dst ~bytes (fun ~time ->
             Ivar.fill e.(dst) ~time arr)
     done;
     Ivar.fill e.(root) ~time:p.Machine.clock arr;

@@ -16,21 +16,24 @@ let check_int = Alcotest.(check int)
 type world = {
   m : Machine.t;
   am : Am.t;
+  net : Ace_net.Reliable.t;
   store : Store.t;
   barrier : Machine.Barrier.b;
 }
 
 let make_world ~nprocs =
   let m = Machine.create ~nprocs in
+  let am = Am.create m Cost_model.cm5_ace in
   {
     m;
-    am = Am.create m Cost_model.cm5_ace;
+    am;
+    net = Ace_net.Reliable.create am;
     store = Store.create ~nprocs ();
     barrier = Machine.Barrier.create m ~cost:(fun _ -> 10.);
   }
 
 let run w f =
-  Machine.run w.m (fun p -> f (Blocks.make_ctx w.am w.store p) p)
+  Machine.run w.m (fun p -> f (Blocks.make_ctx w.net w.store p) p)
 
 let bar w p = Machine.Barrier.wait w.barrier p
 
