@@ -9,22 +9,31 @@
 open Cmdliner
 
 let run_app app backend nprocs protocol steps scale verbose trace dump_stats
-    faults =
+    faults batch =
   let module D = Ace_harness.Driver in
   let factor = scale in
+  let batch = if batch then Some true else None in
   (* Under a fault model, capture the reliable transport's counters so the
      run can report what the lossy network cost. *)
   let fault_counts = ref None in
+  let batch_counts = ref None in
   let capture s =
+    let get = Ace_engine.Stats.get s in
     if faults <> None then
-      let get = Ace_engine.Stats.get s in
       fault_counts :=
         Some
           ( get "net.fault.dropped",
             get "net.retransmits",
             get "net.timeouts",
             get "net.dup_suppressed",
-            get "net.giveups" )
+            get "net.giveups" );
+    if batch <> None then
+      batch_counts :=
+        Some
+          ( get "net.messages",
+            get "net.coalesced",
+            get "coh.write_combined",
+            get "coh.inval_batch" +. get "coh.bulk_fetch" )
   in
   let stats =
     if dump_stats then
@@ -47,8 +56,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats
           }
         in
         ( pick
-            (fun () -> D.run_crl ?faults ?trace ?stats ~nprocs (module Ace_apps.Em3d) cfg)
-            (fun () -> D.run_ace ?faults ?trace ?stats ~nprocs (module Ace_apps.Em3d) cfg),
+            (fun () -> D.run_crl ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Em3d) cfg)
+            (fun () -> D.run_ace ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Em3d) cfg),
           Some
             (Ace_apps.Em3d.checksum (Ace_apps.Em3d.reference cfg ~nprocs)) )
     | `Barnes_hut ->
@@ -61,8 +70,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats
           }
         in
         ( pick
-            (fun () -> D.run_crl ?faults ?trace ?stats ~nprocs (module Ace_apps.Barnes_hut) cfg)
-            (fun () -> D.run_ace ?faults ?trace ?stats ~nprocs (module Ace_apps.Barnes_hut) cfg),
+            (fun () -> D.run_crl ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Barnes_hut) cfg)
+            (fun () -> D.run_ace ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Barnes_hut) cfg),
           Some (Ace_apps.Barnes_hut.checksum (Ace_apps.Barnes_hut.reference cfg))
         )
     | `Bsc ->
@@ -78,8 +87,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats
           }
         in
         ( pick
-            (fun () -> D.run_crl ?faults ?trace ?stats ~nprocs (module Ace_apps.Cholesky) cfg)
-            (fun () -> D.run_ace ?faults ?trace ?stats ~nprocs (module Ace_apps.Cholesky) cfg),
+            (fun () -> D.run_crl ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Cholesky) cfg)
+            (fun () -> D.run_ace ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Cholesky) cfg),
           Some
             (Ace_apps.Chol_core.checksum
                (Ace_apps.Chol_core.reference cfg.Ace_apps.Cholesky.core)) )
@@ -92,8 +101,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats
           }
         in
         ( pick
-            (fun () -> D.run_crl ?faults ?trace ?stats ~nprocs (module Ace_apps.Tsp) cfg)
-            (fun () -> D.run_ace ?faults ?trace ?stats ~nprocs (module Ace_apps.Tsp) cfg),
+            (fun () -> D.run_crl ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Tsp) cfg)
+            (fun () -> D.run_ace ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Tsp) cfg),
           Some (Ace_apps.Tsp_core.reference cfg.Ace_apps.Tsp.core) )
     | `Water phase_protocols ->
         let cfg : Ace_apps.Water.config =
@@ -109,8 +118,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats
           }
         in
         ( pick
-            (fun () -> D.run_crl ?faults ?trace ?stats ~nprocs (module Ace_apps.Water) cfg)
-            (fun () -> D.run_ace ?faults ?trace ?stats ~nprocs (module Ace_apps.Water) cfg),
+            (fun () -> D.run_crl ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Water) cfg)
+            (fun () -> D.run_ace ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Water) cfg),
           Some
             (Ace_apps.Water_core.checksum
                (Ace_apps.Water_core.reference cfg.Ace_apps.Water.core)) )
@@ -129,6 +138,13 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats
         "reliability: %.0f dropped, %.0f retransmits, %.0f timeouts, %.0f \
          duplicates suppressed, %.0f giveups\n"
         dropped rexmit timeouts dupsup giveups
+  | None -> ());
+  (match !batch_counts with
+  | Some (msgs, coalesced, combined, bulk) ->
+      Printf.printf
+        "batching: %.0f physical messages (%.0f saved by coalescing), %.0f \
+         write-combined updates, %.0f batched inval/fetch legs\n"
+        msgs coalesced combined bulk
   | None -> ());
   (match trace with
   | Some path -> Printf.printf "wrote trace: %s\n" path
@@ -223,6 +239,17 @@ let fault_seed_arg =
           "Fault-model RNG seed. The same seed reproduces the same \
            loss/duplication/jitter pattern bit for bit.")
 
+let batch_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "batch" ]
+        ~doc:
+          "Enable bulk-transfer batching: coalesced same-destination \
+           messages, write-combined updates, batched invalidations and bulk \
+           fetches. Off by default; off runs are bit-identical to a build \
+           without the batching layer.")
+
 let trace_arg =
   Arg.(
     value
@@ -239,7 +266,7 @@ let cmd =
     (Cmd.info "ace_demo" ~doc)
     Term.(
       const (fun app backend nprocs protocol phases steps scale verbose trace
-                 stats drop dup jitter fault_seed ->
+                 stats drop dup jitter fault_seed batch ->
           let app =
             match app with
             | `Water_marker -> `Water phases
@@ -255,9 +282,9 @@ let cmd =
             else None
           in
           run_app app backend nprocs protocol steps scale verbose trace stats
-            faults)
+            faults batch)
       $ app_arg $ backend_arg $ procs_arg $ protocol_arg $ phases_arg
       $ steps_arg $ scale_arg $ verbose_arg $ trace_arg $ stats_arg
-      $ drop_arg $ dup_arg $ jitter_arg $ fault_seed_arg)
+      $ drop_arg $ dup_arg $ jitter_arg $ fault_seed_arg $ batch_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -87,12 +87,20 @@ let () =
     "\nMessages: %d (%d bytes), latency mean %.1f cyc, max %.0f cyc\n"
     m.Analyze.messages m.Analyze.bytes m.Analyze.mean_latency
     m.Analyze.max_latency;
+  if m.Analyze.retransmits + m.Analyze.piggybacked + m.Analyze.coalesced > 0
+  then
+    Printf.printf
+      "  %d retransmits, %d ACKs piggybacked, %d messages saved by \
+       coalescing\n"
+      m.Analyze.retransmits m.Analyze.piggybacked m.Analyze.coalesced;
   if m.Analyze.links <> [] then begin
-    Printf.printf "  %-12s %10s %12s %12s\n" "link" "msgs" "mean_lat" "max_lat";
+    Printf.printf "  %-12s %10s %12s %12s %8s %9s %9s\n" "link" "msgs"
+      "mean_lat" "max_lat" "rexmit" "piggyack" "coalesced";
     List.iter
-      (fun (r : Analyze.row) ->
-        Printf.printf "  %-12s %10d %12.1f %12.0f\n" r.Analyze.label
-          r.Analyze.count r.Analyze.mean r.Analyze.max)
+      (fun (r : Analyze.link_row) ->
+        Printf.printf "  %-12s %10d %12.1f %12.0f %8d %9d %9d\n"
+          r.Analyze.link r.Analyze.lmsgs r.Analyze.lmean r.Analyze.lmax
+          r.Analyze.lretrans r.Analyze.lpiggy r.Analyze.lcoalesced)
       (Analyze.take top m.Analyze.links);
     let n = List.length m.Analyze.links in
     if n > top then Printf.printf "  ... (%d more)\n" (n - top)

@@ -26,17 +26,24 @@ let unlock (ctx : Protocol.ctx) meta =
 
 (* Flush every cached copy this node holds of the space's regions — the
    base-state semantics of Ace_ChangeProtocol away from the default
-   protocol (paper §3.1). *)
+   protocol (paper §3.1). In bulk-transfer mode the whole detach storm is
+   one batched invalidation: per-home coalesced writebacks/sharer-drops,
+   cache entries reclaimed outright. *)
 let detach (ctx : Protocol.ctx) (sp : Protocol.space) =
   let bctx = ctx.Protocol.bctx in
-  let node = Blocks.node bctx in
-  List.iter
-    (fun rid ->
-      let meta = Store.get ctx.Protocol.rt.Protocol.store rid in
-      match Store.copy_of meta ~node with
-      | Some c when c.Store.cstate <> Store.Invalid -> Blocks.flush bctx meta
-      | Some _ | None -> ())
-    sp.Protocol.rids
+  let store = ctx.Protocol.rt.Protocol.store in
+  if Ace_net.Reliable.batching bctx.Blocks.net then
+    Blocks.invalidate_batch bctx (List.map (Store.get store) sp.Protocol.rids)
+  else begin
+    let node = Blocks.node bctx in
+    List.iter
+      (fun rid ->
+        let meta = Store.get store rid in
+        match Store.copy_of meta ~node with
+        | Some c when c.Store.cstate <> Store.Invalid -> Blocks.flush bctx meta
+        | Some _ | None -> ())
+      sp.Protocol.rids
+  end
 
 let protocol =
   {

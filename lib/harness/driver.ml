@@ -18,6 +18,12 @@ let attach_faults am = function
       Ace_net.Am.set_faults am (Some (Faults.make spec))
   | Some _ | None -> ()
 
+(* Opt-in bulk-transfer batching (default off — off runs are bit-identical
+   to a build without the batching layer). *)
+let attach_batch am = function
+  | Some true -> Ace_net.Am.set_batching am true
+  | Some false | None -> ()
+
 module type APP = sig
   type config
 
@@ -42,10 +48,11 @@ let traced ?trace machine ~nprocs body =
       Trace.write_file tr ~nprocs path;
       out
 
-let run_crl (type cfg) ?faults ?trace ?stats ~nprocs
+let run_crl (type cfg) ?faults ?batch ?trace ?stats ~nprocs
     (module App : APP with type config = cfg) (cfg : cfg) =
   let sys = Ace_crl.Crl.create ~nprocs () in
   attach_faults (Ace_crl.Crl.am sys) faults;
+  attach_batch (Ace_crl.Crl.am sys) batch;
   let machine = Ace_crl.Crl.machine sys in
   let out =
     traced ?trace machine ~nprocs (fun () ->
@@ -59,10 +66,11 @@ let run_crl (type cfg) ?faults ?trace ?stats ~nprocs
   Option.iter (fun f -> f (Machine.stats machine)) stats;
   out
 
-let run_ace (type cfg) ?faults ?trace ?stats ~nprocs
+let run_ace (type cfg) ?faults ?batch ?trace ?stats ~nprocs
     (module App : APP with type config = cfg) (cfg : cfg) =
   let rt = Ace_runtime.Runtime.create ~nprocs () in
   attach_faults (Ace_runtime.Runtime.am rt) faults;
+  attach_batch (Ace_runtime.Runtime.am rt) batch;
   Ace_protocols.Proto_lib.register_all rt;
   for _ = 1 to App.n_spaces do
     ignore (Ace_runtime.Runtime.new_space rt "SC")

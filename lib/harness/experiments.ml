@@ -86,6 +86,8 @@ type row = {
   ace : float;
   base_result : float;
   ace_result : float;
+  base_msgs : float; (* physical messages, summed over the cell's runs *)
+  ace_msgs : float;
   per_iteration : bool;
   wall : float; (* host seconds spent simulating this row *)
 }
@@ -95,12 +97,14 @@ let speedup r = r.baseline /. r.ace
 (* A figure is assembled from independent cells — one per (row, system)
    pair, each a closed thunk running its own simulations — so the pool can
    execute them on parallel domains. Results are gathered positionally;
-   simulated seconds are bit-identical to a serial (jobs = 1) run. *)
+   simulated seconds are bit-identical to a serial (jobs = 1) run. Each
+   thunk forwards the supplied [stats] probe to every simulation it runs,
+   so the row can also report the cell's physical message traffic. *)
 type spec = {
   sname : string;
   sper_iteration : bool;
-  sbase : unit -> Driver.outcome;
-  sace : unit -> Driver.outcome;
+  sbase : stats:(Stats.t -> unit) -> Driver.outcome;
+  sace : stats:(Stats.t -> unit) -> Driver.outcome;
 }
 
 let collect ?jobs (specs : spec array) =
@@ -109,27 +113,35 @@ let collect ?jobs (specs : spec array) =
       (2 * Array.length specs)
       (fun i ->
         let s = specs.(i / 2) in
-        Pool.timed (if i mod 2 = 0 then s.sbase else s.sace))
+        let run = if i mod 2 = 0 then s.sbase else s.sace in
+        Pool.timed (fun () ->
+            let msgs = ref 0. in
+            let out =
+              run ~stats:(fun st -> msgs := !msgs +. Stats.get st "net.messages")
+            in
+            (out, !msgs)))
   in
   let out = Pool.run_all ?jobs cells in
   Array.to_list
     (Array.mapi
        (fun i s ->
-         let b, wall_b = out.(2 * i) in
-         let a, wall_a = out.((2 * i) + 1) in
+         let (b, bm), wall_b = out.(2 * i) in
+         let (a, am), wall_a = out.((2 * i) + 1) in
          {
            name = s.sname;
            baseline = b.Driver.seconds;
            ace = a.Driver.seconds;
            base_result = b.Driver.result;
            ace_result = a.Driver.result;
+           base_msgs = bm;
+           ace_msgs = am;
            per_iteration = s.sper_iteration;
            wall = wall_b +. wall_a;
          })
        specs)
 
 (* Fig. 7a: Ace runtime vs CRL, both under the SC invalidation protocol. *)
-let fig7a ?(scale = default_scale) ?jobs ?trace_dir ?faults () =
+let fig7a ?(scale = default_scale) ?jobs ?trace_dir ?faults ?batch () =
   let iters = 4 in
   let nprocs = scale.nprocs in
   let pi run = Driver.per_iteration ~run_with_steps:run ~iters in
@@ -141,95 +153,106 @@ let fig7a ?(scale = default_scale) ?jobs ?trace_dir ?faults () =
         sname = "Barnes-Hut";
         sper_iteration = true;
         sbase =
-          (fun () ->
+          (fun ~stats ->
             pi (fun steps ->
-                Driver.run_crl ?faults ?trace:(tp "Barnes-Hut" "crl") ~nprocs
-                  (module Barnes_hut) (bh_cfg scale steps)));
+                Driver.run_crl ?faults ?batch ~stats ?trace:(tp "Barnes-Hut" "crl")
+                  ~nprocs (module Barnes_hut) (bh_cfg scale steps)));
         sace =
-          (fun () ->
+          (fun ~stats ->
             pi (fun steps ->
-                Driver.run_ace ?faults ?trace:(tp "Barnes-Hut" "ace") ~nprocs
-                  (module Barnes_hut) (bh_cfg scale steps)));
+                Driver.run_ace ?faults ?batch ~stats ?trace:(tp "Barnes-Hut" "ace")
+                  ~nprocs (module Barnes_hut) (bh_cfg scale steps)));
       };
       {
         sname = "BSC";
         sper_iteration = false;
         sbase =
-          (fun () ->
-            Driver.run_crl ?faults ?trace:(tp "BSC" "crl") ~nprocs (module Cholesky)
-              (bsc_cfg scale));
+          (fun ~stats ->
+            Driver.run_crl ?faults ?batch ~stats ?trace:(tp "BSC" "crl") ~nprocs
+              (module Cholesky) (bsc_cfg scale));
         sace =
-          (fun () ->
-            Driver.run_ace ?faults ?trace:(tp "BSC" "ace") ~nprocs (module Cholesky)
-              (bsc_cfg scale));
+          (fun ~stats ->
+            Driver.run_ace ?faults ?batch ~stats ?trace:(tp "BSC" "ace") ~nprocs
+              (module Cholesky) (bsc_cfg scale));
       };
       {
         sname = "EM3D";
         sper_iteration = true;
         sbase =
-          (fun () ->
+          (fun ~stats ->
             pi (fun steps ->
-                Driver.run_crl ?faults ?trace:(tp "EM3D" "crl") ~nprocs (module Em3d)
-                  (em3d_cfg scale steps)));
+                Driver.run_crl ?faults ?batch ~stats ?trace:(tp "EM3D" "crl")
+                  ~nprocs (module Em3d) (em3d_cfg scale steps)));
         sace =
-          (fun () ->
+          (fun ~stats ->
             pi (fun steps ->
-                Driver.run_ace ?faults ?trace:(tp "EM3D" "ace") ~nprocs (module Em3d)
-                  (em3d_cfg scale steps)));
+                Driver.run_ace ?faults ?batch ~stats ?trace:(tp "EM3D" "ace")
+                  ~nprocs (module Em3d) (em3d_cfg scale steps)));
       };
       {
         sname = "TSP";
         sper_iteration = false;
         sbase =
-          (fun () -> avg (Driver.run_crl ?faults ?trace:(tp "TSP" "crl") ~nprocs (module Tsp)));
+          (fun ~stats ->
+            avg
+              (Driver.run_crl ?faults ?batch ~stats ?trace:(tp "TSP" "crl")
+                 ~nprocs (module Tsp)));
         sace =
-          (fun () -> avg (Driver.run_ace ?faults ?trace:(tp "TSP" "ace") ~nprocs (module Tsp)));
+          (fun ~stats ->
+            avg
+              (Driver.run_ace ?faults ?batch ~stats ?trace:(tp "TSP" "ace")
+                 ~nprocs (module Tsp)));
       };
       {
         sname = "Water";
         sper_iteration = true;
         sbase =
-          (fun () ->
+          (fun ~stats ->
             pi (fun steps ->
-                Driver.run_crl ?faults ?trace:(tp "Water" "crl") ~nprocs (module Water)
-                  (water_cfg scale steps)));
+                Driver.run_crl ?faults ?batch ~stats ?trace:(tp "Water" "crl")
+                  ~nprocs (module Water) (water_cfg scale steps)));
         sace =
-          (fun () ->
+          (fun ~stats ->
             pi (fun steps ->
-                Driver.run_ace ?faults ?trace:(tp "Water" "ace") ~nprocs (module Water)
-                  (water_cfg scale steps)));
+                Driver.run_ace ?faults ?batch ~stats ?trace:(tp "Water" "ace")
+                  ~nprocs (module Water) (water_cfg scale steps)));
       };
     |]
 
 (* Fig. 7b: single (SC) protocol vs application-specific protocols, both on
    the Ace runtime. *)
-let fig7b ?(scale = default_scale) ?jobs ?trace_dir ?faults () =
+let fig7b ?(scale = default_scale) ?jobs ?trace_dir ?faults ?batch () =
   let iters = 4 in
   let nprocs = scale.nprocs in
   let pi run = Driver.per_iteration ~run_with_steps:run ~iters in
   let avg run = let t, r = tsp_avg run in { Driver.seconds = t; result = r } in
   let tp row side = trace_path trace_dir ~fig:"fig7b" ~row ~side in
   (* sides: "sc" = default protocol, "custom" = application-specific *)
-  let em3d side proto steps =
-    Driver.run_ace ?faults ?trace:(tp "EM3D (static update)" side) ~nprocs (module Em3d)
+  let em3d ~stats side proto steps =
+    Driver.run_ace ?faults ?batch ~stats
+      ?trace:(tp "EM3D (static update)" side) ~nprocs (module Em3d)
       { (em3d_cfg scale steps) with Em3d.protocol = proto }
   in
-  let bh side proto steps =
-    Driver.run_ace ?faults ?trace:(tp "Barnes-Hut (dyn update)" side) ~nprocs
+  let bh ~stats side proto steps =
+    Driver.run_ace ?faults ?batch ~stats
+      ?trace:(tp "Barnes-Hut (dyn update)" side) ~nprocs
       (module Barnes_hut)
       { (bh_cfg scale steps) with Barnes_hut.protocol = proto }
   in
-  let water side protos steps =
-    Driver.run_ace ?faults ?trace:(tp "Water (null+pipeline)" side) ~nprocs
+  let water ~stats side protos steps =
+    Driver.run_ace ?faults ?batch ~stats
+      ?trace:(tp "Water (null+pipeline)" side) ~nprocs
       (module Water)
       { (water_cfg scale steps) with Water.phase_protocols = protos }
   in
-  let bsc side proto =
-    Driver.run_ace ?faults ?trace:(tp "BSC (write-once)" side) ~nprocs (module Cholesky)
+  let bsc ~stats side proto =
+    Driver.run_ace ?faults ?batch ~stats ?trace:(tp "BSC (write-once)" side)
+      ~nprocs (module Cholesky)
       { (bsc_cfg scale) with Cholesky.protocol = proto }
   in
-  let tsp side proto cfg =
-    Driver.run_ace ?faults ?trace:(tp "TSP (counter)" side) ~nprocs (module Tsp)
+  let tsp ~stats side proto cfg =
+    Driver.run_ace ?faults ?batch ~stats ?trace:(tp "TSP (counter)" side)
+      ~nprocs (module Tsp)
       { cfg with Tsp.counter_protocol = proto }
   in
   collect ?jobs
@@ -237,32 +260,33 @@ let fig7b ?(scale = default_scale) ?jobs ?trace_dir ?faults () =
       {
         sname = "Barnes-Hut (dyn update)";
         sper_iteration = true;
-        sbase = (fun () -> pi (bh "sc" None));
-        sace = (fun () -> pi (bh "custom" (Some "DYN_UPDATE")));
+        sbase = (fun ~stats -> pi (bh ~stats "sc" None));
+        sace = (fun ~stats -> pi (bh ~stats "custom" (Some "DYN_UPDATE")));
       };
       {
         sname = "BSC (write-once)";
         sper_iteration = false;
-        sbase = (fun () -> bsc "sc" None);
-        sace = (fun () -> bsc "custom" (Some "WRITE_ONCE"));
+        sbase = (fun ~stats -> bsc ~stats "sc" None);
+        sace = (fun ~stats -> bsc ~stats "custom" (Some "WRITE_ONCE"));
       };
       {
         sname = "EM3D (static update)";
         sper_iteration = true;
-        sbase = (fun () -> pi (em3d "sc" None));
-        sace = (fun () -> pi (em3d "custom" (Some "STATIC_UPDATE")));
+        sbase = (fun ~stats -> pi (em3d ~stats "sc" None));
+        sace = (fun ~stats -> pi (em3d ~stats "custom" (Some "STATIC_UPDATE")));
       };
       {
         sname = "TSP (counter)";
         sper_iteration = false;
-        sbase = (fun () -> avg (tsp "sc" None));
-        sace = (fun () -> avg (tsp "custom" (Some "COUNTER")));
+        sbase = (fun ~stats -> avg (tsp ~stats "sc" None));
+        sace = (fun ~stats -> avg (tsp ~stats "custom" (Some "COUNTER")));
       };
       {
         sname = "Water (null+pipeline)";
         sper_iteration = true;
-        sbase = (fun () -> pi (water "sc" None));
-        sace = (fun () -> pi (water "custom" (Some ("NULL", "PIPELINE"))));
+        sbase = (fun ~stats -> pi (water ~stats "sc" None));
+        sace =
+          (fun ~stats -> pi (water ~stats "custom" (Some ("NULL", "PIPELINE"))));
       };
     |]
 
@@ -295,6 +319,10 @@ type fault_row = {
   fr_dup_suppressed : float;
   fr_dropped : float; (* transmissions eaten by the network *)
   fr_giveups : float;
+  fr_messages : float; (* physical messages *)
+  fr_acks : float; (* ACK obligations (one per received copy) *)
+  fr_acks_piggybacked : float; (* obligations that rode reverse-link data *)
+  fr_acks_cumulative : float; (* extra obligations folded into dedicated ACKs *)
   fr_wall : float;
 }
 
@@ -359,6 +387,11 @@ let fault_sweep ?(scale = default_scale) ?jobs
                         fr_dup_suppressed = Stats.get st "net.dup_suppressed";
                         fr_dropped = Stats.get st "net.fault.dropped";
                         fr_giveups = Stats.get st "net.giveups";
+                        fr_messages = Stats.get st "net.messages";
+                        fr_acks = Stats.get st "net.acks";
+                        fr_acks_piggybacked =
+                          Stats.get st "net.acks.piggybacked";
+                        fr_acks_cumulative = Stats.get st "net.acks.cumulative";
                         fr_wall = 0.;
                       })
                 ()
@@ -368,13 +401,138 @@ let fault_sweep ?(scale = default_scale) ?jobs
   let out = Pool.run_all ?jobs cells in
   Array.to_list (Array.map (fun (r, wall) -> { r with fr_wall = wall }) out)
 
-let print_fault_rows rows =
-  Printf.printf "%-12s %6s %12s %8s %8s %8s %8s %8s\n" "benchmark" "drop"
-    "sim s" "rexmit" "timeout" "dupsup" "dropped" "giveup";
-  Printf.printf "%s\n" (String.make 78 '-');
+(* {2 Bulk-transfer batching}
+
+   Each benchmark under its application-specific protocol, batching off vs
+   on, on the faultless network. Simulated results must agree exactly
+   (batching changes when data travels, not what the program computes at
+   its synchronization points); the interesting columns are the physical
+   message counts and where the savings came from (same-destination
+   coalescing, write-combined updates, batched invalidations, bulk
+   prefetches). *)
+
+type batch_row = {
+  br_bench : string;
+  br_off : float; (* simulated seconds, batching off *)
+  br_on : float; (* simulated seconds, batching on *)
+  br_off_msgs : float; (* physical messages, batching off *)
+  br_on_msgs : float;
+  br_coalesced : float; (* messages removed by same-destination coalescing *)
+  br_combined : float; (* write-combined updates parked in queues *)
+  br_results_agree : bool; (* batching left the computed result unchanged *)
+  br_wall : float;
+}
+
+(* Fraction of the baseline's physical messages that batching removed. *)
+let batch_reduction r =
+  if r.br_off_msgs > 0. then 1. -. (r.br_on_msgs /. r.br_off_msgs) else 0.
+
+let batching ?(scale = default_scale) ?jobs () =
+  let nprocs = scale.nprocs in
+  (* Short steady-state runs: the experiment measures traffic shape, not
+     application speed. Each benchmark uses the protocol with the richest
+     batching behaviour (fig. 7b's custom protocols). *)
+  let benches :
+      (string
+      * (?batch:bool -> ?stats:(Stats.t -> unit) -> unit -> Driver.outcome))
+      array =
+    [|
+      ( "Barnes-Hut (dyn update)",
+        fun ?batch ?stats () ->
+          Driver.run_ace ?batch ?stats ~nprocs (module Barnes_hut)
+            {
+              (bh_cfg scale 2) with
+              Barnes_hut.n_bodies = 192 * scale.factor;
+              protocol = Some "DYN_UPDATE";
+            } );
+      ( "BSC (write-once)",
+        fun ?batch ?stats () ->
+          Driver.run_ace ?batch ?stats ~nprocs (module Cholesky)
+            { (bsc_cfg scale) with Cholesky.protocol = Some "WRITE_ONCE" } );
+      ( "EM3D (static update)",
+        fun ?batch ?stats () ->
+          Driver.run_ace ?batch ?stats ~nprocs (module Em3d)
+            { (em3d_cfg scale 6) with Em3d.protocol = Some "STATIC_UPDATE" } );
+      ( "TSP (counter)",
+        fun ?batch ?stats () ->
+          Driver.run_ace ?batch ?stats ~nprocs (module Tsp)
+            { (tsp_cfg scale) with Tsp.counter_protocol = Some "COUNTER" } );
+      ( "Water (null+pipeline)",
+        fun ?batch ?stats () ->
+          let cfg = water_cfg scale 2 in
+          Driver.run_ace ?batch ?stats ~nprocs (module Water)
+            {
+              Water.core =
+                { cfg.Water.core with Ace_apps.Water_core.n_mol = 96 * scale.factor };
+              phase_protocols = Some ("NULL", "PIPELINE");
+            } );
+    |]
+  in
+  let cells =
+    Array.init
+      (2 * Array.length benches)
+      (fun i ->
+        let name, run = benches.(i / 2) in
+        let batch = i mod 2 = 1 in
+        ignore name;
+        Pool.timed (fun () ->
+            let msgs = ref 0. and coal = ref 0. and comb = ref 0. in
+            let out =
+              run ~batch
+                ~stats:(fun st ->
+                  msgs := Stats.get st "net.messages";
+                  coal := Stats.get st "net.coalesced";
+                  comb :=
+                    Stats.get st "coh.write_combined"
+                    +. Stats.get st "coh.inval_batch"
+                    +. Stats.get st "coh.bulk_fetch")
+                ()
+            in
+            (out, !msgs, !coal, !comb)))
+  in
+  let out = Pool.run_all ?jobs cells in
+  Array.to_list
+    (Array.init (Array.length benches) (fun i ->
+         let (off, off_msgs, _, _), wall_off = out.(2 * i) in
+         let (on, on_msgs, coal, comb), wall_on = out.((2 * i) + 1) in
+         let name, _ = benches.(i) in
+         {
+           br_bench = name;
+           br_off = off.Driver.seconds;
+           br_on = on.Driver.seconds;
+           br_off_msgs = off_msgs;
+           br_on_msgs = on_msgs;
+           br_coalesced = coal;
+           br_combined = comb;
+           br_results_agree =
+             (off.Driver.result = on.Driver.result
+             || (Float.is_nan off.Driver.result && Float.is_nan on.Driver.result));
+           br_wall = wall_off +. wall_on;
+         }))
+
+let print_batch_rows rows =
+  Printf.printf "%-26s %10s %10s %8s %9s %9s %6s\n" "benchmark" "msgs off"
+    "msgs on" "saved" "coalesced" "combined" "ok";
+  Printf.printf "%s\n" (String.make 84 '-');
   List.iter
     (fun r ->
-      Printf.printf "%-12s %6.3f %12.6f %8.0f %8.0f %8.0f %8.0f %8.0f\n"
+      Printf.printf "%-26s %10.0f %10.0f %7.1f%% %9.0f %9.0f %6s\n" r.br_bench
+        r.br_off_msgs r.br_on_msgs
+        (100. *. batch_reduction r)
+        r.br_coalesced r.br_combined
+        (if r.br_results_agree then "yes" else "NO"))
+    rows
+
+let print_fault_rows rows =
+  Printf.printf "%-12s %6s %12s %8s %8s %8s %8s %8s %9s %8s\n" "benchmark"
+    "drop" "sim s" "rexmit" "timeout" "dupsup" "dropped" "giveup" "piggyack"
+    "cumack";
+  Printf.printf "%s\n" (String.make 96 '-');
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%-12s %6.3f %12.6f %8.0f %8.0f %8.0f %8.0f %8.0f %9.0f %8.0f\n"
         r.fr_bench r.fr_drop r.fr_seconds r.fr_retransmits r.fr_timeouts
-        r.fr_dup_suppressed r.fr_dropped r.fr_giveups)
+        r.fr_dup_suppressed r.fr_dropped r.fr_giveups r.fr_acks_piggybacked
+        r.fr_acks_cumulative)
     rows

@@ -13,6 +13,9 @@ let fam_bytes_src = Stats.fam "net.bytes.by_src"
 let fam_bytes_dst = Stats.fam "net.bytes.by_dst"
 let fam_msgs_link = Stats.fam "net.msgs.by_link"
 let fam_drop_link = Stats.fam "net.fault.dropped.by_link"
+let sid_multi_sends = Stats.intern "net.multi.sends"
+let sid_coalesced = Stats.intern "net.coalesced"
+let fam_coalesced_link = Stats.fam "net.coalesced.by_link"
 
 let hist_latency =
   Stats.hist "net.latency_cycles"
@@ -24,6 +27,7 @@ type t = {
   mutable messages : int; (* logical sends: one per [send] call *)
   mutable bytes_sent : int;
   mutable faults : Faults.t option;
+  mutable batching : bool; (* opt-in bulk-transfer mode; off = historical paths *)
   nprocs : int;
   (* live Stats cell arrays, opened once so the per-message accounting is
      plain array stores (Am.send is the simulator's hottest path; the
@@ -48,6 +52,7 @@ let create machine cost =
     messages = 0;
     bytes_sent = 0;
     faults = None;
+    batching = false;
     nprocs = n;
     msgs_src = Stats.dim_open stats fam_msgs_src ~size:n;
     msgs_dst = Stats.dim_open stats fam_msgs_dst ~size:n;
@@ -62,6 +67,8 @@ let machine t = t.machine
 let cost t = t.cost
 let set_faults t f = t.faults <- f
 let faults t = t.faults
+let set_batching t b = t.batching <- b
+let batching t = t.batching
 
 (* Put one copy on the wire: physical accounting (the net.* counters count
    copies that actually travel and deliver), latency bucketing, the trace
@@ -92,13 +99,9 @@ let deliver t ~now ~src ~dst ~bytes ~fbytes ~extra handler =
         ~args:[ ("src", src); ("dst", dst); ("bytes", bytes) ] ());
   Machine.schedule t.machine ~time:arrival (fun () -> handler ~time:arrival)
 
-let send t ~now ~src ~dst ~bytes handler =
-  if bytes < 0 then invalid_arg "Am.send: negative size";
-  let nprocs = t.nprocs in
-  if src < 0 || src >= nprocs then invalid_arg "Am.send: bad src";
-  if dst < 0 || dst >= nprocs then invalid_arg "Am.send: bad dst";
-  t.messages <- t.messages + 1;
-  t.bytes_sent <- t.bytes_sent + bytes;
+(* One wire message (already tallied as a logical send): draw a fault fate
+   if a model is attached, then put the surviving copies on the wire. *)
+let emit t ~now ~src ~dst ~bytes handler =
   let fbytes = float_of_int bytes in
   match t.faults with
   | None -> deliver t ~now ~src ~dst ~bytes ~fbytes ~extra:0. handler
@@ -107,7 +110,7 @@ let send t ~now ~src ~dst ~bytes handler =
       let stats = Machine.stats t.machine in
       if fate.Faults.dropped then begin
         Stats.incr_id stats sid_dropped;
-        Stats.incr_dim stats fam_drop_link ((src * nprocs) + dst);
+        Stats.incr_dim stats fam_drop_link ((src * t.nprocs) + dst);
         match Machine.trace t.machine with
         | None -> ()
         | Some tr ->
@@ -119,6 +122,77 @@ let send t ~now ~src ~dst ~bytes handler =
         deliver t ~now ~src ~dst ~bytes ~fbytes ~extra:(Faults.jitter_of f)
           handler
       done
+
+let send t ~now ~src ~dst ~bytes handler =
+  if bytes < 0 then invalid_arg "Am.send: negative size";
+  let nprocs = t.nprocs in
+  if src < 0 || src >= nprocs then invalid_arg "Am.send: bad src";
+  if dst < 0 || dst >= nprocs then invalid_arg "Am.send: bad dst";
+  t.messages <- t.messages + 1;
+  t.bytes_sent <- t.bytes_sent + bytes;
+  emit t ~now ~src ~dst ~bytes handler
+
+(* ---- multicast / vectored sends ---- *)
+
+type part = { p_dst : int; p_bytes : int; p_handler : time:float -> unit }
+
+let part ~dst ~bytes handler = { p_dst = dst; p_bytes = bytes; p_handler = handler }
+
+(* Group a part list by destination, preserving first-appearance order of
+   destinations and the relative order of parts within a destination, and
+   tally the coalescing: a group of k parts travels as ONE vectored wire
+   message, saving k-1 physical messages over k individual sends. *)
+let coalesce t ~now ~src parts =
+  let nprocs = t.nprocs in
+  if src < 0 || src >= nprocs then invalid_arg "Am.send_multi: bad src";
+  List.iter
+    (fun q ->
+      if q.p_bytes < 0 then invalid_arg "Am.send_multi: negative size";
+      if q.p_dst < 0 || q.p_dst >= nprocs then
+        invalid_arg "Am.send_multi: bad dst")
+    parts;
+  let buckets = Array.make nprocs [] in
+  let order = ref [] in
+  List.iter
+    (fun q ->
+      if buckets.(q.p_dst) = [] then order := q.p_dst :: !order;
+      buckets.(q.p_dst) <- q :: buckets.(q.p_dst))
+    parts;
+  let stats = Machine.stats t.machine in
+  if parts <> [] then Stats.incr_id stats sid_multi_sends;
+  List.rev_map
+    (fun dst ->
+      let group = List.rev buckets.(dst) in
+      let bytes = List.fold_left (fun a q -> a + q.p_bytes) 0 group in
+      let k = List.length group in
+      if k > 1 then begin
+        Stats.add_id stats sid_coalesced (float_of_int (k - 1));
+        Stats.add_dim stats fam_coalesced_link
+          ((src * nprocs) + dst)
+          (float_of_int (k - 1));
+        match Machine.trace t.machine with
+        | None -> ()
+        | Some tr ->
+            Trace.instant tr ~name:"coalesce" ~cat:"net" ~tid:src ~ts:now
+              ~args:[ ("dst", dst); ("parts", k); ("bytes", bytes) ] ()
+      end;
+      let handler ~time = List.iter (fun q -> q.p_handler ~time) group in
+      (dst, bytes, handler))
+    !order
+
+let send_multi t ~now ~src parts =
+  List.iter
+    (fun (dst, bytes, handler) ->
+      t.messages <- t.messages + 1;
+      t.bytes_sent <- t.bytes_sent + bytes;
+      emit t ~now ~src ~dst ~bytes handler)
+    (coalesce t ~now ~src parts)
+
+let send_multi_from t (p : Machine.proc) parts =
+  if parts <> [] then begin
+    Machine.advance p t.cost.Cost_model.am_send_overhead;
+    send_multi t ~now:p.Machine.clock ~src:p.Machine.id parts
+  end
 
 let send_from t (p : Machine.proc) ~dst ~bytes handler =
   Machine.advance p t.cost.Cost_model.am_send_overhead;

@@ -40,6 +40,46 @@ val set_faults : t -> Faults.t option -> unit
 
 val faults : t -> Faults.t option
 
+(** Opt-in bulk-transfer mode. The flag itself changes nothing in [Am] —
+    every legacy entry point keeps its exact historical behaviour — it is
+    the switch the upper layers ({!Blocks}' batched legs, the write-combining
+    protocols) consult before taking a vectored path, so batching-off runs
+    stay bit-identical to builds without batching support. *)
+val set_batching : t -> bool -> unit
+
+val batching : t -> bool
+
+(** One entry of a multicast/vectored send: destination, declared payload
+    size, and the handler to run at delivery. Build with {!part}. *)
+type part
+
+val part : dst:int -> bytes:int -> (time:float -> unit) -> part
+
+(** [send_multi t ~now ~src parts] is the multicast primitive: parts for
+    the {e same} destination coalesce into one vectored wire message whose
+    size is the sum of the part sizes and whose delivery runs the part
+    handlers in order at one arrival; distinct destinations each get their
+    own copy (per-copy wire costs). Coalescing is tallied in
+    [net.multi.sends], [net.coalesced] (physical messages saved, k-1 per
+    k-part group) and the [net.coalesced.by_link] family, plus a
+    ["coalesce"] trace instant per vectored message. Under a fault model
+    each vectored message draws one fate — a dropped message loses all its
+    parts (route through {!Reliable.send_multi} for retransmission). *)
+val send_multi : t -> now:float -> src:int -> part list -> unit
+
+(** [send_multi] charging the calling fiber {e one} sender overhead for the
+    whole vector — the multicast half of the batching story: k same-source
+    sends cost one injection. No-op on an empty list. *)
+val send_multi_from : t -> Ace_engine.Machine.proc -> part list -> unit
+
+(** Destination groups of a part list — (dst, summed bytes, merged handler)
+    in first-appearance order, with the same coalescing accounting as
+    {!send_multi} — for transports that put the groups on the wire
+    themselves ({!Reliable.send_multi}). *)
+val coalesce :
+  t -> now:float -> src:int -> part list ->
+  (int * int * (time:float -> unit)) list
+
 (** [send t ~now ~src ~dst ~bytes h] injects a message at time [now]; the
     handler [h ~time] runs at the destination at delivery time. Does not
     charge sender processor overhead (see {!send_from}). Usable from inside

@@ -5,12 +5,20 @@
    message with a per-channel sequence number and keeps it in an in-flight
    table; a timer retransmits with exponential backoff until the receiver's
    ACK lands (ACKs travel the same faulty network and are themselves
-   repaired by retransmission). The receiver ACKs every copy it sees,
+   repaired by retransmission). The receiver owes one ACK per copy it sees,
    suppresses duplicates, and releases handlers strictly in sequence order,
    parking early arrivals in a reorder buffer — so upper layers (the
    coherence building blocks, the collectives) keep their exactly-once,
    FIFO-per-link delivery model on a network that drops, duplicates and
    reorders.
+
+   ACK delivery is piggybacked and cumulative rather than one dedicated
+   message per copy: an owed ACK rides the next data message travelling the
+   reverse link (net.acks.piggybacked), and a delayed-ACK timer covers
+   quiet links by sending one dedicated message that settles every owed ACK
+   at once (the fold beyond the first counted in net.acks.cumulative). An
+   ACK lost with its carrier is regenerated when the un-ACKed data is
+   retransmitted, so the repair loop is unchanged.
 
    When no fault model is attached to the underlying [Am.t], every entry
    point forwards straight to [Am] — no sequence numbers, no ACKs, no
@@ -27,6 +35,8 @@ let sid_timeouts = Stats.intern "net.timeouts"
 let sid_acks = Stats.intern "net.acks"
 let sid_dup_suppressed = Stats.intern "net.dup_suppressed"
 let sid_giveups = Stats.intern "net.giveups"
+let sid_acks_piggybacked = Stats.intern "net.acks.piggybacked"
+let sid_acks_cumulative = Stats.intern "net.acks.cumulative"
 let fam_retrans_link = Stats.fam "net.retransmits.by_link"
 
 (* Size of an ACK on the wire (sequence number + channel tag). *)
@@ -48,6 +58,8 @@ type chan = {
   inflight : (int, inflight) Hashtbl.t;
   mutable rnext : int; (* receiver: next sequence to release *)
   rbuf : (int, time:float -> unit) Hashtbl.t; (* early arrivals, by seq *)
+  mutable ack_owed : inflight list; (* receiver: ACKs not yet delivered *)
+  mutable ack_timer : bool; (* delayed-ACK timer armed *)
 }
 
 type t = {
@@ -56,22 +68,34 @@ type t = {
   rto : float;
   backoff : float;
   max_retries : int;
+  ack_delay : float; (* quiet-link delayed-ACK timer *)
   chans : chan option array; (* src * nprocs + dst, created on first use *)
 }
 
 let default_rto = 4000.
 let default_backoff = 2.
 let default_max_retries = 20
+let default_ack_delay = 400.
 
 let create ?(rto = default_rto) ?(backoff = default_backoff)
-    ?(max_retries = default_max_retries) am =
+    ?(max_retries = default_max_retries) ?(ack_delay = default_ack_delay) am =
   if not (Float.is_finite rto) || rto <= 0. then
     invalid_arg "Reliable.create: rto must be positive";
   if not (Float.is_finite backoff) || backoff < 1. then
     invalid_arg "Reliable.create: backoff must be >= 1";
   if max_retries < 0 then invalid_arg "Reliable.create: negative max_retries";
+  if not (Float.is_finite ack_delay) || ack_delay <= 0. then
+    invalid_arg "Reliable.create: ack_delay must be positive";
   let n = Machine.nprocs (Am.machine am) in
-  { am; nprocs = n; rto; backoff; max_retries; chans = Array.make (n * n) None }
+  {
+    am;
+    nprocs = n;
+    rto;
+    backoff;
+    max_retries;
+    ack_delay;
+    chans = Array.make (n * n) None;
+  }
 
 let am t = t.am
 let machine t = Am.machine t.am
@@ -90,10 +114,16 @@ let channel t ~src ~dst =
           inflight = Hashtbl.create 8;
           rnext = 0;
           rbuf = Hashtbl.create 8;
+          ack_owed = [];
+          ack_timer = false;
         }
       in
       t.chans.(ix) <- Some ch;
       ch
+
+(* The already-materialized reverse channel, if any: data we send dst-ward
+   can carry the ACKs we owe for data that arrived from dst. *)
+let rev_channel t ch = t.chans.((ch.c_dst * t.nprocs) + ch.c_src)
 
 (* Unacked messages across all channels (a diagnosis aid: nonzero after a
    run means senders gave up — see the deadlock report in Machine.run). *)
@@ -103,16 +133,51 @@ let pending t =
       match ch with None -> acc | Some ch -> acc + Hashtbl.length ch.inflight)
     0 t.chans
 
-(* Receiver side: ACK every copy, release handlers in sequence order. *)
-let on_data t ch (m : inflight) ~time =
-  let stats = Machine.stats (Am.machine t.am) in
-  Stats.incr_id stats sid_acks;
-  Am.send t.am ~now:time ~src:ch.c_dst ~dst:ch.c_src ~bytes:ack_bytes
-    (fun ~time:_ ->
+(* Settle delivered ACK records at the original sender: mark each in-flight
+   entry acked and drop it from the channel's table (idempotent — a record
+   may travel more than once when its carrier is duplicated or when a
+   retransmitted copy regenerates it). *)
+let settle ch ms =
+  List.iter
+    (fun m ->
       if not m.acked then begin
         m.acked <- true;
         Hashtbl.remove ch.inflight m.i_seq
-      end);
+      end)
+    ms
+
+(* Delayed-ACK timer body: one dedicated cumulative ACK message settles
+   every ACK still owed on the channel (quiet reverse link — nothing came
+   by to piggyback on). *)
+let flush_acks t ch ~now =
+  ch.ack_timer <- false;
+  match ch.ack_owed with
+  | [] -> () (* everything piggybacked in the meantime *)
+  | ms ->
+      ch.ack_owed <- [];
+      (match ms with
+      | _ :: _ :: _ ->
+          Stats.add_id
+            (Machine.stats (Am.machine t.am))
+            sid_acks_cumulative
+            (float_of_int (List.length ms - 1))
+      | _ -> ());
+      Am.send t.am ~now ~src:ch.c_dst ~dst:ch.c_src ~bytes:ack_bytes
+        (fun ~time:_ -> settle ch ms)
+
+(* Receiver side: record the ACK owed for this copy (the delayed timer or a
+   reverse-link carrier will deliver it), then release handlers in sequence
+   order. *)
+let on_data t ch (m : inflight) ~time =
+  let stats = Machine.stats (Am.machine t.am) in
+  Stats.incr_id stats sid_acks;
+  ch.ack_owed <- m :: ch.ack_owed;
+  if not ch.ack_timer then begin
+    ch.ack_timer <- true;
+    let at = time +. t.ack_delay in
+    Machine.schedule (Am.machine t.am) ~time:at (fun () ->
+        flush_acks t ch ~now:at)
+  end;
   if m.i_seq < ch.rnext || Hashtbl.mem ch.rbuf m.i_seq then
     Stats.incr_id stats sid_dup_suppressed
   else begin
@@ -130,8 +195,31 @@ let on_data t ch (m : inflight) ~time =
   end
 
 let transmit t ch m ~now =
-  Am.send t.am ~now ~src:ch.c_src ~dst:ch.c_dst ~bytes:m.i_bytes
-    (fun ~time -> on_data t ch m ~time)
+  (* Piggyback every ACK owed on the reverse link onto this data message:
+     ack_bytes of header, no extra message. Drawn fresh per transmission,
+     so a retransmitted carrier picks up whatever is owed now. *)
+  match rev_channel t ch with
+  | Some r when r.ack_owed <> [] ->
+      let ms = r.ack_owed in
+      r.ack_owed <- [];
+      Stats.add_id
+        (Machine.stats (Am.machine t.am))
+        sid_acks_piggybacked
+        (float_of_int (List.length ms));
+      (match Machine.trace (Am.machine t.am) with
+      | None -> ()
+      | Some tr ->
+          Trace.instant tr ~name:"ack_piggyback" ~cat:"net" ~tid:ch.c_src
+            ~ts:now
+            ~args:[ ("dst", ch.c_dst); ("acks", List.length ms) ]
+            ());
+      Am.send t.am ~now ~src:ch.c_src ~dst:ch.c_dst
+        ~bytes:(m.i_bytes + ack_bytes) (fun ~time ->
+          settle r ms;
+          on_data t ch m ~time)
+  | _ ->
+      Am.send t.am ~now ~src:ch.c_src ~dst:ch.c_dst ~bytes:m.i_bytes
+        (fun ~time -> on_data t ch m ~time)
 
 (* Arm the retransmit timer for the latest transmission. The event cannot
    be cancelled, so an already-ACKed message just lets it fire as a no-op;
@@ -193,6 +281,26 @@ let send t ~now ~src ~dst ~bytes handler =
 let send_from t (p : Machine.proc) ~dst ~bytes handler =
   Machine.advance p (Am.cost t.am).Cost_model.am_send_overhead;
   send t ~now:p.Machine.clock ~src:p.Machine.id ~dst ~bytes handler
+
+let part = Am.part
+let batching t = Am.batching t.am
+
+(* Vectored send: coalescing (and its accounting) happens in [Am.coalesce];
+   on a faulty network each destination group then travels as one reliably
+   sequenced message, so a dropped vector is retransmitted whole. *)
+let send_multi t ~now ~src parts =
+  match Am.faults t.am with
+  | None -> Am.send_multi t.am ~now ~src parts
+  | Some _ ->
+      List.iter
+        (fun (dst, bytes, handler) -> send t ~now ~src ~dst ~bytes handler)
+        (Am.coalesce t.am ~now ~src parts)
+
+let send_multi_from t (p : Machine.proc) parts =
+  if parts <> [] then begin
+    Machine.advance p (Am.cost t.am).Cost_model.am_send_overhead;
+    send_multi t ~now:p.Machine.clock ~src:p.Machine.id parts
+  end
 
 let rpc t p ~dst ~bytes handler =
   let reply = Ivar.create () in

@@ -100,13 +100,31 @@ let barrier_skew evs =
   |> List.sort (fun a b -> compare a.gen b.gen)
 
 (* Message arcs: 'b' (send, on the source row, with src/dst/bytes args) and
-   'e' (delivery, on the destination row) paired by id. *)
+   'e' (delivery, on the destination row) paired by id. The per-link rows
+   fold in the reliability and batching instants the network layers emit on
+   the source row: "retransmit" (reliable transport timer fired),
+   "ack_piggyback" (ACKs that rode a data message instead of travelling as
+   their own messages; "acks" arg counts them) and "coalesce" (k same-
+   destination parts travelled as one vectored message; saves k-1). *)
+type link_row = {
+  link : string; (* "src->dst" *)
+  lmsgs : int; (* delivered messages *)
+  lmean : float; (* mean delivery latency, cycles *)
+  lmax : float;
+  lretrans : int; (* retransmissions on the link *)
+  lpiggy : int; (* ACKs piggybacked onto the link's data messages *)
+  lcoalesced : int; (* physical messages saved by coalescing *)
+}
+
 type msg_stats = {
   messages : int;
   bytes : int;
   mean_latency : float;
   max_latency : float;
-  links : row list; (* per src->dst link, ordered by message count *)
+  retransmits : int;
+  piggybacked : int;
+  coalesced : int;
+  links : link_row list; (* per src->dst link, ordered by message count *)
 }
 
 let messages evs =
@@ -118,11 +136,17 @@ let messages evs =
     evs;
   let count = ref 0 and bytes = ref 0 in
   let lat_sum = ref 0. and lat_max = ref 0. in
+  (* link -> (msgs, lat_total, lat_max, retrans, piggy, coalesced) *)
   let links = Hashtbl.create 64 in
+  let get link =
+    match Hashtbl.find_opt links link with
+    | Some acc -> acc
+    | None -> (0, 0., 0., 0, 0, 0)
+  in
   List.iter
     (fun (e : Trace_read.ev) ->
       if e.Trace_read.ph = 'e' && e.Trace_read.cat = "msg" then
-        match Hashtbl.find_opt sends e.Trace_read.id with
+        (match Hashtbl.find_opt sends e.Trace_read.id with
         | None -> ()
         | Some b ->
             let lat = e.Trace_read.ts -. b.Trace_read.ts in
@@ -133,26 +157,53 @@ let messages evs =
             let link =
               Printf.sprintf "%d->%d" b.Trace_read.tid e.Trace_read.tid
             in
-            let c, tot, mx =
-              match Hashtbl.find_opt links link with
-              | Some acc -> acc
-              | None -> (0, 0., 0.)
-            in
-            Hashtbl.replace links link (c + 1, tot +. lat, Float.max mx lat))
+            let c, tot, mx, r, p, co = get link in
+            Hashtbl.replace links link
+              (c + 1, tot +. lat, Float.max mx lat, r, p, co))
+      else if e.Trace_read.ph = 'i' && e.Trace_read.cat = "net" then
+        match Trace_read.int_arg "dst" e with
+        | None -> ()
+        | Some dst -> (
+            let link = Printf.sprintf "%d->%d" e.Trace_read.tid dst in
+            match e.Trace_read.name with
+            | "retransmit" ->
+                let c, tot, mx, r, p, co = get link in
+                Hashtbl.replace links link (c, tot, mx, r + 1, p, co)
+            | "ack_piggyback" ->
+                let n = Option.value (Trace_read.int_arg "acks" e) ~default:1 in
+                let c, tot, mx, r, p, co = get link in
+                Hashtbl.replace links link (c, tot, mx, r, p + n, co)
+            | "coalesce" ->
+                let k = Option.value (Trace_read.int_arg "parts" e) ~default:1 in
+                let c, tot, mx, r, p, co = get link in
+                Hashtbl.replace links link (c, tot, mx, r, p, co + k - 1)
+            | _ -> ()))
     evs;
   let link_rows =
     Hashtbl.fold
-      (fun label (c, tot, mx) acc ->
-        { label; count = c; total = tot; mean = tot /. float_of_int c; max = mx }
+      (fun link (c, tot, mx, r, p, co) acc ->
+        {
+          link;
+          lmsgs = c;
+          lmean = (if c = 0 then 0. else tot /. float_of_int c);
+          lmax = mx;
+          lretrans = r;
+          lpiggy = p;
+          lcoalesced = co;
+        }
         :: acc)
       links []
-    |> List.sort (fun a b -> compare (b.count, b.label) (a.count, a.label))
+    |> List.sort (fun a b -> compare (b.lmsgs, b.link) (a.lmsgs, a.link))
   in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 link_rows in
   {
     messages = !count;
     bytes = !bytes;
     mean_latency = (if !count = 0 then 0. else !lat_sum /. float_of_int !count);
     max_latency = !lat_max;
+    retransmits = sum (fun r -> r.lretrans);
+    piggybacked = sum (fun r -> r.lpiggy);
+    coalesced = sum (fun r -> r.lcoalesced);
     links = link_rows;
   }
 

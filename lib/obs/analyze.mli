@@ -31,15 +31,30 @@ type barrier_row = {
 (** Per-generation barrier arrival skew, in generation order. *)
 val barrier_skew : Trace_read.ev list -> barrier_row list
 
+type link_row = {
+  link : string; (* "src->dst" *)
+  lmsgs : int; (* delivered messages *)
+  lmean : float; (* mean delivery latency, cycles *)
+  lmax : float;
+  lretrans : int; (* retransmissions on the link *)
+  lpiggy : int; (* ACKs piggybacked onto the link's data messages *)
+  lcoalesced : int; (* physical messages saved by coalescing *)
+}
+
 type msg_stats = {
   messages : int;
   bytes : int;
   mean_latency : float;
   max_latency : float;
-  links : row list; (* per src->dst link, busiest first *)
+  retransmits : int;
+  piggybacked : int;
+  coalesced : int;
+  links : link_row list; (* per src->dst link, busiest first *)
 }
 
-(** Message-arc statistics ('b'/'e' pairs matched by id). *)
+(** Message-arc statistics ('b'/'e' pairs matched by id), with the
+    reliability and batching instants ("retransmit", "ack_piggyback",
+    "coalesce") folded into the per-link rows. *)
 val messages : Trace_read.ev list -> msg_stats
 
 (** First [n] elements of a list (fewer if short). *)

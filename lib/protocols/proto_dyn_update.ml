@@ -6,22 +6,90 @@
    A writer does not acquire exclusive access (paper §6: "a writer need not
    acquire exclusive access before proceeding with a write, as long as the
    result of the write is propagated to all sharers"); the protocol assumes
-   each region has a single writer at a time (producer-consumer sharing). *)
+   each region has a single writer at a time (producer-consumer sharing).
+
+   In bulk-transfer mode the propagation is write-combined: end_write only
+   records the dirty region, and the next synchronization point (barrier,
+   unlock, detach) publishes everything written since the last one as a
+   single batched push — one vectored message per consumer instead of one
+   message per (write, consumer). Consumers synchronize before reading
+   (the single-writer assumption already demands it), so they observe the
+   same values at the same synchronization points as the immediate-push
+   mode. *)
 
 module Protocol = Ace_runtime.Protocol
 module Blocks = Ace_region.Blocks
 module Store = Ace_region.Store
 module Machine = Ace_engine.Machine
 
+type dyn_state = { mutable written : int list (* rids dirty since last sync *) }
+type Protocol.pstate += Dyn of dyn_state
+
+let state (ctx : Protocol.ctx) (sp : Protocol.space) =
+  let node = ctx.Protocol.proc.Machine.id in
+  match sp.Protocol.pstate.(node) with
+  | Dyn s -> s
+  | _ ->
+      let s = { written = [] } in
+      sp.Protocol.pstate.(node) <- Dyn s;
+      s
+
+let space_of (ctx : Protocol.ctx) meta =
+  ctx.Protocol.rt.Protocol.spaces.(meta.Store.space)
+
+let batching (ctx : Protocol.ctx) =
+  Ace_net.Reliable.batching ctx.Protocol.bctx.Blocks.net
+
 let ensure_valid (ctx : Protocol.ctx) meta =
   Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.start_hit;
   Blocks.fetch_shared ctx.Protocol.bctx meta
 
 let end_write (ctx : Protocol.ctx) meta =
-  Machine.await ctx.Protocol.proc (Blocks.push_update ctx.Protocol.bctx meta)
+  if batching ctx then begin
+    let s = state ctx (space_of ctx meta) in
+    if not (List.mem meta.Store.rid s.written) then
+      s.written <- meta.Store.rid :: s.written
+  end
+  else
+    Machine.await ctx.Protocol.proc (Blocks.push_update ctx.Protocol.bctx meta)
+
+(* Publish every region written since the last synchronization point as one
+   batched push to its current sharers. *)
+let publish (ctx : Protocol.ctx) (sp : Protocol.space) =
+  let s = state ctx sp in
+  match s.written with
+  | [] -> ()
+  | rids ->
+      s.written <- [];
+      let store = ctx.Protocol.rt.Protocol.store in
+      let me = ctx.Protocol.proc.Machine.id in
+      let items =
+        List.rev_map
+          (fun rid ->
+            let meta = Store.get store rid in
+            let consumers =
+              List.filter
+                (fun n -> n <> meta.Store.home)
+                (Store.sharers meta ~except:me)
+            in
+            (meta, consumers))
+          rids
+      in
+      Machine.await ctx.Protocol.proc
+        (Blocks.push_to_batch ctx.Protocol.bctx items)
+
+let barrier (ctx : Protocol.ctx) (sp : Protocol.space) =
+  if batching ctx then publish ctx sp else Protocol.null_hook ctx sp
 
 let lock = Ace_runtime.Proto_sc.lock
-let unlock = Ace_runtime.Proto_sc.unlock
+
+let unlock (ctx : Protocol.ctx) meta =
+  if batching ctx then publish ctx (space_of ctx meta);
+  Ace_runtime.Proto_sc.unlock ctx meta
+
+let detach (ctx : Protocol.ctx) (sp : Protocol.space) =
+  if batching ctx then publish ctx sp;
+  Ace_runtime.Proto_sc.detach ctx sp
 
 let protocol =
   {
@@ -34,7 +102,8 @@ let protocol =
     start_read = ensure_valid;
     start_write = ensure_valid;
     end_write;
+    barrier;
     lock;
     unlock;
-    detach = Ace_runtime.Proto_sc.detach;
+    detach;
   }

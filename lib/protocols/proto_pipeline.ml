@@ -65,7 +65,16 @@ let start_write (ctx : Protocol.ctx) meta =
 let end_write (ctx : Protocol.ctx) meta =
   Protocol.charge ctx (Protocol.cost ctx).Ace_net.Cost_model.end_op;
   let s = state ctx (space_of ctx meta) in
-  let iv = Blocks.write_home_async ctx.Protocol.bctx meta in
+  let bctx = ctx.Protocol.bctx in
+  (* Bulk-transfer mode write-combines the pipelined update: it parks in
+     the queue and rides the next lock request (or a blocking leg / the
+     barrier flush) as part of one vectored message, instead of paying its
+     own message here. The ivar contract is identical. *)
+  let iv =
+    if Ace_net.Reliable.batching bctx.Blocks.net then
+      Blocks.queue_write_home bctx meta
+    else Blocks.write_home_async bctx meta
+  in
   Stats.incr_id (stats ctx) sid_pipelined;
   s.outstanding <- iv :: s.outstanding;
   Hashtbl.replace s.last_push meta.Store.rid iv
@@ -88,6 +97,7 @@ let unlock (ctx : Protocol.ctx) meta =
 
 let barrier (ctx : Protocol.ctx) (sp : Protocol.space) =
   let s = state ctx sp in
+  Blocks.flush_writes ctx.Protocol.bctx;
   List.iter (fun iv -> Machine.await ctx.Protocol.proc iv) s.outstanding;
   s.outstanding <- [];
   Hashtbl.reset s.last_push;
@@ -102,6 +112,18 @@ let barrier (ctx : Protocol.ctx) (sp : Protocol.space) =
         | Some c -> c.Store.cstate <- Store.Invalid
         | None -> ())
     sp.Protocol.rids
+
+(* Bulk-transfer mode: adopting the protocol prefetches the whole space in
+   one batched fetch (one vectored request per home, one bulk grant back) —
+   the first intermolecular sweep then starts from warm caches instead of
+   paying a read miss per molecule. Harmless for correctness: any value
+   accumulated later arrives via the lock grant ([lock_fetch]). *)
+let attach (ctx : Protocol.ctx) (sp : Protocol.space) =
+  Protocol.null_hook ctx sp;
+  let bctx = ctx.Protocol.bctx in
+  if Ace_net.Reliable.batching bctx.Blocks.net then
+    Blocks.fetch_shared_batch bctx
+      (List.map (Store.get ctx.Protocol.rt.Protocol.store) sp.Protocol.rids)
 
 let detach (ctx : Protocol.ctx) (sp : Protocol.space) =
   barrier ctx sp;
@@ -121,5 +143,6 @@ let protocol =
     lock;
     unlock;
     barrier;
+    attach;
     detach;
   }

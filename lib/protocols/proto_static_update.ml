@@ -84,7 +84,7 @@ let barrier (ctx : Protocol.ctx) (sp : Protocol.space) =
       s.written;
     s.learning <- s.learning - 1
   end;
-  let pending =
+  let items =
     List.map
       (fun rid ->
         let meta = Store.get store rid in
@@ -101,11 +101,21 @@ let barrier (ctx : Protocol.ctx) (sp : Protocol.space) =
               Hashtbl.replace s.learned rid c;
               c
         in
-        Blocks.push_to bctx meta ~dsts:consumers)
+        (meta, consumers))
       s.written
   in
   s.written <- [];
-  List.iter (fun iv -> Machine.await ctx.Protocol.proc iv) pending
+  if Ace_net.Reliable.batching bctx.Blocks.net then
+    (* Bulk-transfer mode: the whole end-of-phase burst is write-combined —
+       one vectored message per consumer instead of one per (region,
+       consumer) pair. *)
+    Machine.await ctx.Protocol.proc (Blocks.push_to_batch bctx items)
+  else begin
+    let pending =
+      List.map (fun (meta, consumers) -> Blocks.push_to bctx meta ~dsts:consumers) items
+    in
+    List.iter (fun iv -> Machine.await ctx.Protocol.proc iv) pending
+  end
 
 let lock = Ace_runtime.Proto_sc.lock
 let unlock = Ace_runtime.Proto_sc.unlock

@@ -2,6 +2,14 @@ module Machine = Ace_engine.Machine
 module Ivar = Ace_engine.Ivar
 module Net = Ace_net.Reliable
 
+(* A dirty-region update queued for write-combining: flushed to its home as
+   part of one vectored message (see [queue_write_home]/[flush_writes]). *)
+type wpend = {
+  wp_meta : Store.meta;
+  wp_payload : float array;
+  wp_iv : unit Ivar.t; (* fills when the update lands in the master *)
+}
+
 type ctx = {
   net : Net.t;
       (* the reliable transport; all coherence and collective traffic goes
@@ -13,14 +21,21 @@ type ctx = {
       (* one-slot memo of the last local-copy lookup: applications touch the
          same handle several times per access section (start, data, end), so
          this turns the repeated [copies.(node)] option-match into a pointer
-         compare. Copies are never replaced once created, so the memo cannot
-         go stale. *)
+         compare. A cache entry lives until a batched-invalidation or
+         free/remap leg drops it ([Store.drop_copy]) — every such leg must
+         call [reset_lcache] or the memo serves a stale, orphaned copy. *)
+  mutable wpending : wpend list;
+      (* write-combining queue, newest first; empty whenever batching is
+         off. Every blocking entry point drains it before waiting so a
+         queued update (and the lock release ordered behind it via
+         [unlock_after]) can never be stranded behind this fiber's block. *)
 }
 
 let make_ctx net store proc =
-  { net; store; proc; node = proc.Machine.id; lcache = None }
+  { net; store; proc; node = proc.Machine.id; lcache = None; wpending = [] }
 
 let node ctx = ctx.node
+let reset_lcache ctx = ctx.lcache <- None
 
 (* The calling node's cache entry for [meta], creating it if absent. *)
 let local_copy ctx meta =
@@ -37,6 +52,9 @@ let sid_read_miss = Stats.intern "coh.read_miss"
 let sid_write_miss = Stats.intern "coh.write_miss"
 let sid_update_push = Stats.intern "coh.update_push"
 let sid_static_push = Stats.intern "coh.static_push"
+let sid_inval_batch = Stats.intern "coh.inval_batch"
+let sid_write_combined = Stats.intern "coh.write_combined"
+let sid_bulk_fetch = Stats.intern "coh.bulk_fetch"
 let fam_read_miss_space = Stats.fam "coh.read_miss.by_space"
 let fam_write_miss_space = Stats.fam "coh.write_miss.by_space"
 let fam_miss_region = Stats.fam "coh.miss.by_region"
@@ -162,20 +180,67 @@ let recall_owner ctx meta ~time ~downgrade k =
               assert (oc.Store.cstate = Store.Exclusive);
               oc.Store.cstate <- downgrade;
               if downgrade = Store.Invalid then d.Store.sharers.(o) <- false;
-              let snapshot = Array.copy oc.Store.cdata in
+              let snapshot = Store.snapshot meta ~src:oc.Store.cdata in
               Net.send ctx.net ~now:time ~src:o ~dst:home ~bytes:(data_bytes meta)
                 (fun ~time ->
-                  Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
+                  Store.blit_in meta ~buf:snapshot ~at:0 meta.Store.master;
                   finish time)))
   end
 
 let stats ctx = Machine.stats (Net.machine ctx.net)
+
+(* ---- write-combining (batching): queued dirty-region updates ---- *)
+
+(* One vectored-message part per queued update: at the home, land the
+   payload in the master under the directory lock and signal the writer's
+   ivar (which also releases any lock ordered behind it via
+   [unlock_after]). *)
+let wpart w =
+  let meta = w.wp_meta in
+  Net.part ~dst:meta.Store.home ~bytes:(data_bytes meta) (fun ~time ->
+      dir_enter meta ~time (fun time ->
+          Store.blit_in meta ~buf:w.wp_payload ~at:0 meta.Store.master;
+          Ivar.fill w.wp_iv ~time ();
+          dir_exit meta ~time))
+
+(* Flush the queue as one vectored send: same-home updates coalesce into a
+   single bulk message, and the whole flush charges one sender overhead. *)
+let flush_writes ctx =
+  match ctx.wpending with
+  | [] -> ()
+  | ws ->
+      ctx.wpending <- [];
+      Net.send_multi_from ctx.net ctx.proc (List.rev_map wpart ws)
+
+(* Drain before blocking: a parked update's ivar may gate another node's
+   progress (combined update+release), so no fiber may block with a
+   non-empty queue. Free when the queue is empty — always, with batching
+   off. *)
+let drain ctx = if ctx.wpending <> [] then flush_writes ctx
+
+(* Queue a dirty-region update for the next flush — batching mode's
+   write-combining replacement for [write_home_async]; home writes land via
+   aliasing immediately. The returned ivar fills when the master holds the
+   update. *)
+let queue_write_home ctx meta =
+  let n = node ctx in
+  let copy = local_copy ctx meta in
+  let done_iv = Ivar.create () in
+  if n = meta.Store.home then Ivar.fill done_iv ~time:ctx.proc.Machine.clock ()
+  else begin
+    Stats.incr_id (stats ctx) sid_write_combined;
+    let payload = Store.snapshot meta ~src:copy.Store.cdata in
+    ctx.wpending <-
+      { wp_meta = meta; wp_payload = payload; wp_iv = done_iv } :: ctx.wpending
+  end;
+  done_iv
 
 let fetch_shared ctx meta =
   let n = node ctx in
   let copy = local_copy ctx meta in
   if copy.Store.cstate <> Store.Invalid then ()
   else begin
+    drain ctx;
     let home = meta.Store.home in
     count_miss (stats ctx) sid_read_miss fam_read_miss_space meta;
     Machine.advance ctx.proc (Net.cost ctx.net).Ace_net.Cost_model.miss_overhead;
@@ -188,13 +253,93 @@ let fetch_shared ctx meta =
               finish ~time
             end
             else begin
-              let snapshot = Array.copy meta.Store.master in
+              let snapshot = Store.snapshot meta ~src:meta.Store.master in
               Net.send ctx.net ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
                 (fun ~time ->
-                  Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
+                  Store.blit_in meta ~buf:snapshot ~at:0 copy.Store.cdata;
                   copy.Store.cstate <- Store.Shared;
                   finish ~time)
             end))
+  end
+
+(* Batched read misses (bulk prefetch): one vectored request per home node
+   covering every Invalid region in [metas], answered by one bulk data
+   grant per home carrying all the requested payloads — the
+   protocol-driven bulk transfer the paper's customizable protocols make
+   fall out of user-specified granularity. Misses are still counted per
+   region, but the requester-side miss overhead is charged once for the
+   whole batch. *)
+let fetch_shared_batch ctx metas =
+  drain ctx;
+  let n = node ctx in
+  let missing =
+    List.filter
+      (fun (meta : Store.meta) ->
+        n <> meta.Store.home
+        && (local_copy ctx meta).Store.cstate = Store.Invalid)
+      metas
+  in
+  if missing <> [] then begin
+    let st = stats ctx in
+    List.iter
+      (fun meta -> count_miss st sid_read_miss fam_read_miss_space meta)
+      missing;
+    Stats.incr_id st sid_bulk_fetch;
+    Machine.advance ctx.proc (Net.cost ctx.net).Ace_net.Cost_model.miss_overhead;
+    let buckets = Array.make (Store.nprocs ctx.store) [] in
+    let order = ref [] in
+    List.iter
+      (fun (meta : Store.meta) ->
+        let h = meta.Store.home in
+        if buckets.(h) = [] then order := h :: !order;
+        buckets.(h) <- meta :: buckets.(h))
+      missing;
+    let homes = List.rev !order in
+    let done_iv = Ivar.create () in
+    let groups = ref (List.length homes) in
+    let parts =
+      List.map
+        (fun h ->
+          let group = List.rev buckets.(h) in
+          let total =
+            List.fold_left (fun a (m : Store.meta) -> a + m.Store.len) 0 group
+          in
+          Net.part ~dst:h ~bytes:ctl_bytes (fun ~time ->
+              (* At the home: walk the group's directories in order,
+                 recalling any exclusive owners and collecting fresh master
+                 data into one payload, then answer with a single bulk
+                 grant. *)
+              let payload = Array.make total 0. in
+              let rec collect ~time at = function
+                | [] ->
+                    Net.send ctx.net ~now:time ~src:h ~dst:n
+                      ~bytes:((8 * total) + ctl_bytes) (fun ~time ->
+                        let at = ref 0 in
+                        List.iter
+                          (fun (meta : Store.meta) ->
+                            let c = Store.ensure_copy_c meta ~node:n in
+                            Store.blit_in meta ~buf:payload ~at:!at
+                              c.Store.cdata;
+                            c.Store.cstate <- Store.Shared;
+                            at := !at + meta.Store.len)
+                          group;
+                        decr groups;
+                        if !groups = 0 then Ivar.fill done_iv ~time ())
+                | (meta : Store.meta) :: rest ->
+                    dir_enter meta ~time (fun time ->
+                        recall_owner ctx meta ~time ~downgrade:Store.Shared
+                          (fun time ->
+                            meta.Store.dir.Store.sharers.(n) <- true;
+                            Store.blit_out meta ~src:meta.Store.master ~at
+                              payload;
+                            dir_exit meta ~time;
+                            collect ~time (at + meta.Store.len) rest))
+              in
+              collect ~time 0 group))
+        homes
+    in
+    Net.send_multi_from ctx.net ctx.proc parts;
+    Machine.await ctx.proc done_iv
   end
 
 let fetch_exclusive ctx meta =
@@ -203,6 +348,7 @@ let fetch_exclusive ctx meta =
   let d = meta.Store.dir in
   if copy.Store.cstate = Store.Exclusive && d.Store.owner = n then ()
   else begin
+    drain ctx;
     let home = meta.Store.home in
     count_miss (stats ctx) sid_write_miss fam_write_miss_space meta;
     Machine.advance ctx.proc (Net.cost ctx.net).Ace_net.Cost_model.miss_overhead;
@@ -229,11 +375,11 @@ let fetch_exclusive ctx meta =
               else begin
                 let bytes = if had_valid_copy then ctl_bytes else data_bytes meta in
                 let snapshot =
-                  if had_valid_copy then [||] else Array.copy meta.Store.master
+                  if had_valid_copy then [||] else Store.snapshot meta ~src:meta.Store.master
                 in
                 Net.send ctx.net ~now:time ~src:home ~dst:n ~bytes (fun ~time ->
                     if not had_valid_copy then
-                      Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
+                      Store.blit_in meta ~buf:snapshot ~at:0 copy.Store.cdata;
                     copy.Store.cstate <- Store.Exclusive;
                     finish ~time)
               end
@@ -286,6 +432,7 @@ let writeback ctx meta =
   let d = meta.Store.dir in
   if d.Store.owner <> n then ()
   else begin
+    drain ctx;
     let copy =
       match Store.copy_of meta ~node:n with Some c -> c | None -> assert false
     in
@@ -296,11 +443,11 @@ let writeback ctx meta =
           copy.Store.cstate <- Store.Shared;
           finish ~time)
     else begin
-      let snapshot = Array.copy copy.Store.cdata in
+      let snapshot = Store.snapshot meta ~src:copy.Store.cdata in
       Net.rpc ctx.net ctx.proc ~dst:home ~bytes:(data_bytes meta)
         (fun reply ~time ->
           dir_enter meta ~time (fun time ->
-              Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
+              Store.blit_in meta ~buf:snapshot ~at:0 meta.Store.master;
               d.Store.owner <- -1;
               copy.Store.cstate <- Store.Shared;
               (match Store.copy_of meta ~node:home with
@@ -327,6 +474,76 @@ let flush ctx meta =
         end
   end
 
+(* Batched flush of this node's involvement in [metas] (region free/remap
+   and the [change_protocol] detach storm): writebacks and sharer-drops for
+   regions with the same home coalesce into one vectored message under one
+   sender overhead, quiescent cache entries are dropped outright (memory
+   back to the GC — the zero-copy reclaim path), and the local-copy memo
+   is reset so it cannot serve a dropped entry. Must be called from a
+   quiescent point: no active access sections on these regions and no
+   concurrent transaction recalling this node (the change-protocol barrier
+   preceding the detach provides exactly this). *)
+let invalidate_batch ctx metas =
+  drain ctx;
+  reset_lcache ctx;
+  let n = node ctx in
+  let outstanding = ref 0 in
+  let done_iv = Ivar.create () in
+  let parts = ref [] in
+  let home_owned = ref [] in
+  List.iter
+    (fun (meta : Store.meta) ->
+      let home = meta.Store.home in
+      if n = home then begin
+        (* Home involvement never travels: writeback is a local transact. *)
+        if meta.Store.dir.Store.owner = n then
+          home_owned := meta :: !home_owned
+      end
+      else
+        match Store.copy_of meta ~node:n with
+        | None -> ()
+        | Some copy ->
+            let owned = meta.Store.dir.Store.owner = n in
+            let valid = copy.Store.cstate <> Store.Invalid in
+            if owned || valid then begin
+              let bytes = if owned then data_bytes meta else ctl_bytes in
+              let payload =
+                if owned then Store.snapshot meta ~src:copy.Store.cdata
+                else [||]
+              in
+              copy.Store.cstate <- Store.Invalid;
+              incr outstanding;
+              parts :=
+                Net.part ~dst:home ~bytes (fun ~time ->
+                    dir_enter meta ~time (fun time ->
+                        let d = meta.Store.dir in
+                        if owned then begin
+                          Store.blit_in meta ~buf:payload ~at:0
+                            meta.Store.master;
+                          d.Store.owner <- -1;
+                          (match Store.copy_of meta ~node:home with
+                          | Some c -> c.Store.cstate <- Store.Shared
+                          | None -> ());
+                          d.Store.sharers.(home) <- true
+                        end;
+                        d.Store.sharers.(n) <- false;
+                        dir_exit meta ~time;
+                        decr outstanding;
+                        if !outstanding = 0 then Ivar.fill done_iv ~time ()))
+                :: !parts
+            end;
+            if
+              copy.Store.readers = 0 && copy.Store.writers = 0
+              && copy.Store.deferred = []
+            then Store.drop_copy meta ~node:n)
+    metas;
+  List.iter (fun meta -> writeback ctx meta) (List.rev !home_owned);
+  if !outstanding > 0 then begin
+    Stats.incr_id (stats ctx) sid_inval_batch;
+    Net.send_multi_from ctx.net ctx.proc (List.rev !parts);
+    Machine.await ctx.proc done_iv
+  end
+
 (* Forward [snapshot] to every current sharer except [n] and the home,
    refreshing their caches. Runs at the home inside a transaction; calls
    [all_delivered ~time] once every forward has landed (immediately when
@@ -345,7 +562,7 @@ let forward_to_sharers ctx meta ~time ~snapshot ~n ~all_delivered =
               (match Store.copy_of meta ~node:s with
               | Some c ->
                   run_or_defer c ~time (fun _ ->
-                      Array.blit snapshot 0 c.Store.cdata 0 meta.Store.len;
+                      Store.blit_in meta ~buf:snapshot ~at:0 c.Store.cdata;
                       if c.Store.cstate = Store.Invalid then
                         c.Store.cstate <- Store.Shared)
               | None -> ());
@@ -358,7 +575,7 @@ let push_update ctx meta =
   let n = node ctx in
   let copy = local_copy ctx meta in
   let home = meta.Store.home in
-  let snapshot = Array.copy copy.Store.cdata in
+  let snapshot = Store.snapshot meta ~src:copy.Store.cdata in
   let done_iv = Ivar.create () in
   Stats.incr_id (stats ctx) sid_update_push;
   let all_delivered ~time = Ivar.fill done_iv ~time () in
@@ -371,7 +588,7 @@ let push_update ctx meta =
     Net.send_from ctx.net ctx.proc ~dst:home ~bytes:(data_bytes meta)
       (fun ~time ->
         dir_enter meta ~time (fun time ->
-            Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
+            Store.blit_in meta ~buf:snapshot ~at:0 meta.Store.master;
             (match Store.copy_of meta ~node:home with
             | Some c ->
                 if c.Store.cstate = Store.Invalid then
@@ -386,7 +603,7 @@ let push_to ctx meta ~dsts =
   let n = node ctx in
   let copy = local_copy ctx meta in
   let home = meta.Store.home in
-  let snapshot = Array.copy copy.Store.cdata in
+  let snapshot = Store.snapshot meta ~src:copy.Store.cdata in
   let done_iv = Ivar.create () in
   let remote_targets =
     List.sort_uniq compare (List.filter (fun d -> d <> n) (home :: dsts))
@@ -402,7 +619,7 @@ let push_to ctx meta ~dsts =
         Net.send_from ctx.net ctx.proc ~dst ~bytes:(data_bytes meta)
           (fun ~time ->
             (if dst = home then begin
-               Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
+               Store.blit_in meta ~buf:snapshot ~at:0 meta.Store.master;
                match Store.copy_of meta ~node:home with
                | Some c ->
                    if c.Store.cstate = Store.Invalid then
@@ -412,7 +629,7 @@ let push_to ctx meta ~dsts =
              else begin
                let c = Store.ensure_copy_c meta ~node:dst in
                run_or_defer c ~time (fun _ ->
-                   Array.blit snapshot 0 c.Store.cdata 0 meta.Store.len;
+                   Store.blit_in meta ~buf:snapshot ~at:0 c.Store.cdata;
                    if c.Store.cstate = Store.Invalid then
                      c.Store.cstate <- Store.Shared)
              end);
@@ -422,18 +639,71 @@ let push_to ctx meta ~dsts =
       remote_targets;
   done_iv
 
+(* Write-combined static update: push every (region, consumers) item of the
+   batch at once, with messages bound for the same destination coalesced
+   into one vectored bulk message and the whole batch charged a single
+   sender overhead — the producer's end-of-phase burst becomes one message
+   per consumer instead of one per (region, consumer) pair. The returned
+   ivar fills once every consumer copy (and every remote master) has been
+   refreshed. *)
+let push_to_batch ctx items =
+  let n = node ctx in
+  let done_iv = Ivar.create () in
+  let outstanding = ref 0 in
+  let parts = ref [] in
+  let st = stats ctx in
+  List.iter
+    (fun ((meta : Store.meta), dsts) ->
+      let copy = local_copy ctx meta in
+      let home = meta.Store.home in
+      Stats.incr_id st sid_static_push;
+      let snapshot = Store.snapshot meta ~src:copy.Store.cdata in
+      let targets =
+        List.sort_uniq compare (List.filter (fun d -> d <> n) (home :: dsts))
+      in
+      List.iter
+        (fun dst ->
+          incr outstanding;
+          parts :=
+            Net.part ~dst ~bytes:(data_bytes meta) (fun ~time ->
+                (if dst = home then begin
+                   Store.blit_in meta ~buf:snapshot ~at:0 meta.Store.master;
+                   match Store.copy_of meta ~node:home with
+                   | Some c ->
+                       if c.Store.cstate = Store.Invalid then
+                         c.Store.cstate <- Store.Shared
+                   | None -> ()
+                 end
+                 else begin
+                   let c = Store.ensure_copy_c meta ~node:dst in
+                   run_or_defer c ~time (fun _ ->
+                       Store.blit_in meta ~buf:snapshot ~at:0 c.Store.cdata;
+                       if c.Store.cstate = Store.Invalid then
+                         c.Store.cstate <- Store.Shared)
+                 end);
+                meta.Store.dir.Store.sharers.(dst) <- true;
+                decr outstanding;
+                if !outstanding = 0 then Ivar.fill done_iv ~time ())
+            :: !parts)
+        targets)
+    items;
+  if !outstanding = 0 then Ivar.fill done_iv ~time:ctx.proc.Machine.clock ()
+  else Net.send_multi_from ctx.net ctx.proc (List.rev !parts);
+  done_iv
+
 let read_home ctx meta =
   let n = node ctx in
   let copy = local_copy ctx meta in
   if n = meta.Store.home then ()
   else begin
+    drain ctx;
     let home = meta.Store.home in
     transact ctx meta (fun ~time finish ->
         recall_owner ctx meta ~time ~downgrade:Store.Shared (fun time ->
-            let snapshot = Array.copy meta.Store.master in
+            let snapshot = Store.snapshot meta ~src:meta.Store.master in
             Net.send ctx.net ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
               (fun ~time ->
-                Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
+                Store.blit_in meta ~buf:snapshot ~at:0 copy.Store.cdata;
                 finish ~time)))
   end
 
@@ -444,21 +714,24 @@ let write_home_async ctx meta =
   if n = meta.Store.home then Ivar.fill done_iv ~time:ctx.proc.Machine.clock ()
   else begin
     let home = meta.Store.home in
-    let snapshot = Array.copy copy.Store.cdata in
+    let snapshot = Store.snapshot meta ~src:copy.Store.cdata in
     Net.send_from ctx.net ctx.proc ~dst:home ~bytes:(data_bytes meta)
       (fun ~time ->
         dir_enter meta ~time (fun time ->
-            Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
+            Store.blit_in meta ~buf:snapshot ~at:0 meta.Store.master;
             Ivar.fill done_iv ~time ();
             dir_exit meta ~time))
   end;
   done_iv
 
-let write_home ctx meta = Machine.await ctx.proc (write_home_async ctx meta)
+let write_home ctx meta =
+  drain ctx;
+  Machine.await ctx.proc (write_home_async ctx meta)
 
 (* Queued locks serialized at the region's home. Grant closures either send
    a grant message (remote waiter) or fill the local waiter's ivar. *)
 let home_lock ctx meta =
+  drain ctx;
   let n = node ctx in
   let l = meta.Store.lock in
   let home = meta.Store.home in
@@ -507,6 +780,7 @@ let home_unlock ctx meta =
    the new value and unlocks in a single one-way message. This is the
    fetch-and-add building block behind the TSP counter protocol. *)
 let rmw_acquire ctx meta =
+  drain ctx;
   let n = node ctx in
   let copy = local_copy ctx meta in
   let l = meta.Store.lock in
@@ -522,10 +796,10 @@ let rmw_acquire ctx meta =
     let home = meta.Store.home in
     Net.rpc ctx.net ctx.proc ~dst:home ~bytes:ctl_bytes (fun reply ~time ->
         let grant time =
-          let snapshot = Array.copy meta.Store.master in
+          let snapshot = Store.snapshot meta ~src:meta.Store.master in
           Net.send ctx.net ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
             (fun ~time ->
-              Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
+              Store.blit_in meta ~buf:snapshot ~at:0 copy.Store.cdata;
               Ivar.fill reply ~time ())
         in
         if l.Store.held_by < 0 then begin
@@ -548,11 +822,11 @@ let rmw_release ctx meta =
     let copy =
       match Store.copy_of meta ~node:n with Some c -> c | None -> assert false
     in
-    let snapshot = Array.copy copy.Store.cdata in
+    let snapshot = Store.snapshot meta ~src:copy.Store.cdata in
     Net.send_from ctx.net ctx.proc ~dst:meta.Store.home ~bytes:(data_bytes meta)
       (fun ~time ->
         assert (l.Store.held_by = n);
-        Array.blit snapshot 0 meta.Store.master 0 meta.Store.len;
+        Store.blit_in meta ~buf:snapshot ~at:0 meta.Store.master;
         release_lock l ~time;
         Ivar.fill done_iv ~time ())
   end;
@@ -567,6 +841,7 @@ let rmw_release ctx meta =
    master in place — see the COUNTER protocol. Must not be called from the
    home node (the local copy aliases the master there). *)
 let fetch_add ctx meta ~delta =
+  drain ctx;
   let n = node ctx in
   let copy = local_copy ctx meta in
   assert (n <> meta.Store.home);
@@ -586,6 +861,7 @@ let fetch_add ctx meta ~delta =
    transactions — deliberately NOT the user-visible region lock, which the
    application may already hold around the access. Home node only. *)
 let home_rmw_begin ctx meta =
+  drain ctx;
   assert (node ctx = meta.Store.home);
   let iv = Ivar.create () in
   dir_enter meta ~time:ctx.proc.Machine.clock (fun time -> Ivar.fill iv ~time ());
@@ -614,6 +890,7 @@ let lock_fetch ctx meta =
   let l = meta.Store.lock in
   let home = meta.Store.home in
   if n = home then begin
+    drain ctx;
     if l.Store.held_by < 0 then l.Store.held_by <- n
     else begin
       let iv = Ivar.create () in
@@ -621,18 +898,37 @@ let lock_fetch ctx meta =
       Machine.await ctx.proc iv
     end
   end
-  else
-    Net.rpc ctx.net ctx.proc ~dst:home ~bytes:ctl_bytes (fun reply ~time ->
-        let grant time =
-          let snapshot = Array.copy meta.Store.master in
-          Net.send ctx.net ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
-            (fun ~time ->
-              Array.blit snapshot 0 copy.Store.cdata 0 meta.Store.len;
-              copy.Store.cstate <- Store.Shared;
-              Ivar.fill reply ~time ())
+  else begin
+    let request reply ~time =
+      let grant time =
+        let snapshot = Store.snapshot meta ~src:meta.Store.master in
+        Net.send ctx.net ~now:time ~src:home ~dst:n ~bytes:(data_bytes meta)
+          (fun ~time ->
+            Store.blit_in meta ~buf:snapshot ~at:0 copy.Store.cdata;
+            copy.Store.cstate <- Store.Shared;
+            Ivar.fill reply ~time ())
+      in
+      if l.Store.held_by < 0 then begin
+        l.Store.held_by <- n;
+        grant time
+      end
+      else Queue.push (n, grant) l.Store.waiting
+    in
+    match ctx.wpending with
+    | [] -> Net.rpc ctx.net ctx.proc ~dst:home ~bytes:ctl_bytes request
+    | ws ->
+        (* Write-combining: queued updates ride with the lock request —
+           updates for this home coalesce with it into one vectored message
+           (the request part runs after the updates land, preserving queue
+           order), and pending updates for other homes flush in the same
+           injection under one sender overhead. *)
+        ctx.wpending <- [];
+        let reply = Ivar.create () in
+        let parts =
+          List.rev_map wpart ws
+          @ [ Net.part ~dst:home ~bytes:ctl_bytes (fun ~time ->
+                request reply ~time) ]
         in
-        if l.Store.held_by < 0 then begin
-          l.Store.held_by <- n;
-          grant time
-        end
-        else Queue.push (n, grant) l.Store.waiting)
+        Net.send_multi_from ctx.net ctx.proc parts;
+        Machine.await ctx.proc reply
+  end

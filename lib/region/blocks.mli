@@ -7,6 +7,9 @@
     processor fiber; home-side transactions are serialized per region by the
     directory's busy/pending queue. *)
 
+(** A dirty-region update parked for write-combining (batching mode). *)
+type wpend
+
 type ctx = {
   net : Ace_net.Reliable.t;
       (** the reliable transport all coherence traffic routes through;
@@ -15,11 +18,20 @@ type ctx = {
   proc : Ace_engine.Machine.proc;
   node : int;  (** [proc.id], cached for the access hot path *)
   mutable lcache : (Store.meta * Store.copy) option;
-      (** one-slot memo of the last local-copy lookup (see [local_copy]) *)
+      (** one-slot memo of the last local-copy lookup (see [local_copy]).
+          Dropped-copy legs must call {!reset_lcache} or the memo serves a
+          stale, orphaned entry. *)
+  mutable wpending : wpend list;
+      (** write-combining queue, newest first; always empty with batching
+          off. Every blocking entry point drains it before waiting. *)
 }
 
 val make_ctx : Ace_net.Reliable.t -> Store.t -> Ace_engine.Machine.proc -> ctx
 val node : ctx -> int
+
+(** Invalidate the local-copy memo. Required after any [Store.drop_copy] on
+    this node (the batched invalidation leg calls it itself). *)
+val reset_lcache : ctx -> unit
 
 (** Size in bytes of a small control message. *)
 val ctl_bytes : int
@@ -112,5 +124,44 @@ val home_rmw_end : ctx -> Store.meta -> unit
 val unlock_after : ctx -> Store.meta -> unit Ace_engine.Ivar.t -> unit
 
 (** Home lock acquire whose grant carries the fresh master data (one round
-    trip for lock + value). *)
+    trip for lock + value). In batching mode, any queued write-combined
+    updates ride with the lock request in one vectored message. *)
 val lock_fetch : ctx -> Store.meta -> unit
+
+(** {2 Bulk-transfer batching legs}
+
+    Opt-in (consult [Reliable.batching]) coalesced variants of the legs
+    above: same-destination messages merge into one vectored bulk message
+    ({!Ace_net.Am.send_multi}) and a whole batch pays one sender overhead.
+    With batching off these are never called and the ordinary legs behave
+    bit-identically to before. *)
+
+(** Batched read misses (bulk prefetch): fetch every [Invalid] region of
+    the list with one vectored request per distinct home and one bulk data
+    grant per home. Per-region misses are counted as usual; the
+    requester-side miss overhead is charged once per batch
+    ([coh.bulk_fetch] counts batches). No-op when nothing is missing. *)
+val fetch_shared_batch : ctx -> Store.meta list -> unit
+
+(** Batched flush of this node's involvement in the regions (the
+    [change_protocol] detach and free/remap path): per-home coalesced
+    writebacks and sharer-drops, quiescent cache entries dropped via
+    [Store.drop_copy], local-copy memo reset. Caller must be quiescent on
+    these regions (no open access sections, no concurrent recalls) —
+    call between barriers. [coh.inval_batch] counts batches. *)
+val invalidate_batch : ctx -> Store.meta list -> unit
+
+(** Batched {!push_to}: one message per distinct destination for the whole
+    (region, consumers) list, single sender overhead. Fills when every
+    consumer copy and remote master is refreshed. *)
+val push_to_batch :
+  ctx -> (Store.meta * int list) list -> unit Ace_engine.Ivar.t
+
+(** Park a dirty-region update for the next {!flush_writes} (the
+    write-combining replacement for {!write_home_async}); fills when the
+    master holds the update. [coh.write_combined] counts parked updates. *)
+val queue_write_home : ctx -> Store.meta -> unit Ace_engine.Ivar.t
+
+(** Flush the write-combining queue as one vectored send (no-op when
+    empty). Every blocking entry point calls this implicitly. *)
+val flush_writes : ctx -> unit

@@ -124,6 +124,36 @@ let ensure_copy meta ~node =
 
 let copy_of meta ~node = meta.copies.(node)
 
+let check_range meta ~what pos len =
+  if pos < 0 || len < 0 || pos + len > meta.len then
+    invalid_arg
+      (Printf.sprintf "Store.%s: [%d, %d) outside region %d of length %d" what
+         pos (pos + len) meta.rid meta.len)
+
+let blit_out meta ?(pos = 0) ?len ~src ~at buf =
+  let len = match len with Some l -> l | None -> meta.len - pos in
+  check_range meta ~what:"blit_out" pos len;
+  Array.blit src pos buf at len
+
+let blit_in meta ?(pos = 0) ?len ~buf ~at dst =
+  let len = match len with Some l -> l | None -> meta.len - pos in
+  check_range meta ~what:"blit_in" pos len;
+  Array.blit buf at dst pos len
+
+let snapshot meta ~src =
+  if Array.length src <> meta.len then
+    invalid_arg "Store.snapshot: image length does not match region";
+  Array.copy src
+
+let drop_copy meta ~node =
+  if node = meta.home then invalid_arg "Store.drop_copy: home aliases master";
+  match meta.copies.(node) with
+  | None -> ()
+  | Some c ->
+      if c.readers > 0 || c.writers > 0 || c.deferred <> [] then
+        invalid_arg "Store.drop_copy: copy has active accesses";
+      meta.copies.(node) <- None
+
 let iter_sharers meta ~except f =
   let sh = meta.dir.sharers in
   for node = 0 to Array.length sh - 1 do

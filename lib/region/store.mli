@@ -71,6 +71,41 @@ val ensure_copy_c : meta -> node:int -> copy
 (** Cache entry if present. *)
 val copy_of : meta -> node:int -> copy option
 
+(** {2 Bulk payload movement}
+
+    All region data crossing the simulated wire moves through these blits
+    (one [memmove] per region, never a per-element loop). [src]/[dst] is a
+    region image — a copy's [cdata] or the home's [master]; [buf] is a
+    message payload buffer, with the region's slice at offset [at]. [pos]
+    and [len] select a partial slice of the region (default: all of it);
+    ranges are validated against the region length so a wrong-sized payload
+    fails at the blit instead of silently corrupting a neighbour. *)
+
+(** [blit_out meta ~src ~at buf] copies a region slice of [src] out into
+    the payload buffer [buf] at offset [at]. *)
+val blit_out :
+  meta -> ?pos:int -> ?len:int -> src:float array -> at:int ->
+  float array -> unit
+
+(** [blit_in meta ~buf ~at dst] copies the payload slice back into the
+    region image [dst]. *)
+val blit_in :
+  meta -> ?pos:int -> ?len:int -> buf:float array -> at:int ->
+  float array -> unit
+
+(** Fresh heap copy of a whole region image (the payload a data message
+    carries). Validates the image length. *)
+val snapshot : meta -> src:float array -> float array
+
+(** Remove a node's cache entry entirely, returning its memory to the GC —
+    the region free/remap path, also used by the batched invalidation leg.
+    The entry must be quiescent ([Invalid_argument] otherwise: active
+    accesses or parked coherence actions), and the home's entry can never
+    be dropped (it aliases [master]). Any cached [copy] pointer taken
+    before the drop — including {!Blocks.t}'s one-slot memo — is stale
+    after it. *)
+val drop_copy : meta -> node:int -> unit
+
 (** [iter_sharers meta ~except f] applies [f] to each current sharer node
     except [except], in ascending node order, without building a list.
     [f] must not toggle sharer bits of nodes it has not yet visited. *)

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Wall-clock regression guard for the benchmark grid.
+
+Compares a fresh `bench/main.exe --json` report against the committed
+baseline (BENCH_*.json). Fails (exit 1) when the total wall clock exceeds
+the baseline by more than the tolerance (default 15%), and prints a
+per-experiment row diff so the offending cell is visible at a glance.
+Simulated times are deterministic, so any sim_s difference is reported as
+a warning regardless of the wall verdict.
+
+Usage:
+    bench_guard.py CURRENT.json BASELINE.json [--tolerance 0.15]
+                   [--report OUT.json]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def rows_by_key(report):
+    return {
+        (r.get("experiment", "?"), r.get("name", "?")): r
+        for r in report.get("rows", [])
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional wall-clock regression")
+    ap.add_argument("--report", help="write a JSON verdict artifact here")
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+
+    cur_total = cur.get("total_wall_s")
+    base_total = base.get("total_wall_s")
+    if cur_total is None or base_total is None:
+        sys.exit("bench_guard: reports lack total_wall_s")
+
+    limit = base_total * (1.0 + args.tolerance)
+    ok = cur_total <= limit
+
+    cur_rows = rows_by_key(cur)
+    base_rows = rows_by_key(base)
+
+    row_diffs = []
+    sim_warnings = []
+    for key in sorted(set(cur_rows) | set(base_rows)):
+        c = cur_rows.get(key)
+        b = base_rows.get(key)
+        exp, name = key
+        if c is None or b is None:
+            row_diffs.append({
+                "experiment": exp, "name": name,
+                "status": "missing-in-current" if c is None else "new",
+                "baseline_wall_s": b and b.get("wall_s"),
+                "current_wall_s": c and c.get("wall_s"),
+            })
+            continue
+        bw, cw = b.get("wall_s", 0.0), c.get("wall_s", 0.0)
+        row_diffs.append({
+            "experiment": exp, "name": name, "status": "compared",
+            "baseline_wall_s": bw, "current_wall_s": cw,
+            "ratio": (cw / bw) if bw > 0 else None,
+        })
+        for sim_key, bv in (b.get("sim_s") or {}).items():
+            cv = (c.get("sim_s") or {}).get(sim_key)
+            if cv is not None and cv != bv:
+                sim_warnings.append(
+                    f"{exp}/{name}: sim_s[{sim_key}] {bv!r} -> {cv!r}")
+
+    verdict = {
+        "ok": ok,
+        "tolerance": args.tolerance,
+        "baseline_total_wall_s": base_total,
+        "current_total_wall_s": cur_total,
+        "limit_wall_s": limit,
+        "rows": row_diffs,
+        "sim_warnings": sim_warnings,
+    }
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(verdict, f, indent=2)
+
+    print(f"bench_guard: total wall {cur_total:.3f}s vs baseline "
+          f"{base_total:.3f}s (limit {limit:.3f}s, "
+          f"{'OK' if ok else 'REGRESSION'})")
+    for w in sim_warnings:
+        print(f"  warning: simulated time changed: {w}")
+    if not ok:
+        print(f"  {'experiment/row':<40} {'base_s':>9} {'cur_s':>9} "
+              f"{'ratio':>7}")
+        for d in row_diffs:
+            label = f"{d['experiment']}/{d['name']}"
+            if d["status"] != "compared":
+                print(f"  {label:<40} {d['status']}")
+                continue
+            ratio = d["ratio"]
+            print(f"  {label:<40} {d['baseline_wall_s']:>9.3f} "
+                  f"{d['current_wall_s']:>9.3f} "
+                  f"{ratio:>7.2f}" if ratio is not None else
+                  f"  {label:<40} (no baseline wall)")
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

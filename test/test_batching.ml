@@ -1,0 +1,425 @@
+(* Tests for the bulk-transfer batching layer: the zero-copy blit paths,
+   the multicast/coalescing primitive, write-combining, the batched
+   coherence legs (including the lcache stale-memo regression), the
+   piggybacked/cumulative ACKs, and the end-to-end message reduction the
+   batching experiment reports. *)
+
+module Machine = Ace_engine.Machine
+module Ivar = Ace_engine.Ivar
+module Stats = Ace_engine.Stats
+module Store = Ace_region.Store
+module Blocks = Ace_region.Blocks
+module Am = Ace_net.Am
+module Reliable = Ace_net.Reliable
+module Faults = Ace_net.Faults
+module Cost_model = Ace_net.Cost_model
+module Driver = Ace_harness.Driver
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 0.))
+
+(* ---- zero-copy blit paths vs per-element loops ---- *)
+
+let blit_matches_loop ~len ~pos ~sub ~at =
+  let meta =
+    let s = Store.create ~nprocs:2 () in
+    Store.alloc s ~home:0 ~len ~space:0
+  in
+  let src = Array.init len (fun i -> float_of_int (i + 1) *. 1.5) in
+  (* blit_out vs an element loop *)
+  let buf = Array.make (at + sub + 3) (-1.) in
+  let expect_buf = Array.copy buf in
+  Store.blit_out meta ~pos ~len:sub ~src ~at buf;
+  for i = 0 to sub - 1 do
+    expect_buf.(at + i) <- src.(pos + i)
+  done;
+  if buf <> expect_buf then false
+  else begin
+    (* blit_in vs an element loop, back into a distinct image *)
+    let dst = Array.make len 9. in
+    let expect_dst = Array.copy dst in
+    Store.blit_in meta ~pos ~len:sub ~buf ~at dst;
+    for i = 0 to sub - 1 do
+      expect_dst.(pos + i) <- buf.(at + i)
+    done;
+    dst = expect_dst
+  end
+
+let blit_property =
+  QCheck.Test.make ~name:"blits agree with per-element loops" ~count:300
+    QCheck.(
+      quad (int_range 1 32) (int_range 0 31) (int_range 0 32) (int_range 0 5))
+    (fun (len, pos, sub, at) ->
+      (* clamp to a valid partial slice of the region *)
+      let pos = pos mod len in
+      let sub = min sub (len - pos) in
+      blit_matches_loop ~len ~pos ~sub ~at)
+
+let blit_validates () =
+  let s = Store.create ~nprocs:2 () in
+  let meta = Store.alloc s ~home:0 ~len:4 ~space:0 in
+  let src = Array.make 4 0. and buf = Array.make 8 0. in
+  let rejects f =
+    match f () with () -> false | exception Invalid_argument _ -> true
+  in
+  check "slice past region end" true (rejects (fun () ->
+      Store.blit_out meta ~pos:2 ~len:3 ~src ~at:0 buf));
+  check "negative pos" true (rejects (fun () ->
+      Store.blit_out meta ~pos:(-1) ~src ~at:0 buf));
+  check "payload window past buffer end" true (rejects (fun () ->
+      Store.blit_out meta ~src ~at:5 buf));
+  check "wrong-sized image" true (rejects (fun () ->
+      Store.blit_in meta ~buf ~at:0 (Array.make 3 0.)));
+  check "full blit accepted" false (rejects (fun () ->
+      Store.blit_out meta ~src ~at:4 buf));
+  let snap = Store.snapshot meta ~src in
+  check "snapshot equal" true (snap = src);
+  check "snapshot fresh" true (snap != src);
+  check "snapshot validates length" true (rejects (fun () ->
+      ignore (Store.snapshot meta ~src:(Array.make 5 0.))))
+
+(* ---- Blocks rigs (the test_region idiom) ---- *)
+
+type world = {
+  m : Machine.t;
+  am : Am.t;
+  net : Reliable.t;
+  store : Store.t;
+  barrier : Machine.Barrier.b;
+}
+
+let make_world ?(batching = false) ~nprocs () =
+  let m = Machine.create ~nprocs in
+  let am = Am.create m Cost_model.cm5_ace in
+  Am.set_batching am batching;
+  {
+    m;
+    am;
+    net = Reliable.create am;
+    store = Store.create ~nprocs ();
+    barrier = Machine.Barrier.create m ~cost:(fun _ -> 10.);
+  }
+
+let run w f =
+  Machine.run w.m (fun p -> f (Blocks.make_ctx w.net w.store p) p)
+
+let bar w p = Machine.Barrier.wait w.barrier p
+
+(* ---- multicast / coalescing accounting ---- *)
+
+let send_multi_coalesces () =
+  let w = make_world ~nprocs:3 () in
+  let ran = ref 0 in
+  Machine.run w.m (fun p ->
+      if p.Machine.id = 0 then begin
+        let part dst = Am.part ~dst ~bytes:8 (fun ~time:_ -> incr ran) in
+        Am.send_multi_from w.am p [ part 1; part 1; part 1; part 2 ];
+        (* empty part list: free, no message, no sender overhead *)
+        let t = p.Machine.clock in
+        Am.send_multi_from w.am p [];
+        checkf "empty multi free" t p.Machine.clock
+      end);
+  checki "all part handlers ran" 4 !ran;
+  checki "two physical messages" 2 (Am.messages w.am);
+  let st = Machine.stats w.m in
+  checkf "coalesced = parts - groups" 2. (Stats.get st "net.coalesced");
+  checkf "one multi send" 1. (Stats.get st "net.multi.sends");
+  checkf "net.messages agrees" 2. (Stats.get st "net.messages")
+
+(* ---- write-combining: queue, flush, blocking-leg drain ---- *)
+
+let write_combining_flushes () =
+  let w = make_world ~batching:true ~nprocs:2 () in
+  let m1 = Store.alloc w.store ~home:0 ~len:2 ~space:0 in
+  let m2 = Store.alloc w.store ~home:0 ~len:1 ~space:0 in
+  let filled = ref false in
+  run w (fun ctx p ->
+      if p.Machine.id = 1 then begin
+        Blocks.fetch_shared ctx m1;
+        Blocks.fetch_shared ctx m2;
+        let c1 = Option.get (Store.copy_of m1 ~node:1) in
+        let c2 = Option.get (Store.copy_of m2 ~node:1) in
+        c1.Store.cdata.(0) <- 3.5;
+        c1.Store.cdata.(1) <- -2.;
+        c2.Store.cdata.(0) <- 8.;
+        let iv1 = Blocks.queue_write_home ctx m1 in
+        let iv2 = Blocks.queue_write_home ctx m2 in
+        (* nothing on the wire yet: both updates are parked *)
+        check "parked, not sent" true (not (Ivar.is_filled iv1));
+        let before = Am.messages w.am in
+        Blocks.flush_writes ctx;
+        checki "one coalesced bulk message" 1 (Am.messages w.am - before);
+        Machine.await p iv1;
+        Machine.await p iv2;
+        filled := true
+      end);
+  check "ivars filled" true !filled;
+  checkf "m1 master updated" 3.5 m1.Store.master.(0);
+  checkf "m1 master updated (2)" (-2.) m1.Store.master.(1);
+  checkf "m2 master updated" 8. m2.Store.master.(0);
+  checkf "write-combined counted" 2.
+    (Stats.get (Machine.stats w.m) "coh.write_combined")
+
+let blocking_leg_drains_queue () =
+  (* A queued update must flush before any blocking leg waits: here the
+     blocking leg is a plain read miss on another region. *)
+  let w = make_world ~batching:true ~nprocs:2 () in
+  let upd = Store.alloc w.store ~home:0 ~len:1 ~space:0 in
+  let other = Store.alloc w.store ~home:0 ~len:1 ~space:0 in
+  run w (fun ctx p ->
+      if p.Machine.id = 0 then other.Store.master.(0) <- 5.;
+      bar w p;
+      if p.Machine.id = 1 then begin
+        Blocks.fetch_shared ctx upd;
+        (Option.get (Store.copy_of upd ~node:1)).Store.cdata.(0) <- 7.;
+        let iv = Blocks.queue_write_home ctx upd in
+        Blocks.fetch_shared ctx other;
+        (* the miss drained the queue; the parked update is in flight or
+           landed, never stranded *)
+        Machine.await p iv;
+        checkf "update landed" 7. upd.Store.master.(0)
+      end)
+
+(* ---- batched invalidation: writeback + the lcache stale-memo case ---- *)
+
+let invalidate_batch_writes_back () =
+  let w = make_world ~batching:true ~nprocs:2 () in
+  let meta = Store.alloc w.store ~home:0 ~len:1 ~space:0 in
+  run w (fun ctx p ->
+      if p.Machine.id = 1 then begin
+        Blocks.fetch_exclusive ctx meta;
+        (Option.get (Store.copy_of meta ~node:1)).Store.cdata.(0) <- 11.;
+        Blocks.invalidate_batch ctx [ meta ]
+      end;
+      bar w p;
+      if p.Machine.id = 0 then begin
+        checkf "dirty copy written back" 11. meta.Store.master.(0);
+        checki "ownership returned" (-1) meta.Store.dir.Store.owner;
+        check "sharer bit cleared" false meta.Store.dir.Store.sharers.(1);
+        check "copy dropped" true (Store.copy_of meta ~node:1 = None)
+      end);
+  checkf "batch counted" 1. (Stats.get (Machine.stats w.m) "coh.inval_batch")
+
+let lcache_reset_on_invalidate () =
+  (* Regression for the one-slot local-copy memo: [invalidate_batch] drops
+     the node's cache entry ([Store.drop_copy]), so it must also reset the
+     memo. If it didn't, the next fetch would hit the memo, land the data
+     in the dropped (orphaned) record, and leave [copies.(node)] empty —
+     this test fails on exactly that: the refetched value must be visible
+     in the store's actual cache entry. *)
+  let w = make_world ~batching:true ~nprocs:2 () in
+  let meta = Store.alloc w.store ~home:0 ~len:1 ~space:0 in
+  run w (fun ctx p ->
+      if p.Machine.id = 0 then meta.Store.master.(0) <- 1.;
+      bar w p;
+      if p.Machine.id = 1 then begin
+        Blocks.fetch_shared ctx meta;
+        (* memo now caches this region's copy record *)
+        checkf "first fetch" 1.
+          (Option.get (Store.copy_of meta ~node:1)).Store.cdata.(0);
+        Blocks.invalidate_batch ctx [ meta ]
+      end;
+      bar w p;
+      if p.Machine.id = 0 then meta.Store.master.(0) <- 42.;
+      bar w p;
+      if p.Machine.id = 1 then begin
+        Blocks.fetch_shared ctx meta;
+        match Store.copy_of meta ~node:1 with
+        | None -> Alcotest.fail "refetch landed in an orphaned copy record"
+        | Some c -> checkf "refetch sees the new value" 42. c.Store.cdata.(0)
+      end)
+
+let drop_copy_guards () =
+  let s = Store.create ~nprocs:2 () in
+  let meta = Store.alloc s ~home:0 ~len:1 ~space:0 in
+  Alcotest.check_raises "home copy can never drop"
+    (Invalid_argument "Store.drop_copy: home aliases master") (fun () ->
+      Store.drop_copy meta ~node:0);
+  let c = Store.ensure_copy_c meta ~node:1 in
+  c.Store.readers <- 1;
+  Alcotest.check_raises "active access blocks drop"
+    (Invalid_argument "Store.drop_copy: copy has active accesses") (fun () ->
+      Store.drop_copy meta ~node:1);
+  c.Store.readers <- 0;
+  Store.drop_copy meta ~node:1;
+  check "entry gone" true (Store.copy_of meta ~node:1 = None)
+
+(* ---- bulk prefetch ---- *)
+
+let fetch_shared_batch_bulk_grants () =
+  (* Three regions on two homes: one vectored request per home plus one
+     bulk grant per home = 4 physical messages (vs 6 for per-region
+     misses). *)
+  let w = make_world ~batching:true ~nprocs:3 () in
+  let m1 = Store.alloc w.store ~home:0 ~len:2 ~space:0 in
+  let m2 = Store.alloc w.store ~home:0 ~len:1 ~space:0 in
+  let m3 = Store.alloc w.store ~home:1 ~len:3 ~space:0 in
+  run w (fun ctx p ->
+      if p.Machine.id = 0 then begin
+        m1.Store.master.(1) <- 4.;
+        m2.Store.master.(0) <- 5.
+      end;
+      if p.Machine.id = 1 then m3.Store.master.(2) <- 6.;
+      bar w p;
+      if p.Machine.id = 2 then begin
+        let before = Am.messages w.am in
+        Blocks.fetch_shared_batch ctx [ m1; m2; m3 ];
+        checki "2 requests + 2 bulk grants" 4 (Am.messages w.am - before);
+        let v (m : Store.meta) i =
+          (Option.get (Store.copy_of m ~node:2)).Store.cdata.(i)
+        in
+        checkf "m1 data" 4. (v m1 1);
+        checkf "m2 data" 5. (v m2 0);
+        checkf "m3 data" 6. (v m3 2);
+        check "sharer bits set" true
+          (m1.Store.dir.Store.sharers.(2) && m3.Store.dir.Store.sharers.(2))
+      end);
+  let st = Machine.stats w.m in
+  checkf "one bulk fetch" 1. (Stats.get st "coh.bulk_fetch");
+  checkf "misses still counted per region" 3. (Stats.get st "coh.read_miss")
+
+(* ---- piggybacked and cumulative ACKs ---- *)
+
+let cumulative_ack_settles_burst () =
+  (* A one-way burst with no reverse traffic: the delayed-ACK timer fires
+     once and one dedicated ACK message settles the whole burst. Jitter > 0
+     enables the reliability machinery without dropping anything. *)
+  let m = Machine.create ~nprocs:2 in
+  let am = Am.create m Cost_model.cm5_ace in
+  Am.set_faults am (Some (Faults.create ~jitter:50. ~seed:7 ()));
+  let r = Reliable.create am in
+  let got = ref 0 in
+  Machine.run m (fun p ->
+      if p.Machine.id = 0 then
+        for _ = 1 to 5 do
+          Reliable.send_from r p ~dst:1 ~bytes:8 (fun ~time:_ -> incr got)
+        done);
+  checki "all delivered" 5 !got;
+  let st = Machine.stats m in
+  checkf "five obligations" 5. (Stats.get st "net.acks");
+  checkf "four folded into the one ACK" 4. (Stats.get st "net.acks.cumulative");
+  checkf "no piggyback possible" 0. (Stats.get st "net.acks.piggybacked");
+  (* 5 data messages + exactly 1 dedicated cumulative ACK *)
+  checki "one ack message" 6 (Am.messages am);
+  checki "nothing pending" 0 (Reliable.pending r)
+
+let piggybacked_ack_rides_reply () =
+  (* Request/reply traffic: the ACK for each request rides the reply data
+     message on the reverse link, so no dedicated ACK ever travels. *)
+  let m = Machine.create ~nprocs:2 in
+  let am = Am.create m Cost_model.cm5_ace in
+  Am.set_faults am (Some (Faults.create ~jitter:20. ~seed:3 ()));
+  let r = Reliable.create am in
+  let replies = ref 0 in
+  Machine.run m (fun p ->
+      if p.Machine.id = 0 then
+        for _ = 1 to 4 do
+          let (_ : unit) =
+            Reliable.rpc r p ~dst:1 ~bytes:16 (fun reply ~time ->
+                Reliable.send r ~now:time ~src:1 ~dst:0 ~bytes:16
+                  (fun ~time -> Ivar.fill reply ~time ()))
+          in
+          incr replies
+        done);
+  checki "all round trips" 4 !replies;
+  let st = Machine.stats m in
+  check "acks piggybacked on replies" true
+    (Stats.get st "net.acks.piggybacked" >= 4.);
+  checki "nothing pending" 0 (Reliable.pending r)
+
+(* ---- end-to-end: batching reduces physical messages, same results ---- *)
+
+let messages_and_result run =
+  let msgs = ref 0. in
+  let out =
+    run ~stats:(fun st -> msgs := Stats.get st "net.messages")
+  in
+  (out.Driver.result, !msgs)
+
+let em3d_reduction () =
+  let cfg =
+    {
+      Ace_apps.Em3d.default with
+      Ace_apps.Em3d.n_nodes = 400;
+      steps = 6;
+      protocol = Some "STATIC_UPDATE";
+    }
+  in
+  let run ?batch ~stats () =
+    Driver.run_ace ?batch ~stats ~nprocs:8 (module Ace_apps.Em3d) cfg
+  in
+  let r_off, m_off = messages_and_result (fun ~stats -> run ~stats ()) in
+  let r_on, m_on =
+    messages_and_result (fun ~stats -> run ~batch:true ~stats ())
+  in
+  checkf "same result" r_off r_on;
+  check "at least 25% fewer messages" true (m_on <= 0.75 *. m_off)
+
+let water_reduction () =
+  let cfg : Ace_apps.Water.config =
+    {
+      Ace_apps.Water.core =
+        {
+          Ace_apps.Water.default.Ace_apps.Water.core with
+          Ace_apps.Water_core.n_mol = 48;
+          steps = 2;
+        };
+      phase_protocols = Some ("NULL", "PIPELINE");
+    }
+  in
+  let run ?batch ~stats () =
+    Driver.run_ace ?batch ~stats ~nprocs:8 (module Ace_apps.Water) cfg
+  in
+  let r_off, m_off = messages_and_result (fun ~stats -> run ~stats ()) in
+  let r_on, m_on =
+    messages_and_result (fun ~stats -> run ~batch:true ~stats ())
+  in
+  checkf "same result" r_off r_on;
+  check "at least 25% fewer messages" true (m_on <= 0.75 *. m_off)
+
+let () =
+  Alcotest.run "batching"
+    [
+      ( "blits",
+        [
+          QCheck_alcotest.to_alcotest blit_property;
+          Alcotest.test_case "range validation and snapshot" `Quick
+            blit_validates;
+        ] );
+      ( "multicast",
+        [ Alcotest.test_case "send_multi coalesces" `Quick send_multi_coalesces ]
+      );
+      ( "write combining",
+        [
+          Alcotest.test_case "queue then flush" `Quick write_combining_flushes;
+          Alcotest.test_case "blocking leg drains" `Quick
+            blocking_leg_drains_queue;
+        ] );
+      ( "batched invalidation",
+        [
+          Alcotest.test_case "dirty writeback" `Quick
+            invalidate_batch_writes_back;
+          Alcotest.test_case "lcache memo reset" `Quick
+            lcache_reset_on_invalidate;
+          Alcotest.test_case "drop_copy guards" `Quick drop_copy_guards;
+        ] );
+      ( "bulk prefetch",
+        [
+          Alcotest.test_case "grouped grants" `Quick
+            fetch_shared_batch_bulk_grants;
+        ] );
+      ( "acks",
+        [
+          Alcotest.test_case "cumulative settles burst" `Quick
+            cumulative_ack_settles_burst;
+          Alcotest.test_case "piggyback rides replies" `Quick
+            piggybacked_ack_rides_reply;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "EM3D >= 25% fewer messages" `Quick em3d_reduction;
+          Alcotest.test_case "Water >= 25% fewer messages" `Quick
+            water_reduction;
+        ] );
+    ]

@@ -254,7 +254,7 @@ let test_analyze_synthetic () =
   Alcotest.(check int) "bytes" 16 m.Analyze.bytes;
   Alcotest.(check (float 0.)) "latency" 70. m.Analyze.mean_latency;
   match m.Analyze.links with
-  | [ l ] -> Alcotest.(check string) "link" "0->1" l.Analyze.label
+  | [ l ] -> Alcotest.(check string) "link" "0->1" l.Analyze.link
   | rows -> Alcotest.failf "expected 1 link row, got %d" (List.length rows)
 
 (* ---- the JSON parser itself ---- *)
