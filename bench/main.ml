@@ -441,12 +441,62 @@ let trace_overhead out =
     exit 1
   end
 
+(* ---- conformance-oracle overhead (check_overhead selection) ----
+
+   Run EM3D on the Ace runtime with and without the coherence oracle
+   observing every access section. Recording charges no simulated cycles,
+   so simulated seconds and the computed result must be bit-identical; the
+   row reports the wall-clock cost of recording (the budget is <5%). *)
+
+let check_overhead () =
+  line ();
+  Printf.printf "Conformance-oracle overhead (EM3D on Ace, %d procs)\n"
+    !scale.E.nprocs;
+  line ();
+  let nprocs = !scale.E.nprocs in
+  let cfg = E.em3d_cfg !scale 3 in
+  let module D = Ace_harness.Driver in
+  let run wrap =
+    let t0 = Unix.gettimeofday () in
+    let o = D.run_ace ?wrap ~nprocs (module Ace_apps.Em3d) cfg in
+    (o, Unix.gettimeofday () -. t0)
+  in
+  let off, wall_off = run None in
+  let oracle = Ace_check.Oracle.create ~nprocs () in
+  let on_, wall_on = run (Some (Ace_check.Observe.wrap oracle)) in
+  let identical = off.D.seconds = on_.D.seconds && off.D.result = on_.D.result in
+  let overhead = 100. *. ((wall_on /. wall_off) -. 1.) in
+  Printf.printf
+    "oracle off: %.3fs wall, on: %.3fs wall (%+.1f%%); %d observations; \
+     simulated output identical: %b\n\n"
+    wall_off wall_on overhead
+    (Ace_check.Oracle.observations oracle)
+    identical;
+  record ~experiment:"check_overhead" ~name:"em3d-off" ~wall:wall_off
+    [ ("seconds", off.D.seconds) ];
+  record ~experiment:"check_overhead" ~name:"em3d-on" ~wall:wall_on
+    [
+      ("seconds", on_.D.seconds);
+      ("observations", float_of_int (Ace_check.Oracle.observations oracle));
+      ("overhead_pct", overhead);
+    ];
+  if not identical then begin
+    Printf.eprintf
+      "ERROR: oracle recording changed simulated output (%.17g vs %.17g)\n"
+      off.D.seconds on_.D.seconds;
+    exit 1
+  end;
+  if Ace_check.Oracle.observations oracle = 0 then begin
+    Printf.eprintf "ERROR: oracle recorded no observations\n";
+    exit 1
+  end
+
 (* ---- bechamel microbenchmarks (wall-clock cost of the simulator) ---- *)
 
 let micro () =
   let open Bechamel in
   let barrier_bench () =
-    let m = Ace_engine.Machine.create ~nprocs:8 in
+    let m = Ace_engine.Machine.create ~nprocs:8 () in
     let b = Ace_engine.Machine.Barrier.create m ~cost:(fun _ -> 10.) in
     Ace_engine.Machine.run m (fun p ->
         for _ = 1 to 10 do
@@ -510,7 +560,7 @@ let micro () =
 let usage () =
   Printf.eprintf
     "usage: main [fig7a] [fig7b] [table4] [ablation] [batching] [micro] \
-     [trace_overhead] [faultsweep] [--small] [--jobs N] [--json FILE] \
+     [trace_overhead] [faultsweep] [check_overhead] [--small] [--jobs N] [--json FILE] \
      [--trace FILE] [--trace-dir DIR] [--batch] [--drop P] [--dup P] \
      [--jitter C] [--fault-seed N]\n";
   exit 2
@@ -572,7 +622,7 @@ let () =
         Printf.eprintf "missing argument to %s\n" flag;
         usage ()
     | (("fig7a" | "fig7b" | "table4" | "ablation" | "batching" | "micro"
-       | "trace_overhead" | "faultsweep") as s)
+       | "trace_overhead" | "faultsweep" | "check_overhead") as s)
       :: rest ->
         s :: parse rest
     | other :: _ ->
@@ -615,6 +665,7 @@ let () =
         exit 2
       end);
   if List.mem "faultsweep" selections then faultsweep ();
+  if List.mem "check_overhead" selections then check_overhead ();
   if List.mem "micro" selections then micro ();
   match !json_path with
   | Some path -> write_json path ~total_wall:(Unix.gettimeofday () -. t0)

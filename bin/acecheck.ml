@@ -1,0 +1,183 @@
+(* acecheck: the protocol conformance kit's CLI. Fuzzes small random SPMD
+   programs through every registered protocol (plus the CRL baseline)
+   across schedule-tie-break x fault x batching grids, differentially
+   against the SC reference, with the coherence oracle watching every
+   race-free run. A failure is shrunk and written as a replayable .repro
+   file; `acecheck --replay FILE` re-runs one.
+
+   `--inject-broken` registers a deliberately broken protocol (dynamic
+   update that forgets to propagate writes) and *expects* the kit to catch
+   it — a self-test that the oracle and the differential check have
+   teeth. *)
+
+module Runner = Ace_check.Runner
+module Prog = Ace_check.Prog
+module Repro = Ace_check.Repro
+module Faults = Ace_net.Faults
+
+let usage () =
+  prerr_endline
+    {|usage: acecheck [options]
+  --fuzz N         programs to generate (default 200)
+  --schedules K    schedule tie-breaks per program (default 32)
+  --seed S         fuzz seed (default 42)
+  --protocols CSV  protocols to test (default: all registered + CRL)
+  --no-faults      drop the lossy-network cells from the grid
+  --no-batch       drop the bulk-transfer batching cells from the grid
+  --out DIR        where to write .repro counterexamples (default .)
+  --replay FILE    re-run one .repro counterexample and exit
+  --inject-broken  also test a deliberately broken protocol; exit 0 only
+                   if the kit catches it|};
+  exit 2
+
+type opts = {
+  mutable fuzz : int;
+  mutable schedules : int;
+  mutable seed : int;
+  mutable protocols : string list option;
+  mutable faults : bool;
+  mutable batch : bool;
+  mutable out : string;
+  mutable replay : string option;
+  mutable inject_broken : bool;
+}
+
+let parse_args () =
+  let o =
+    {
+      fuzz = 200;
+      schedules = 32;
+      seed = 42;
+      protocols = None;
+      faults = true;
+      batch = true;
+      out = ".";
+      replay = None;
+      inject_broken = false;
+    }
+  in
+  let int_arg v =
+    match int_of_string_opt v with Some n when n > 0 -> n | _ -> usage ()
+  in
+  let rec go = function
+    | [] -> ()
+    | "--fuzz" :: v :: rest ->
+        o.fuzz <- int_arg v;
+        go rest
+    | "--schedules" :: v :: rest ->
+        o.schedules <- int_arg v;
+        go rest
+    | "--seed" :: v :: rest ->
+        o.seed <- int_arg v;
+        go rest
+    | "--protocols" :: v :: rest ->
+        o.protocols <- Some (String.split_on_char ',' v);
+        go rest
+    | "--no-faults" :: rest ->
+        o.faults <- false;
+        go rest
+    | "--no-batch" :: rest ->
+        o.batch <- false;
+        go rest
+    | "--out" :: v :: rest ->
+        o.out <- v;
+        go rest
+    | "--replay" :: v :: rest ->
+        o.replay <- Some v;
+        go rest
+    | "--inject-broken" :: rest ->
+        o.inject_broken <- true;
+        go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  o
+
+(* A mild lossy-network cell: enough loss/reordering to shake the
+   retransmit paths without making tiny runs crawl. *)
+let default_fault_specs =
+  [ Faults.spec ~drop:0.03 ~dup:0.02 ~jitter:25. ~seed:11 () ]
+
+let write_repro o cex =
+  let r = Runner.to_repro cex in
+  let path =
+    Filename.concat o.out
+      (Printf.sprintf "acecheck-%s-seed%d.repro"
+         (String.lowercase_ascii r.Repro.proto)
+         o.seed)
+  in
+  Repro.write path r;
+  path
+
+let describe (p, (fl : Runner.failure)) =
+  Printf.printf "counterexample (%s):\n  %s\n%s"
+    (Runner.cell_to_string fl.Runner.cell)
+    fl.Runner.reason (Prog.to_string p)
+
+let run_fuzz o ~protocols ~label ~expect_failure =
+  let fault_specs = if o.faults then default_fault_specs else [] in
+  let batch_modes = if o.batch then [ false; true ] else [ false ] in
+  let report =
+    Runner.fuzz ?protocols ~seed:o.seed ~count:o.fuzz ~schedules:o.schedules
+      ~fault_specs ~batch_modes
+      ~log:(fun m -> Printf.printf "[%s] %s\n%!" label m)
+      ()
+  in
+  match report.Runner.counterexample with
+  | None ->
+      Printf.printf "[%s] %d programs x %d schedules: clean\n%!" label
+        report.Runner.programs o.schedules;
+      not expect_failure
+  | Some cex ->
+      let path = write_repro o cex in
+      Printf.printf "[%s] FAILED after %d programs\n" label
+        report.Runner.programs;
+      describe cex;
+      Printf.printf "  repro written to %s\n%!" path;
+      expect_failure
+
+let () =
+  let o = parse_args () in
+  match o.replay with
+  | Some file -> (
+      let r = Repro.read file in
+      Printf.printf "replaying %s: %s\n%!" file
+        (Runner.cell_to_string
+           {
+             Runner.proto = r.Repro.proto;
+             policy = r.Repro.policy;
+             faults = r.Repro.faults;
+             batch = r.Repro.batch;
+           });
+      match Runner.replay r with
+      | Some fl ->
+          Printf.printf "still failing: %s\n" fl.Runner.reason;
+          exit 1
+      | None ->
+          print_endline "no longer failing";
+          exit 0)
+  | None ->
+      let ok =
+        run_fuzz o ~protocols:o.protocols ~label:"conformance"
+          ~expect_failure:false
+      in
+      let ok =
+        if not o.inject_broken then ok
+        else begin
+          (* The broken protocol admits only single-writer programs, so
+             fuzz that shape directly against it. *)
+          let protocols =
+            Some [ "SC"; Runner.broken_protocol.Ace_runtime.Protocol.name ]
+          in
+          Printf.printf
+            "[broken] injecting %s (an update protocol that drops its \
+             propagation)\n%!"
+            Runner.broken_protocol.Ace_runtime.Protocol.name;
+          let caught = run_fuzz o ~protocols ~label:"broken" ~expect_failure:true in
+          if not caught then
+            print_endline
+              "[broken] ERROR: the kit failed to catch the broken protocol";
+          ok && caught
+        end
+      in
+      exit (if ok then 0 else 1)

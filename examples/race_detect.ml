@@ -47,9 +47,16 @@ let () =
   Printf.printf "race reports: %d\n" (List.length reports);
   List.iter
     (fun r ->
-      Printf.printf "  region %d, epoch %d, nodes [%s]\n"
-        r.Ace_protocols.Proto_race_check.rid r.Ace_protocols.Proto_race_check.epoch
-        (String.concat "; "
-           (List.map string_of_int r.Ace_protocols.Proto_race_check.nodes)))
+      let open Ace_protocols.Proto_race_check in
+      let pp (a : access) =
+        Printf.sprintf "%s by node %d%s"
+          (if a.writer then "write" else "read")
+          a.node
+          (if a.locked then " (locked)" else "")
+      in
+      Printf.printf "  region %d, epoch %d, nodes [%s]\n    first racy pair: %s / %s\n"
+        r.rid r.epoch
+        (String.concat "; " (List.map string_of_int r.nodes))
+        (pp r.first) (pp r.second))
     reports;
-  print_endline "(expected: exactly one report, for epoch 0)"
+  print_endline "(expected: exactly one report, for epoch 0, write by node 0 racing a read)"

@@ -7,8 +7,8 @@ module Cost_model = Ace_net.Cost_model
 
 let sid_spaces = Ace_engine.Stats.intern "ace.spaces"
 
-let create ?(cost = Cost_model.cm5_ace) ~nprocs () =
-  let machine = Machine.create ~nprocs in
+let create ?(cost = Cost_model.cm5_ace) ?policy ~nprocs () =
+  let machine = Machine.create ?policy ~nprocs () in
   let am = Ace_net.Am.create machine cost in
   let store =
     Ace_region.Store.create ~stats:(Machine.stats machine) ~nprocs ()

@@ -3,10 +3,14 @@
 
 (** Build a runtime on a fresh [nprocs]-node simulated machine. [cost]
     defaults to the Ace profile ({!Ace_net.Cost_model.cm5_ace}); pass the
-    CRL profile (or a custom one) for ablations. SC and NULL are
-    pre-registered. *)
+    CRL profile (or a custom one) for ablations. [policy] fixes the event
+    queue's same-timestamp tie-break (default FIFO — bit-identical to
+    historical builds); program results must not depend on it. SC and NULL
+    are pre-registered. *)
 val create :
-  ?cost:Ace_net.Cost_model.t -> nprocs:int -> unit -> Protocol.runtime
+  ?cost:Ace_net.Cost_model.t ->
+  ?policy:Ace_engine.Event_queue.policy ->
+  nprocs:int -> unit -> Protocol.runtime
 
 val machine : Protocol.runtime -> Ace_engine.Machine.t
 

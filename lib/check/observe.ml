@@ -1,0 +1,65 @@
+(* Attach the coherence oracle to a backend: a facade transformer in the
+   sense of Driver's [wrap] — the application (or fuzz program) is compiled
+   against the returned module, which records one observation per completed
+   access section and delegates everything to the backend untouched.
+   Recording never advances the virtual clock, so the simulated output of
+   an observed run is bit-identical to an unobserved one; when no wrapper
+   is installed the backend is used directly and the oracle costs nothing.
+
+   Epochs advance at [barrier] and at [change_protocol] (an Ace protocol
+   change is a collective with internal barriers; on CRL it is a no-op, so
+   programs that synchronize only through [change_protocol] should not be
+   observed on that backend — all ours barrier explicitly). *)
+
+module Store = Ace_region.Store
+
+let wrap (type c) (oracle : Oracle.t)
+    (module D : Ace_region.Dsm_intf.S
+      with type ctx = c
+       and type h = Store.meta) :
+    (module Ace_region.Dsm_intf.S with type ctx = c and type h = Store.meta) =
+  (module struct
+    type ctx = c
+    type h = Store.meta
+
+    let me = D.me
+    let nprocs = D.nprocs
+    let alloc = D.alloc
+    let rid = D.rid
+    let map = D.map
+    let unmap = D.unmap
+    let data = D.data
+    let start_read = D.start_read
+
+    let end_read ctx h =
+      Oracle.record_read oracle ~node:(D.me ctx) ~rid:(D.rid h)
+        ~value:(Oracle.fingerprint (D.data ctx h));
+      D.end_read ctx h
+
+    let start_write = D.start_write
+
+    let end_write ctx h =
+      Oracle.record_write oracle ~node:(D.me ctx) ~rid:(D.rid h)
+        ~value:(Oracle.fingerprint (D.data ctx h));
+      D.end_write ctx h
+
+    let lock ctx h =
+      D.lock ctx h;
+      Oracle.lock oracle ~node:(D.me ctx) ~rid:(D.rid h)
+
+    let unlock ctx h =
+      Oracle.unlock oracle ~node:(D.me ctx) ~rid:(D.rid h);
+      D.unlock ctx h
+
+    let barrier ctx ~space =
+      D.barrier ctx ~space;
+      Oracle.barrier oracle ~node:(D.me ctx)
+
+    let change_protocol ctx ~space name =
+      D.change_protocol ctx ~space name;
+      Oracle.barrier oracle ~node:(D.me ctx)
+
+    let work = D.work
+    let bcast = D.bcast
+    let allgather = D.allgather
+  end)

@@ -1,0 +1,225 @@
+(* The coherence oracle: a release-consistency contract checker over an
+   observation log.
+
+   The observer (see Observe) records one observation per completed access
+   section: which node touched which region, a fingerprint of the payload
+   it saw (reads) or left behind (writes), the node's barrier epoch, and —
+   for accesses made under the region lock — the region's global
+   lock-acquisition number. Because the simulator is sequential, the global
+   record order [oord] is the real execution order, which makes
+   counterexamples exact rather than approximate.
+
+   The contract checked is the one every protocol in the registry promises
+   (paper §2.1's coherence obligations): at each synchronization point a
+   read must see the latest write ordered before it — by program order
+   within a node, by the barrier epoch structure across nodes, and by the
+   lock-acquisition chain within an epoch. Concretely, per region and per
+   epoch:
+
+   - no writes: every read sees the value current at epoch entry;
+   - all accesses from one node: program order (each read sees the value
+     after the writes preceding it);
+   - all accesses under the region lock: the lock chain orders them — each
+     read sees the value after every write with a smaller acquisition
+     number;
+   - anything else is a data race: two accesses from different nodes, at
+     least one a write, not both holding the lock, in the same epoch.
+
+   [check] returns the minimal counterexample: the violation whose
+   offending access is earliest in (epoch, execution order). *)
+
+type kind = Read | Write
+
+type obs = {
+  onode : int;
+  orid : int;
+  oepoch : int;
+  okind : kind;
+  olseq : int; (* region's global lock-acquisition number; -1 if unlocked *)
+  oord : int; (* global record order (execution order) *)
+  ovalue : float; (* payload fingerprint observed / left behind *)
+}
+
+type violation = {
+  vrid : int;
+  vepoch : int;
+  vobs : obs; (* the offending access *)
+  vwant : float; (* fingerprint it should have seen (reads; nan for races) *)
+  vprev : obs option; (* the write it should have seen / the racing access *)
+  vrace : bool;
+}
+
+type t = {
+  mutable nobs : int;
+  mutable log : obs list; (* newest first *)
+  epochs : int array; (* per-node barrier count *)
+  next_lseq : (int, int ref) Hashtbl.t; (* rid -> next acquisition number *)
+  held : (int * int, int) Hashtbl.t; (* (node, rid) -> acquisition number *)
+}
+
+let create ~nprocs () =
+  {
+    nobs = 0;
+    log = [];
+    epochs = Array.make nprocs 0;
+    next_lseq = Hashtbl.create 16;
+    held = Hashtbl.create 16;
+  }
+
+let observations t = t.nobs
+
+(* Position-weighted checksum of a region payload: cheap, order-sensitive
+   enough that distinct writes produce distinct fingerprints for the
+   small-integer values the fuzzer writes. *)
+let fingerprint a =
+  let s = ref 0. in
+  Array.iteri (fun i v -> s := !s +. (v *. float_of_int (i + 1))) a;
+  !s
+
+(* Low-level entry: tests hand-build logs with it; live runs go through
+   the tracking helpers below. *)
+let add t ~node ~rid ~epoch ~kind ~lseq ~value =
+  let o =
+    {
+      onode = node;
+      orid = rid;
+      oepoch = epoch;
+      okind = kind;
+      olseq = lseq;
+      oord = t.nobs;
+      ovalue = value;
+    }
+  in
+  t.nobs <- t.nobs + 1;
+  t.log <- o :: t.log
+
+let lock t ~node ~rid =
+  let next =
+    match Hashtbl.find_opt t.next_lseq rid with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t.next_lseq rid r;
+        r
+  in
+  Hashtbl.replace t.held (node, rid) !next;
+  incr next
+
+let unlock t ~node ~rid = Hashtbl.remove t.held (node, rid)
+let barrier t ~node = t.epochs.(node) <- t.epochs.(node) + 1
+
+let lseq_of t ~node ~rid =
+  Option.value (Hashtbl.find_opt t.held (node, rid)) ~default:(-1)
+
+let record_read t ~node ~rid ~value =
+  add t ~node ~rid ~epoch:t.epochs.(node) ~kind:Read
+    ~lseq:(lseq_of t ~node ~rid) ~value
+
+let record_write t ~node ~rid ~value =
+  add t ~node ~rid ~epoch:t.epochs.(node) ~kind:Write
+    ~lseq:(lseq_of t ~node ~rid) ~value
+
+(* Two accesses race when different nodes touch the region in the same
+   epoch, at least one writes, and the lock does not order them. *)
+let conflicts a b =
+  a.onode <> b.onode
+  && (a.okind = Write || b.okind = Write)
+  && (a.olseq < 0 || b.olseq < 0)
+
+(* First racy pair in execution order: the earliest access that completes
+   a conflict with some earlier access, paired with the earliest such
+   earlier access. *)
+let first_racy_pair es =
+  let rec go seen = function
+    | [] -> None
+    | b :: rest -> (
+        match List.find_opt (fun a -> conflicts a b) (List.rev seen) with
+        | Some a -> Some (a, b)
+        | None -> go (b :: seen) rest)
+  in
+  go [] es
+
+(* Check one region's observations (execution order). [current] threads the
+   latest fingerprint across epochs; [last] remembers the write that put it
+   there. *)
+let check_region rid es =
+  let viols = ref [] in
+  let current = ref 0. and last = ref None in
+  let emit ?prev ?(race = false) ~want o =
+    viols :=
+      { vrid = rid; vepoch = o.oepoch; vobs = o; vwant = want; vprev = prev;
+        vrace = race }
+      :: !viols
+  in
+  let apply o =
+    match o.okind with
+    | Write ->
+        current := o.ovalue;
+        last := Some o
+    | Read ->
+        if o.ovalue <> !current then
+          emit ?prev:!last ~want:!current o
+  in
+  let epochs_present =
+    List.sort_uniq compare (List.map (fun o -> o.oepoch) es)
+  in
+  List.iter
+    (fun e ->
+      let eo = List.filter (fun o -> o.oepoch = e) es in
+      let writes = List.filter (fun o -> o.okind = Write) eo in
+      let nodes = List.sort_uniq compare (List.map (fun o -> o.onode) eo) in
+      if writes = [] || List.length nodes <= 1 then
+        (* read-only epoch, or a single node: program order *)
+        List.iter apply eo
+      else if List.for_all (fun o -> o.olseq >= 0) eo then
+        (* lock chain: acquisition number orders sections, program order
+           within one *)
+        List.iter apply
+          (List.stable_sort
+             (fun a b -> compare (a.olseq, a.oord) (b.olseq, b.oord))
+             eo)
+      else
+        match first_racy_pair eo with
+        | Some (a, b) -> emit ~prev:a ~race:true ~want:nan b
+        | None -> List.iter apply eo)
+    epochs_present;
+  List.rev !viols
+
+let violations t =
+  let by_rid : (int, obs list ref) Hashtbl.t = Hashtbl.create 16 in
+  (* log is newest-first; consing flips each region's list to execution
+     order *)
+  List.iter
+    (fun o ->
+      match Hashtbl.find_opt by_rid o.orid with
+      | Some l -> l := o :: !l
+      | None -> Hashtbl.add by_rid o.orid (ref [ o ]))
+    t.log;
+  Hashtbl.fold (fun rid l acc -> check_region rid !l @ acc) by_rid []
+  |> List.sort (fun a b ->
+         compare (a.vepoch, a.vobs.oord) (b.vepoch, b.vobs.oord))
+
+let check t = match violations t with [] -> None | v :: _ -> Some v
+
+let kind_to_string = function Read -> "read" | Write -> "write"
+
+let obs_to_string o =
+  Printf.sprintf "%s by node %d (epoch %d, order %d%s, fingerprint %g)"
+    (kind_to_string o.okind) o.onode o.oepoch o.oord
+    (if o.olseq >= 0 then Printf.sprintf ", lock #%d" o.olseq else "")
+    o.ovalue
+
+let violation_to_string v =
+  if v.vrace then
+    Printf.sprintf
+      "region %d epoch %d: data race\n  first : %s\n  second: %s" v.vrid
+      v.vepoch
+      (match v.vprev with Some a -> obs_to_string a | None -> "?")
+      (obs_to_string v.vobs)
+  else
+    Printf.sprintf
+      "region %d epoch %d: stale read\n  read  : %s\n  want  : fingerprint %g%s"
+      v.vrid v.vepoch (obs_to_string v.vobs) v.vwant
+      (match v.vprev with
+      | Some w -> " from " ^ obs_to_string w
+      | None -> " (initial contents)")

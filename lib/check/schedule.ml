@@ -1,0 +1,27 @@
+(* Schedule exploration: a dense enumeration of event-queue tie-break
+   policies. A simulated machine leaves the order of same-timestamp events
+   undefined, so every policy below is a legal execution of the same
+   program; the conformance kit sweeps an index range and checks that
+   results do not depend on the choice.
+
+   Index 0 is FIFO (the historical order — the one every existing
+   regression is pinned to), indices 1-9 enumerate the round-robin
+   "delay set" rotations (CHESS-style: systematically delay every
+   stride-th event), and everything above that seeds an independent
+   random-priority stream per index. *)
+
+module Event_queue = Ace_engine.Event_queue
+
+let rotations =
+  [| (2, 0); (2, 1); (3, 0); (3, 1); (3, 2); (4, 0); (4, 1); (4, 2); (4, 3) |]
+
+let of_index i =
+  if i < 0 then invalid_arg "Schedule.of_index: negative index"
+  else if i = 0 then Event_queue.Fifo
+  else if i <= Array.length rotations then
+    let stride, offset = rotations.(i - 1) in
+    Event_queue.Rotate { stride; offset }
+  else Event_queue.Random i
+
+let to_string = Event_queue.policy_to_string
+let of_string = Event_queue.policy_of_string

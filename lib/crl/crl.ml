@@ -23,8 +23,8 @@ type t = {
   coll : Ace_region.Collective.t;
 }
 
-let create ?(cost = Cost_model.cm5_crl) ~nprocs () =
-  let machine = Machine.create ~nprocs in
+let create ?(cost = Cost_model.cm5_crl) ?policy ~nprocs () =
+  let machine = Machine.create ?policy ~nprocs () in
   let am = Ace_net.Am.create machine cost in
   {
     machine;

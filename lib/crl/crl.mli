@@ -7,7 +7,12 @@
 type t
 (** One simulated machine plus CRL runtime. *)
 
-val create : ?cost:Ace_net.Cost_model.t -> nprocs:int -> unit -> t
+(** [policy] fixes the event queue's same-timestamp tie-break (default
+    FIFO); see {!Ace_engine.Event_queue.policy}. *)
+val create :
+  ?cost:Ace_net.Cost_model.t ->
+  ?policy:Ace_engine.Event_queue.policy ->
+  nprocs:int -> unit -> t
 
 type ctx
 (** Per-processor context, handed to the SPMD program by {!run}. *)

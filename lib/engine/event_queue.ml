@@ -1,4 +1,4 @@
-(* A 4-ary implicit min-heap on (time, seq), stored in parallel arrays.
+(* A 4-ary implicit min-heap on (time, order), stored in parallel arrays.
 
    The simulator pops one event per simulated action, so this is the hottest
    data structure in the tree. Three deliberate layout choices:
@@ -9,66 +9,129 @@
      slightly more comparisons per level but far fewer cache-missing levels.
    - Popping writes the result into the per-queue [popped_*] slots instead
      of allocating a [Some (time, thunk)] pair, so draining a run of N
-     events allocates nothing. *)
+     events allocates nothing.
+
+   Ties (same timestamp) are broken by a pluggable policy. Rather than a
+   second tie-break array (which measurably slows the sifts), the policy's
+   per-event priority [key] and the insertion number [seq] are packed into
+   one word, [order = key lsl seq_bits lor seq], compared as a single int:
+   lexicographic (key, seq) order at the memory traffic of the original
+   (time, seq) heap. Under the default [Fifo] every key is 0, so [order]
+   IS [seq] and ordering degenerates to insertion order — exactly the
+   historical behaviour, bit-identical to builds without policy support. *)
+
+type policy =
+  | Fifo
+  | Random of int (* seed *)
+  | Rotate of { stride : int; offset : int }
+
+let validate_policy = function
+  | Fifo | Random _ -> ()
+  | Rotate { stride; offset } ->
+      if stride < 2 || offset < 0 || offset >= stride then
+        invalid_arg "Event_queue: Rotate needs stride >= 2 and 0 <= offset < stride"
+
+let policy_to_string = function
+  | Fifo -> "fifo"
+  | Random seed -> Printf.sprintf "random:%d" seed
+  | Rotate { stride; offset } -> Printf.sprintf "rotate:%d:%d" stride offset
+
+let policy_of_string s =
+  let fail () = invalid_arg ("Event_queue.policy_of_string: " ^ s) in
+  match String.split_on_char ':' s with
+  | [ "fifo" ] -> Fifo
+  | [ "random"; seed ] -> (
+      match int_of_string_opt seed with Some n -> Random n | None -> fail ())
+  | [ "rotate"; stride; offset ] -> (
+      match (int_of_string_opt stride, int_of_string_opt offset) with
+      | Some st, Some off when st >= 2 && off >= 0 && off < st ->
+          Rotate { stride = st; offset = off }
+      | _ -> fail ())
+  | _ -> fail ()
+
+(* 40 bits of seq leaves 22 for the key on 63-bit ints. A queue would need
+   a trillion pushes to overflow; [push] checks anyway (one compare). *)
+let seq_bits = 40
+let max_seq = 1 lsl seq_bits
+let max_key = 1 lsl (62 - seq_bits)
 
 type t = {
   mutable times : float array;
-  mutable seqs : int array;
+  mutable orders : int array; (* key lsl seq_bits lor seq *)
   mutable thunks : (unit -> unit) array;
   mutable size : int;
   mutable next_seq : int;
   mutable popped_time : float; (* last event removed by [pop_min] *)
   mutable popped_thunk : unit -> unit;
+  policy : policy;
+  rng : Det_rng.t option; (* Some iff policy is Random *)
 }
 
 let initial_capacity = 256
 
-let create () =
+let create ?(policy = Fifo) () =
+  validate_policy policy;
   {
     times = Array.make initial_capacity 0.;
-    seqs = Array.make initial_capacity 0;
+    orders = Array.make initial_capacity 0;
     thunks = Array.make initial_capacity ignore;
     size = 0;
     next_seq = 0;
     popped_time = 0.;
     popped_thunk = ignore;
+    policy;
+    rng = (match policy with Random seed -> Some (Det_rng.create seed) | _ -> None);
   }
+
+let policy t = t.policy
+
+(* The policy's priority for the event about to get [seq]. Keys only matter
+   relative to other same-timestamp events; [Rotate] delays every
+   [stride]-th insertion (round-robin by [offset]) behind its tie group,
+   [Random] draws a fresh priority per event from the seeded stream (push
+   order is itself deterministic, so the whole run is deterministic per
+   seed). *)
+let next_key t seq =
+  match t.policy with
+  | Fifo -> 0
+  | Random _ -> Det_rng.int (Option.get t.rng) max_key
+  | Rotate { stride; offset } -> if seq mod stride = offset then 1 else 0
 
 let grow t =
   let cap = 2 * Array.length t.times in
   let times = Array.make cap 0. in
   Array.blit t.times 0 times 0 t.size;
   t.times <- times;
-  let seqs = Array.make cap 0 in
-  Array.blit t.seqs 0 seqs 0 t.size;
-  t.seqs <- seqs;
+  let orders = Array.make cap 0 in
+  Array.blit t.orders 0 orders 0 t.size;
+  t.orders <- orders;
   let thunks = Array.make cap ignore in
   Array.blit t.thunks 0 thunks 0 t.size;
   t.thunks <- thunks
 
-(* Insert (time, seq, thunk) by walking a hole up from [i]: elements move at
-   most once and the new entry is written exactly once. *)
-let sift_up t i time seq thunk =
+(* Insert (time, order, thunk) by walking a hole up from [i]: elements move
+   at most once and the new entry is written exactly once. *)
+let sift_up t i time order thunk =
   let i = ref i in
   let placed = ref false in
   while (not !placed) && !i > 0 do
     let parent = (!i - 1) lsr 2 in
     let pt = t.times.(parent) in
-    if pt < time || (pt = time && t.seqs.(parent) < seq) then placed := true
+    if pt < time || (pt = time && t.orders.(parent) < order) then placed := true
     else begin
       t.times.(!i) <- pt;
-      t.seqs.(!i) <- t.seqs.(parent);
+      t.orders.(!i) <- t.orders.(parent);
       t.thunks.(!i) <- t.thunks.(parent);
       i := parent
     end
   done;
   t.times.(!i) <- time;
-  t.seqs.(!i) <- seq;
+  t.orders.(!i) <- order;
   t.thunks.(!i) <- thunk
 
 (* Walk a hole down from the root, pulling the smallest of up to four
-   children up each level, until (time, seq) fits. *)
-let sift_down t time seq thunk =
+   children up each level, until (time, order) fits. *)
+let sift_down t time order thunk =
   let size = t.size in
   let i = ref 0 in
   let placed = ref false in
@@ -78,19 +141,19 @@ let sift_down t time seq thunk =
     else begin
       let best = ref base in
       let bt = ref t.times.(base) in
-      let bs = ref t.seqs.(base) in
+      let bo = ref t.orders.(base) in
       let last = if base + 3 < size then base + 3 else size - 1 in
       for c = base + 1 to last do
         let ct = t.times.(c) in
-        if ct < !bt || (ct = !bt && t.seqs.(c) < !bs) then begin
+        if ct < !bt || (ct = !bt && t.orders.(c) < !bo) then begin
           best := c;
           bt := ct;
-          bs := t.seqs.(c)
+          bo := t.orders.(c)
         end
       done;
-      if !bt < time || (!bt = time && !bs < seq) then begin
+      if !bt < time || (!bt = time && !bo < order) then begin
         t.times.(!i) <- !bt;
-        t.seqs.(!i) <- !bs;
+        t.orders.(!i) <- !bo;
         t.thunks.(!i) <- t.thunks.(!best);
         i := !best
       end
@@ -98,7 +161,7 @@ let sift_down t time seq thunk =
     end
   done;
   t.times.(!i) <- time;
-  t.seqs.(!i) <- seq;
+  t.orders.(!i) <- order;
   t.thunks.(!i) <- thunk
 
 let push t ~time thunk =
@@ -106,10 +169,12 @@ let push t ~time thunk =
     invalid_arg "Event_queue.push: bad time";
   if t.size = Array.length t.times then grow t;
   let seq = t.next_seq in
+  if seq >= max_seq then invalid_arg "Event_queue.push: seq overflow";
   t.next_seq <- seq + 1;
+  let order = (next_key t seq lsl seq_bits) lor seq in
   let i = t.size in
   t.size <- i + 1;
-  sift_up t i time seq thunk
+  sift_up t i time order thunk
 
 let pop_min t =
   if t.size = 0 then false
@@ -120,10 +185,10 @@ let pop_min t =
     t.size <- n;
     if n > 0 then begin
       let time = t.times.(n) in
-      let seq = t.seqs.(n) in
+      let order = t.orders.(n) in
       let thunk = t.thunks.(n) in
       t.thunks.(n) <- ignore;
-      sift_down t time seq thunk
+      sift_down t time order thunk
     end
     else t.thunks.(0) <- ignore;
     true

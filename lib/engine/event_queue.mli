@@ -1,13 +1,44 @@
 (** A deterministic priority queue of timestamped thunks.
 
-    Events are ordered by timestamp; ties are broken by insertion order, so a
-    simulation run is bit-reproducible. Implemented as a 4-ary implicit heap
+    Events are ordered by timestamp; ties are broken by a pluggable
+    {!policy} (insertion order by default), so a simulation run is
+    bit-reproducible per policy. Implemented as a 4-ary implicit heap
     over parallel arrays; the pop path is exceptionless and allocation-free
     (results land in per-queue slots rather than an option). *)
 
+(** How same-timestamp events are ordered. A simulated machine does not
+    define an order for simultaneous events, so every policy yields a legal
+    execution; the conformance kit ({!Ace_check}) runs one program under
+    many policies to check that program results are schedule-independent.
+
+    - [Fifo] (default): insertion order — the historical behaviour,
+      bit-identical to builds without policy support.
+    - [Random seed]: each event draws a priority from a seeded splitmix64
+      stream at push time; deterministic per seed.
+    - [Rotate {stride; offset}]: every [stride]-th inserted event (those
+      with [seq mod stride = offset]) is delayed behind its tie group — a
+      round-robin "delay set" explorer in the CHESS style. *)
+type policy =
+  | Fifo
+  | Random of int
+  | Rotate of { stride : int; offset : int }
+
+(** Round-trippable textual form ("fifo", "random:SEED",
+    "rotate:STRIDE:OFFSET") — the representation [.repro] files use. *)
+val policy_to_string : policy -> string
+
+(** Raises [Invalid_argument] on anything {!policy_to_string} cannot
+    produce. *)
+val policy_of_string : string -> policy
+
 type t
 
-val create : unit -> t
+(** [create ?policy ()] makes an empty queue. Raises [Invalid_argument] on
+    a [Rotate] with [stride < 2] or [offset] outside [0..stride-1]. *)
+val create : ?policy:policy -> unit -> t
+
+(** The tie-break policy fixed at creation. *)
+val policy : t -> policy
 
 (** [push t ~time f] schedules [f] to run at virtual time [time].
     Raises [Invalid_argument] if [time] is negative or not finite. *)

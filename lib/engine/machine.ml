@@ -14,11 +14,11 @@ and proc = { id : int; mutable clock : float; machine : t }
 type _ Effect.t += Advance : proc * float -> unit Effect.t
 type _ Effect.t += Await : proc * 'a Ivar.t -> 'a Effect.t
 
-let create ~nprocs =
+let create ?policy ~nprocs () =
   if nprocs <= 0 then invalid_arg "Machine.create: nprocs <= 0";
   {
     nprocs;
-    events = Event_queue.create ();
+    events = Event_queue.create ?policy ();
     stats = Stats.create ();
     live = 0;
     max_clock = 0.;
@@ -27,6 +27,7 @@ let create ~nprocs =
 
 let nprocs t = t.nprocs
 let stats t = t.stats
+let policy t = Event_queue.policy t.events
 let set_trace t tr = t.trace <- tr
 let trace t = t.trace
 let schedule t ~time f = Event_queue.push t.events ~time f

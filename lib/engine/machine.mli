@@ -15,9 +15,18 @@ type proc = private {
   machine : t;
 }
 
-val create : nprocs:int -> t
+(** [create ?policy ~nprocs ()] builds a fresh machine. [policy] fixes how
+    same-timestamp events are ordered (default {!Event_queue.Fifo}, the
+    historical bit-identical behaviour); any policy is a legal execution of
+    the simulated machine, so program results at synchronization points must
+    not depend on it — the conformance kit checks exactly that. *)
+val create : ?policy:Event_queue.policy -> nprocs:int -> unit -> t
+
 val nprocs : t -> int
 val stats : t -> Stats.t
+
+(** The event queue's tie-break policy. *)
+val policy : t -> Event_queue.policy
 
 (** Attach (or detach) an event tracer. With [None] — the default — every
     instrumentation point in the simulator reduces to one field read, and

@@ -36,6 +36,15 @@ end
 
 type outcome = { seconds : float; result : float }
 
+(* A facade transformer: given the backend's DSM module, return the module
+   the application is actually compiled against. The conformance kit's
+   coherence oracle is such a transformer (it records every access); [None]
+   — the default — compiles against the backend directly, so oracle-off
+   runs are bit-identical to builds without the hook. *)
+type 'c wrap =
+  (module Ace_region.Dsm_intf.S with type ctx = 'c and type h = Ace_region.Store.meta) ->
+  (module Ace_region.Dsm_intf.S with type ctx = 'c and type h = Ace_region.Store.meta)
+
 (* Attach a tracer for the duration of [body] and write the trace out
    afterwards; with no trace path this is exactly the untraced run. *)
 let traced ?trace machine ~nprocs body =
@@ -48,15 +57,22 @@ let traced ?trace machine ~nprocs body =
       Trace.write_file tr ~nprocs path;
       out
 
-let run_crl (type cfg) ?faults ?batch ?trace ?stats ~nprocs
+let run_crl (type cfg) ?faults ?batch ?trace ?stats ?policy
+    ?(wrap : Ace_crl.Crl.ctx wrap option) ~nprocs
     (module App : APP with type config = cfg) (cfg : cfg) =
-  let sys = Ace_crl.Crl.create ~nprocs () in
+  let sys = Ace_crl.Crl.create ?policy ~nprocs () in
   attach_faults (Ace_crl.Crl.am sys) faults;
   attach_batch (Ace_crl.Crl.am sys) batch;
   let machine = Ace_crl.Crl.machine sys in
+  let facade =
+    match wrap with
+    | None -> (module Ace_crl.Crl.Api : Ace_region.Dsm_intf.S
+                 with type ctx = Ace_crl.Crl.ctx and type h = Ace_region.Store.meta)
+    | Some w -> w (module Ace_crl.Crl.Api)
+  in
   let out =
     traced ?trace machine ~nprocs (fun () ->
-        let module A = App.Make (Ace_crl.Crl.Api) in
+        let module A = App.Make ((val facade)) in
         let result = ref nan in
         Ace_crl.Crl.run sys (fun ctx ->
             let r = A.run cfg ctx in
@@ -66,9 +82,10 @@ let run_crl (type cfg) ?faults ?batch ?trace ?stats ~nprocs
   Option.iter (fun f -> f (Machine.stats machine)) stats;
   out
 
-let run_ace (type cfg) ?faults ?batch ?trace ?stats ~nprocs
+let run_ace (type cfg) ?faults ?batch ?trace ?stats ?policy
+    ?(wrap : Ace_runtime.Protocol.ctx wrap option) ~nprocs
     (module App : APP with type config = cfg) (cfg : cfg) =
-  let rt = Ace_runtime.Runtime.create ~nprocs () in
+  let rt = Ace_runtime.Runtime.create ?policy ~nprocs () in
   attach_faults (Ace_runtime.Runtime.am rt) faults;
   attach_batch (Ace_runtime.Runtime.am rt) batch;
   Ace_protocols.Proto_lib.register_all rt;
@@ -76,9 +93,16 @@ let run_ace (type cfg) ?faults ?batch ?trace ?stats ~nprocs
     ignore (Ace_runtime.Runtime.new_space rt "SC")
   done;
   let machine = Ace_runtime.Runtime.machine rt in
+  let facade =
+    match wrap with
+    | None -> (module Ace_runtime.Ops.Api : Ace_region.Dsm_intf.S
+                 with type ctx = Ace_runtime.Protocol.ctx
+                  and type h = Ace_region.Store.meta)
+    | Some w -> w (module Ace_runtime.Ops.Api)
+  in
   let out =
     traced ?trace machine ~nprocs (fun () ->
-        let module A = App.Make (Ace_runtime.Ops.Api) in
+        let module A = App.Make ((val facade)) in
         let result = ref nan in
         Ace_runtime.Runtime.run rt (fun ctx ->
             let r = A.run cfg ctx in

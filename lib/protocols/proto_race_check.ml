@@ -13,9 +13,25 @@ module Blocks = Ace_region.Blocks
 module Store = Ace_region.Store
 module Machine = Ace_engine.Machine
 
-type access = { node : int; writer : bool; locked : bool }
+type access = {
+  node : int;
+  writer : bool;
+  locked : bool;
+  seq : int; (* arrival order within the epoch (global across regions) *)
+}
 
-type report = { rid : int; epoch : int; nodes : int list }
+(* [first]/[second] are the epoch's first racy pair on the region: [second]
+   is the earliest access that completes a conflict with an earlier one,
+   [first] the earliest access it conflicts with. Both are fixed by access
+   arrival order, which the simulator makes deterministic — not by log
+   iteration order. *)
+type report = {
+  rid : int;
+  epoch : int;
+  nodes : int list;
+  first : access;
+  second : access;
+}
 
 type shared_log = {
   mutable epoch : int;
@@ -23,6 +39,7 @@ type shared_log = {
   mutable reports : report list;
   mutable holding : (int * int, unit) Hashtbl.t; (* (node, rid) -> lock held *)
   mutable arrived : int; (* barrier arrivals this epoch *)
+  mutable ctr : int; (* next access seq *)
 }
 
 type Protocol.pstate += Race of shared_log
@@ -38,6 +55,7 @@ let shared (sp : Protocol.space) =
           reports = [];
           holding = Hashtbl.create 16;
           arrived = 0;
+          ctr = 0;
         }
       in
       sp.Protocol.pstate.(0) <- Race s;
@@ -53,7 +71,10 @@ let record (ctx : Protocol.ctx) meta ~writer =
   let prev =
     match Hashtbl.find_opt s.accesses meta.Store.rid with Some l -> l | None -> []
   in
-  Hashtbl.replace s.accesses meta.Store.rid ({ node; writer; locked } :: prev)
+  let seq = s.ctr in
+  s.ctr <- s.ctr + 1;
+  Hashtbl.replace s.accesses meta.Store.rid
+    ({ node; writer; locked; seq } :: prev)
 
 let start_read (ctx : Protocol.ctx) meta =
   Blocks.fetch_shared ctx.Protocol.bctx meta;
@@ -74,40 +95,61 @@ let unlock (ctx : Protocol.ctx) meta =
   Ace_runtime.Proto_sc.unlock ctx meta
 
 (* An epoch has a race on a region iff some unlocked access conflicts with
-   an access from a different node (write/any or any/write). *)
-let racy accesses =
-  let conflict a b =
-    a.node <> b.node && (a.writer || b.writer) && not (a.locked && b.locked)
+   an access from a different node (write/any or any/write). The reported
+   pair is the first one in access arrival order: scanning forward, the
+   earliest access that completes a conflict, paired with the earliest
+   earlier access it conflicts with. *)
+let conflict a b =
+  a.node <> b.node && (a.writer || b.writer) && not (a.locked && b.locked)
+
+let first_racy_pair accesses =
+  (* the log is consed newest-first; rescan in arrival order *)
+  let ordered = List.rev accesses in
+  let rec scan seen = function
+    | [] -> None
+    | b :: rest -> (
+        match List.find_opt (fun a -> conflict a b) (List.rev seen) with
+        | Some a -> Some (a, b)
+        | None -> scan (b :: seen) rest)
   in
-  let rec scan = function
-    | [] -> false
-    | a :: rest -> List.exists (conflict a) rest || scan rest
-  in
-  scan accesses
+  scan [] ordered
 
 (* The epoch log is swept by the last processor to reach the barrier, so
-   every access of the epoch has been recorded. *)
+   every access of the epoch has been recorded. Reports are ordered by the
+   moment each race materialized (the completing access's seq), never by
+   hash-table iteration order. *)
 let barrier (ctx : Protocol.ctx) (sp : Protocol.space) =
   let s = shared sp in
   s.arrived <- s.arrived + 1;
   if s.arrived = Machine.nprocs ctx.Protocol.rt.Protocol.machine then begin
     s.arrived <- 0;
-    Hashtbl.iter
-      (fun rid accesses ->
-        if racy accesses then
-          s.reports <-
-            {
-              rid;
-              epoch = s.epoch;
-              nodes = List.sort_uniq compare (List.map (fun a -> a.node) accesses);
-            }
-            :: s.reports)
-      s.accesses;
+    let epoch_reports =
+      Hashtbl.fold
+        (fun rid accesses acc ->
+          match first_racy_pair accesses with
+          | None -> acc
+          | Some (first, second) ->
+              {
+                rid;
+                epoch = s.epoch;
+                nodes =
+                  List.sort_uniq compare (List.map (fun a -> a.node) accesses);
+                first;
+                second;
+              }
+              :: acc)
+        s.accesses []
+      |> List.sort (fun a b -> compare (a.second.seq, a.rid) (b.second.seq, b.rid))
+    in
+    s.reports <- List.rev_append epoch_reports s.reports;
     Hashtbl.reset s.accesses;
+    s.ctr <- 0;
     s.epoch <- s.epoch + 1
   end
 
-let reports (sp : Protocol.space) = (shared sp).reports
+(* All reports so far, in chronological order (epoch, then the moment the
+   race materialized). *)
+let reports (sp : Protocol.space) = List.rev (shared sp).reports
 
 let protocol =
   {

@@ -90,7 +90,7 @@ type world = {
 }
 
 let make_world ?(batching = false) ~nprocs () =
-  let m = Machine.create ~nprocs in
+  let m = Machine.create ~nprocs () in
   let am = Am.create m Cost_model.cm5_ace in
   Am.set_batching am batching;
   {
@@ -285,7 +285,7 @@ let cumulative_ack_settles_burst () =
   (* A one-way burst with no reverse traffic: the delayed-ACK timer fires
      once and one dedicated ACK message settles the whole burst. Jitter > 0
      enables the reliability machinery without dropping anything. *)
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let am = Am.create m Cost_model.cm5_ace in
   Am.set_faults am (Some (Faults.create ~jitter:50. ~seed:7 ()));
   let r = Reliable.create am in
@@ -307,7 +307,7 @@ let cumulative_ack_settles_burst () =
 let piggybacked_ack_rides_reply () =
   (* Request/reply traffic: the ACK for each request rides the reply data
      message on the reverse link, so no dedicated ACK ever travels. *)
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let am = Am.create m Cost_model.cm5_ace in
   Am.set_faults am (Some (Faults.create ~jitter:20. ~seed:3 ()));
   let r = Reliable.create am in

@@ -202,13 +202,13 @@ let rng_shuffle_permutation =
 (* ---- machine ---- *)
 
 let machine_advance_and_time () =
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   Machine.run m (fun p ->
       Machine.advance p (float_of_int ((10 * p.Machine.id) + 10)));
   check "time is max clock" true (Machine.time m = 20.)
 
 let machine_barrier_sync () =
-  let m = Machine.create ~nprocs:4 in
+  let m = Machine.create ~nprocs:4 () in
   let b = Machine.Barrier.create m ~cost:(fun _ -> 5.) in
   let release_times = ref [] in
   Machine.run m (fun p ->
@@ -219,7 +219,7 @@ let machine_barrier_sync () =
   check "all equal" true (List.for_all (fun t -> t = 305.) !release_times)
 
 let machine_barrier_reusable () =
-  let m = Machine.create ~nprocs:3 in
+  let m = Machine.create ~nprocs:3 () in
   let b = Machine.Barrier.create m ~cost:(fun _ -> 1.) in
   let count = ref 0 in
   Machine.run m (fun p ->
@@ -230,7 +230,7 @@ let machine_barrier_reusable () =
   check_int "all generations" 15 !count
 
 let machine_await_fill_ordering () =
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let iv = Ivar.create () in
   let observed = ref 0. in
   Machine.run m (fun p ->
@@ -246,7 +246,7 @@ let machine_await_fill_ordering () =
   check "waiter resumed at fill time" true (!observed = 50.)
 
 let machine_deadlock_detected () =
-  let m = Machine.create ~nprocs:1 in
+  let m = Machine.create ~nprocs:1 () in
   let iv : unit Ivar.t = Ivar.create () in
   let raised = ref false in
   (try Machine.run m (fun p -> Machine.await p iv)
@@ -255,7 +255,7 @@ let machine_deadlock_detected () =
 
 let machine_deterministic () =
   let run () =
-    let m = Machine.create ~nprocs:8 in
+    let m = Machine.create ~nprocs:8 () in
     let b = Machine.Barrier.create m ~cost:(fun _ -> 3.) in
     let trace = Buffer.create 64 in
     Machine.run m (fun p ->
@@ -271,7 +271,7 @@ let machine_deterministic () =
   Alcotest.(check string) "bit-identical runs" (run ()) (run ())
 
 let machine_rejects_negative_advance () =
-  let m = Machine.create ~nprocs:1 in
+  let m = Machine.create ~nprocs:1 () in
   let raised = ref false in
   (try Machine.run m (fun p -> Machine.advance p (-1.))
    with Invalid_argument _ -> raised := true);

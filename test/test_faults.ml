@@ -35,7 +35,7 @@ let spec_validates () =
 (* ---- Am accounting: logical sends vs physical deliveries ---- *)
 
 let rig ?(nprocs = 2) () =
-  let m = Machine.create ~nprocs in
+  let m = Machine.create ~nprocs () in
   let am = Am.create m Cost_model.cm5_ace in
   (m, am)
 
@@ -195,7 +195,7 @@ let faults_do_not_change_results () =
 (* ---- deadlock report ---- *)
 
 let deadlock_names_blocked_procs () =
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let iv : unit Ivar.t = Ivar.create () in
   match Machine.run m (fun p -> if p.Machine.id = 0 then Machine.await p iv)
   with

@@ -29,7 +29,7 @@ let profiles_differ () =
     Cost_model.(cm5_crl.miss_overhead > cm5_ace.miss_overhead)
 
 let am_delivery_time () =
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let am = Am.create m Cost_model.cm5_ace in
   let delivered = ref nan in
   Machine.run m (fun p ->
@@ -44,7 +44,7 @@ let am_delivery_time () =
   Alcotest.(check (float 1e-9)) "arrival time" expected !delivered
 
 let am_rpc_roundtrip () =
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let am = Am.create m Cost_model.cm5_ace in
   let got = ref 0 in
   Machine.run m (fun p ->
@@ -57,7 +57,7 @@ let am_rpc_roundtrip () =
   Alcotest.(check int) "two messages" 2 (Am.messages am)
 
 let am_counts_bytes () =
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let am = Am.create m Cost_model.cm5_ace in
   Machine.run m (fun p ->
       if p.Machine.id = 0 then begin
@@ -68,7 +68,7 @@ let am_counts_bytes () =
 
 let am_same_size_fifo () =
   (* equal-size messages between the same endpoints deliver in send order *)
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let am = Am.create m Cost_model.cm5_ace in
   let out = ref [] in
   Machine.run m (fun p ->
@@ -80,7 +80,7 @@ let am_same_size_fifo () =
 
 let am_handlers_can_chain () =
   (* a handler forwarding to a third node works and accumulates latency *)
-  let m = Machine.create ~nprocs:3 in
+  let m = Machine.create ~nprocs:3 () in
   let am = Am.create m Cost_model.cm5_ace in
   let t_final = ref 0. and t_first = ref 0. in
   Machine.run m (fun p ->

@@ -22,7 +22,7 @@ type world = {
 }
 
 let make_world ~nprocs =
-  let m = Machine.create ~nprocs in
+  let m = Machine.create ~nprocs () in
   let am = Am.create m Cost_model.cm5_ace in
   {
     m;

@@ -72,7 +72,7 @@ let test_late_registration () =
 (* ---- Am.send argument validation (the fixed ~src/~dst handling) ---- *)
 
 let test_send_validation () =
-  let m = Machine.create ~nprocs:2 in
+  let m = Machine.create ~nprocs:2 () in
   let am = Ace_net.Am.create m Ace_net.Cost_model.cm5_ace in
   Alcotest.check_raises "bad src" (Invalid_argument "Am.send: bad src")
     (fun () -> Ace_net.Am.send am ~now:0. ~src:5 ~dst:0 ~bytes:0 (fun ~time:_ -> ()));
