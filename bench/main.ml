@@ -44,6 +44,7 @@ module Pool = Ace_harness.Pool
 module Faults = Ace_net.Faults
 
 let scale = ref { E.nprocs = 32; factor = 1 }
+let scaling_max = ref 1024
 let jobs : int option ref = ref None
 let json_path : string option ref = ref None
 let trace_path : string option ref = ref None
@@ -214,6 +215,35 @@ let table4 () =
           ("li_mc", r.T4.li_mc);
           ("li_mc_dc", r.T4.li_mc_dc);
           ("hand", r.T4.hand);
+        ])
+    rows;
+  print_newline ()
+
+(* ---- weak scaling (scaling selection) ---- *)
+
+let scaling_exp () =
+  line ();
+  Printf.printf
+    "Weak scaling to %d nodes: invalidation vs update, directory memory\n"
+    !scaling_max;
+  line ();
+  let nprocs_list =
+    List.filter (fun n -> n <= !scaling_max) E.default_scaling_nprocs
+  in
+  let rows = E.scaling ?jobs:!jobs ~nprocs_list () in
+  E.print_scaling_rows rows;
+  List.iter
+    (fun r ->
+      record ~experiment:"scaling"
+        ~name:(Printf.sprintf "%s-%s@%d" r.E.sc_bench r.E.sc_proto r.E.sc_nprocs)
+        ~wall:r.E.sc_wall
+        ~messages:[ ("total", r.E.sc_messages) ]
+        [
+          ("seconds", r.E.sc_seconds);
+          ("dir_words", r.E.sc_dir_words);
+          ("regions", r.E.sc_regions);
+          ("words_per_region", E.scaling_words_per_region r);
+          ("nprocs", float_of_int r.E.sc_nprocs);
         ])
     rows;
   print_newline ()
@@ -560,7 +590,8 @@ let micro () =
 let usage () =
   Printf.eprintf
     "usage: main [fig7a] [fig7b] [table4] [ablation] [batching] [micro] \
-     [trace_overhead] [faultsweep] [check_overhead] [--small] [--jobs N] [--json FILE] \
+     [trace_overhead] [faultsweep] [check_overhead] [scaling] [--small] \
+     [--nprocs N] [--scaling-max N] [--jobs N] [--json FILE] \
      [--trace FILE] [--trace-dir DIR] [--batch] [--drop P] [--dup P] \
      [--jitter C] [--fault-seed N]\n";
   exit 2
@@ -576,6 +607,22 @@ let () =
     | "--small" :: rest ->
         scale := { E.nprocs = 8; factor = 1 };
         parse rest
+    | "--nprocs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some p when p >= 2 ->
+            scale := { !scale with E.nprocs = p };
+            parse rest
+        | Some _ | None ->
+            Printf.eprintf "--nprocs expects an integer >= 2, got %s\n" n;
+            exit 2)
+    | "--scaling-max" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some p when p >= 2 ->
+            scaling_max := p;
+            parse rest
+        | Some _ | None ->
+            Printf.eprintf "--scaling-max expects an integer >= 2, got %s\n" n;
+            exit 2)
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
         | Some j when j > 0 ->
@@ -618,11 +665,12 @@ let () =
             Printf.eprintf "--fault-seed expects an integer, got %s\n" v;
             exit 2)
     | [ (("--jobs" | "--json" | "--trace" | "--trace-dir" | "--drop" | "--dup"
-        | "--jitter" | "--fault-seed") as flag) ] ->
+        | "--jitter" | "--fault-seed" | "--nprocs" | "--scaling-max") as flag) ]
+      ->
         Printf.eprintf "missing argument to %s\n" flag;
         usage ()
     | (("fig7a" | "fig7b" | "table4" | "ablation" | "batching" | "micro"
-       | "trace_overhead" | "faultsweep" | "check_overhead") as s)
+       | "trace_overhead" | "faultsweep" | "check_overhead" | "scaling") as s)
       :: rest ->
         s :: parse rest
     | other :: _ ->
@@ -666,6 +714,7 @@ let () =
       end);
   if List.mem "faultsweep" selections then faultsweep ();
   if List.mem "check_overhead" selections then check_overhead ();
+  if List.mem "scaling" selections then scaling_exp ();
   if List.mem "micro" selections then micro ();
   match !json_path with
   | Some path -> write_json path ~total_wall:(Unix.gettimeofday () -. t0)

@@ -10,6 +10,8 @@ open Cmdliner
 
 let run_app app backend nprocs protocol steps scale verbose trace dump_stats
     faults batch =
+  if nprocs < 2 then
+    invalid_arg "ace_demo: --nprocs must be at least 2 (SPMD needs a peer)";
   let module D = Ace_harness.Driver in
   let factor = scale in
   let batch = if batch then Some true else None in
@@ -173,7 +175,10 @@ let backend_arg =
     & info [ "backend" ] ~docv:"SYS" ~doc:"Runtime system: ace or crl.")
 
 let procs_arg =
-  Arg.(value & opt int 16 & info [ "procs"; "p" ] ~doc:"Simulated processors.")
+  Arg.(
+    value & opt int 16
+    & info [ "nprocs"; "procs"; "p" ]
+        ~doc:"Simulated processors (at least 2).")
 
 let protocol_arg =
   Arg.(

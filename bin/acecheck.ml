@@ -21,6 +21,8 @@ let usage () =
   --fuzz N         programs to generate (default 200)
   --schedules K    schedule tie-breaks per program (default 32)
   --seed S         fuzz seed (default 42)
+  --nprocs N       pin the simulated machine size (default: random 2..4);
+                   larger sizes exercise the directory's bitset mode
   --protocols CSV  protocols to test (default: all registered + CRL)
   --no-faults      drop the lossy-network cells from the grid
   --no-batch       drop the bulk-transfer batching cells from the grid
@@ -34,6 +36,7 @@ type opts = {
   mutable fuzz : int;
   mutable schedules : int;
   mutable seed : int;
+  mutable nprocs : int option;
   mutable protocols : string list option;
   mutable faults : bool;
   mutable batch : bool;
@@ -48,6 +51,7 @@ let parse_args () =
       fuzz = 200;
       schedules = 32;
       seed = 42;
+      nprocs = None;
       protocols = None;
       faults = true;
       batch = true;
@@ -69,6 +73,11 @@ let parse_args () =
         go rest
     | "--seed" :: v :: rest ->
         o.seed <- int_arg v;
+        go rest
+    | "--nprocs" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 2 -> o.nprocs <- Some n
+        | _ -> usage ());
         go rest
     | "--protocols" :: v :: rest ->
         o.protocols <- Some (String.split_on_char ',' v);
@@ -118,8 +127,8 @@ let run_fuzz o ~protocols ~label ~expect_failure =
   let fault_specs = if o.faults then default_fault_specs else [] in
   let batch_modes = if o.batch then [ false; true ] else [ false ] in
   let report =
-    Runner.fuzz ?protocols ~seed:o.seed ~count:o.fuzz ~schedules:o.schedules
-      ~fault_specs ~batch_modes
+    Runner.fuzz ?protocols ?nprocs:o.nprocs ~seed:o.seed ~count:o.fuzz
+      ~schedules:o.schedules ~fault_specs ~batch_modes
       ~log:(fun m -> Printf.printf "[%s] %s\n%!" label m)
       ()
   in

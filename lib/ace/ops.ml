@@ -51,7 +51,7 @@ let alloc (ctx : ctx) ~space ~len =
    cheap cached lookup the paper credits for its edge over CRL. *)
 let map (ctx : ctx) r =
   let meta = Store.get ctx.Protocol.rt.Protocol.store r in
-  let _, existed = Store.ensure_copy meta ~node:(me ctx) in
+  let existed = Store.map_note meta ~node:(me ctx) in
   let c = cost ctx in
   charge ctx (if existed then c.Cost_model.map_hit else c.Cost_model.map_miss);
   meta
@@ -61,7 +61,12 @@ let unmap (ctx : ctx) (_ : h) = charge ctx (cost ctx).Cost_model.unmap
 let data (ctx : ctx) (h : h) =
   match Store.copy_of h ~node:(me ctx) with
   | Some c -> c.Store.cdata
-  | None -> invalid_arg "Ops.data: region not mapped on this node"
+  | None ->
+      (* Mapped but never accessed: materialize the (zeroed, Invalid) cache
+         entry mapping used to create eagerly. Host-side only — no cost. *)
+      if Store.is_mapped h ~node:(me ctx) then
+        (Store.ensure_copy_c h ~node:(me ctx)).Store.cdata
+      else invalid_arg "Ops.data: region not mapped on this node"
 
 (* The dispatcher charges only the space-indirection cost; each protocol
    handler charges its own processing (so a null handler really is nearly

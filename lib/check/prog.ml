@@ -337,13 +337,20 @@ let gen_generic_epoch ~nprocs ~nregions st =
   in
   { ops; flush = Gen.int_bound 4 st = 0 }
 
-let generate ?shape () st =
+let generate ?shape ?nprocs () st =
   let shape =
     match shape with
     | Some s -> s
     | None -> shapes.(Gen.int_bound (Array.length shapes - 1) st)
   in
-  let nprocs = 2 + Gen.int_bound 2 st in
+  (* Default: tiny machines, where schedule interleavings are densest.
+     [?nprocs] pins the machine size instead — the scaling axis, which
+     exercises the directory's bitset mode and the lazy per-link tables. *)
+  let nprocs =
+    match nprocs with
+    | Some n -> if n < 2 then invalid_arg "Prog.generate: nprocs < 2" else n
+    | None -> 2 + Gen.int_bound 2 st
+  in
   let nregions = 1 + Gen.int_bound 2 st in
   let rlen = 1 + Gen.int_bound 2 st in
   let homes = Array.init nregions (fun _ -> Gen.int_bound (nprocs - 1) st) in

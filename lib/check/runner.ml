@@ -217,13 +217,13 @@ type report = {
 
 (* The fuzz loop: generate [count] programs from [seed], check each over
    the grid, and shrink the first failure. Deterministic per seed. *)
-let fuzz ?protocols ?shape ~seed ~count ~schedules ~fault_specs ~batch_modes
-    ?(log = fun _ -> ()) () : report =
+let fuzz ?protocols ?shape ?nprocs ~seed ~count ~schedules ~fault_specs
+    ~batch_modes ?(log = fun _ -> ()) () : report =
   let st = Random.State.make [| seed |] in
   let rec go i =
     if i >= count then { programs = i; counterexample = None }
     else begin
-      let p = Prog.generate ?shape () st in
+      let p = Prog.generate ?shape ?nprocs () st in
       match check_prog ?protocols ~schedules ~fault_specs ~batch_modes p with
       | None ->
           if (i + 1) mod 25 = 0 then

@@ -74,7 +74,7 @@ let alloc ctx ~space:_ ~len =
 (* rgn_map: a region-table hash lookup on every call. *)
 let map ctx r =
   let meta = Store.get ctx.sys.store r in
-  let _, existed = Store.ensure_copy meta ~node:(me ctx) in
+  let existed = Store.map_note meta ~node:(me ctx) in
   let c = ctx.sys.cost in
   charge ctx (if existed then c.Cost_model.map_hit else c.Cost_model.map_miss);
   meta
@@ -84,7 +84,12 @@ let unmap ctx (_ : h) = charge ctx ctx.sys.cost.Cost_model.unmap
 let data ctx (h : h) =
   match Store.copy_of h ~node:(me ctx) with
   | Some c -> c.Store.cdata
-  | None -> invalid_arg "Crl.data: region not mapped on this node"
+  | None ->
+      (* Mapped but never accessed: materialize the (zeroed, Invalid) cache
+         entry mapping used to create eagerly. Host-side only — no cost. *)
+      if Store.is_mapped h ~node:(me ctx) then
+        (Store.ensure_copy_c h ~node:(me ctx)).Store.cdata
+      else invalid_arg "Crl.data: region not mapped on this node"
 
 (* Wrap a coherence call with the per-node call counter and — when a tracer
    is attached — a span on the caller's row (CRL regions have no space, so

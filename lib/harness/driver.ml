@@ -10,6 +10,19 @@
 module Machine = Ace_engine.Machine
 module Trace = Ace_engine.Trace
 module Faults = Ace_net.Faults
+module Stats = Ace_engine.Stats
+module Store = Ace_region.Store
+
+(* End-of-run directory footprint, recorded into the machine's counters so
+   stats probes (and the scaling experiment) can read it alongside the
+   net.* families. Both the sharer sets and the copy tables only grow over
+   a region's lifetime, so these end-of-run values are the run's peak. *)
+let sid_dir_words = Stats.intern "region.dir_words"
+let sid_regions = Stats.intern "region.regions"
+
+let record_dir_stats stats store =
+  Stats.add_id stats sid_dir_words (float_of_int (Store.dir_words store));
+  Stats.add_id stats sid_regions (float_of_int (Store.count store))
 
 (* A disabled spec (all knobs zero) attaches nothing, keeping the
    zero-overhead faultless path and its bit-identical output. *)
@@ -79,6 +92,7 @@ let run_crl (type cfg) ?faults ?batch ?trace ?stats ?policy
             if Ace_crl.Crl.me ctx = 0 then result := r);
         { seconds = Ace_crl.Crl.time_seconds sys; result = !result })
   in
+  record_dir_stats (Machine.stats machine) (Ace_crl.Crl.store sys);
   Option.iter (fun f -> f (Machine.stats machine)) stats;
   out
 
@@ -109,6 +123,7 @@ let run_ace (type cfg) ?faults ?batch ?trace ?stats ?policy
             if Ace_runtime.Ops.me ctx = 0 then result := r);
         { seconds = Ace_runtime.Runtime.time_seconds rt; result = !result })
   in
+  record_dir_stats (Machine.stats machine) (Ace_runtime.Runtime.store rt);
   Option.iter (fun f -> f (Machine.stats machine)) stats;
   out
 

@@ -523,6 +523,143 @@ let print_batch_rows rows =
         (if r.br_results_agree then "yes" else "NO"))
     rows
 
+(* {2 Weak scaling past the CM-5}
+
+   The paper stops at the CM-5's 32 processors; this experiment rides the
+   compact directory representation up to 1024. EM3D and Barnes-Hut are
+   weak-scaled (problem size proportional to nprocs) and run under both the
+   invalidation protocol (SC) and their update protocols — the
+   invalidation-vs-update crossover as the consumer set grows is the
+   headline curve. BSC runs at a fixed size as a strong-scaling control.
+   Every cell also reports the end-of-run (= peak: the structures only
+   grow) words of directory state, which is how the sublinear-memory claim
+   is measured.
+
+   Sizes are deliberately lean — EM3D keeps 8 graph nodes per side per
+   processor and Barnes-Hut 2 bodies per processor — because a 1024-node
+   Barnes-Hut step genuinely replicates every body everywhere: the
+   simulation's live state is O(bodies × nprocs) no matter how compact the
+   directory is. *)
+
+type scaling_row = {
+  sc_bench : string; (* "EM3D" | "Barnes-Hut" | "BSC" *)
+  sc_proto : string; (* "inval" | "update" *)
+  sc_nprocs : int;
+  sc_seconds : float; (* simulated, total for the cell's run *)
+  sc_messages : float; (* physical messages *)
+  sc_dir_words : float; (* peak live words of directory state *)
+  sc_regions : float; (* regions allocated *)
+  sc_wall : float; (* host seconds for the cell *)
+}
+
+(* Directory words per region, the sublinearity metric. *)
+let scaling_words_per_region r =
+  if r.sc_regions > 0. then r.sc_dir_words /. r.sc_regions else 0.
+
+let default_scaling_nprocs = [ 32; 64; 128; 256; 512; 1024 ]
+
+let scaling ?jobs ?(nprocs_list = default_scaling_nprocs) () =
+  List.iter
+    (fun n -> if n < 2 then invalid_arg "Experiments.scaling: nprocs < 2")
+    nprocs_list;
+  let em3d_cfg nprocs proto =
+    {
+      Em3d.default with
+      Em3d.n_nodes = 8 * nprocs;
+      steps = 2;
+      protocol = proto;
+    }
+  in
+  let bh_cfg nprocs proto =
+    {
+      Barnes_hut.default with
+      Barnes_hut.n_bodies = 2 * nprocs;
+      steps = 1;
+      protocol = proto;
+    }
+  in
+  let cells =
+    List.concat_map
+      (fun nprocs ->
+        let cell bench proto run =
+          Pool.timed (fun () ->
+              let msgs = ref 0. and words = ref 0. and regions = ref 0. in
+              let out =
+                run ~stats:(fun st ->
+                    msgs := Stats.get st "net.messages";
+                    words := Stats.get st "region.dir_words";
+                    regions := Stats.get st "region.regions")
+              in
+              {
+                sc_bench = bench;
+                sc_proto = proto;
+                sc_nprocs = nprocs;
+                sc_seconds = out.Driver.seconds;
+                sc_messages = !msgs;
+                sc_dir_words = !words;
+                sc_regions = !regions;
+                sc_wall = 0.;
+              })
+        in
+        [
+          cell "EM3D" "inval" (fun ~stats ->
+              Driver.run_ace ~stats ~nprocs (module Em3d)
+                (em3d_cfg nprocs None));
+          cell "EM3D" "update" (fun ~stats ->
+              Driver.run_ace ~stats ~nprocs (module Em3d)
+                (em3d_cfg nprocs (Some "STATIC_UPDATE")));
+          cell "Barnes-Hut" "inval" (fun ~stats ->
+              Driver.run_ace ~stats ~nprocs (module Barnes_hut)
+                (bh_cfg nprocs None));
+          cell "Barnes-Hut" "update" (fun ~stats ->
+              Driver.run_ace ~stats ~nprocs (module Barnes_hut)
+                (bh_cfg nprocs (Some "DYN_UPDATE")));
+          cell "BSC" "inval" (fun ~stats ->
+              Driver.run_ace ~stats ~nprocs (module Cholesky)
+                (bsc_cfg default_scale));
+        ])
+      nprocs_list
+  in
+  let out = Pool.run_all ?jobs (Array.of_list cells) in
+  Array.to_list (Array.map (fun (r, wall) -> { r with sc_wall = wall }) out)
+
+let print_scaling_rows rows =
+  Printf.printf "%-12s %-7s %7s %12s %12s %12s %9s %10s\n" "benchmark"
+    "proto" "nprocs" "sim s" "messages" "dir words" "regions" "words/rgn";
+  Printf.printf "%s\n" (String.make 92 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %-7s %7d %12.6f %12.0f %12.0f %9.0f %10.2f\n"
+        r.sc_bench r.sc_proto r.sc_nprocs r.sc_seconds r.sc_messages
+        r.sc_dir_words r.sc_regions
+        (scaling_words_per_region r))
+    rows;
+  (* The headline: simulated-time ratio of update over invalidation per
+     machine size — below 1.0 the update protocol wins. *)
+  Printf.printf "\n%-12s %7s %14s %14s %8s\n" "crossover" "nprocs" "inval s"
+    "update s" "ratio";
+  Printf.printf "%s\n" (String.make 60 '-');
+  List.iter
+    (fun bench ->
+      List.iter
+        (fun r ->
+          if r.sc_bench = bench && r.sc_proto = "inval" then
+            match
+              List.find_opt
+                (fun u ->
+                  u.sc_bench = bench && u.sc_proto = "update"
+                  && u.sc_nprocs = r.sc_nprocs)
+                rows
+            with
+            | Some u ->
+                Printf.printf "%-12s %7d %14.6f %14.6f %8.3f\n" bench
+                  r.sc_nprocs r.sc_seconds u.sc_seconds
+                  (if r.sc_seconds > 0. then u.sc_seconds /. r.sc_seconds
+                   else nan)
+            | None -> ())
+        rows)
+    [ "EM3D"; "Barnes-Hut" ]
+
 let print_fault_rows rows =
   Printf.printf "%-12s %6s %12s %8s %8s %8s %8s %8s %9s %8s\n" "benchmark"
     "drop" "sim s" "rexmit" "timeout" "dupsup" "dropped" "giveup" "piggyack"

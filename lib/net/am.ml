@@ -21,6 +21,14 @@ let hist_latency =
   Stats.hist "net.latency_cycles"
     ~limits:[| 50.; 100.; 200.; 400.; 800.; 1600.; 3200.; 6400. |]
 
+(* Per-link (src, dst) families index an nprocs² space. Up to this many
+   nodes the cells stay a dense pre-opened array — one store per message,
+   and byte-identical layout to the historical accounting at the paper's 32
+   nodes. Past it the nprocs² array would dominate the simulation's memory
+   (1024 nodes → 8 MiB per family), so cells go to Stats' sparse tables,
+   sized by the links actually exercised. *)
+let dense_links_limit = 256
+
 type t = {
   machine : Machine.t;
   cost : Cost_model.t;
@@ -37,10 +45,16 @@ type t = {
   msgs_dst : float array;
   bytes_src : float array;
   bytes_dst : float array;
-  msgs_link : float array;
+  msgs_link : float array; (* [||] above dense_links_limit: sparse cells *)
   lat_limits : float array;
   lat_counts : float array;
 }
+
+(* Bump a per-link family cell in whichever representation this machine
+   size selected (cold paths: drops, coalescing). *)
+let add_link t stats f link v =
+  if t.nprocs <= dense_links_limit then Stats.add_dim stats f link v
+  else Stats.add_dim_sparse stats f link v
 
 let create machine cost =
   let stats = Machine.stats machine in
@@ -58,7 +72,10 @@ let create machine cost =
     msgs_dst = Stats.dim_open stats fam_msgs_dst ~size:n;
     bytes_src = Stats.dim_open stats fam_bytes_src ~size:n;
     bytes_dst = Stats.dim_open stats fam_bytes_dst ~size:n;
-    msgs_link = Stats.dim_open stats fam_msgs_link ~size:(n * n);
+    msgs_link =
+      (if n <= dense_links_limit then
+         Stats.dim_open stats fam_msgs_link ~size:(n * n)
+       else [||]);
     lat_limits;
     lat_counts;
   }
@@ -84,7 +101,9 @@ let deliver t ~now ~src ~dst ~bytes ~fbytes ~extra handler =
   t.bytes_src.(src) <- t.bytes_src.(src) +. fbytes;
   t.bytes_dst.(dst) <- t.bytes_dst.(dst) +. fbytes;
   let link = (src * t.nprocs) + dst in
-  t.msgs_link.(link) <- t.msgs_link.(link) +. 1.;
+  if Array.length t.msgs_link > 0 then
+    t.msgs_link.(link) <- t.msgs_link.(link) +. 1.
+  else Stats.incr_dim_sparse stats fam_msgs_link link;
   let arrival =
     now +. Cost_model.transit t.cost ~bytes
     +. t.cost.Cost_model.am_recv_overhead +. extra
@@ -110,7 +129,7 @@ let emit t ~now ~src ~dst ~bytes handler =
       let stats = Machine.stats t.machine in
       if fate.Faults.dropped then begin
         Stats.incr_id stats sid_dropped;
-        Stats.incr_dim stats fam_drop_link ((src * t.nprocs) + dst);
+        add_link t stats fam_drop_link ((src * t.nprocs) + dst) 1.;
         match Machine.trace t.machine with
         | None -> ()
         | Some tr ->
@@ -151,23 +170,28 @@ let coalesce t ~now ~src parts =
       if q.p_dst < 0 || q.p_dst >= nprocs then
         invalid_arg "Am.send_multi: bad dst")
     parts;
-  let buckets = Array.make nprocs [] in
-  let order = ref [] in
+  (* Group by destination with a short assoc, not an nprocs-wide bucket
+     array: part lists are a few entries, machine sizes reach 1024. *)
+  let by_dst = ref [] in
   List.iter
     (fun q ->
-      if buckets.(q.p_dst) = [] then order := q.p_dst :: !order;
-      buckets.(q.p_dst) <- q :: buckets.(q.p_dst))
+      if List.mem_assoc q.p_dst !by_dst then
+        by_dst :=
+          List.map
+            (fun (d, qs) -> if d = q.p_dst then (d, q :: qs) else (d, qs))
+            !by_dst
+      else by_dst := (q.p_dst, [ q ]) :: !by_dst)
     parts;
   let stats = Machine.stats t.machine in
   if parts <> [] then Stats.incr_id stats sid_multi_sends;
   List.rev_map
-    (fun dst ->
-      let group = List.rev buckets.(dst) in
+    (fun (dst, rev_group) ->
+      let group = List.rev rev_group in
       let bytes = List.fold_left (fun a q -> a + q.p_bytes) 0 group in
       let k = List.length group in
       if k > 1 then begin
         Stats.add_id stats sid_coalesced (float_of_int (k - 1));
-        Stats.add_dim stats fam_coalesced_link
+        add_link t stats fam_coalesced_link
           ((src * nprocs) + dst)
           (float_of_int (k - 1));
         match Machine.trace t.machine with
@@ -178,7 +202,7 @@ let coalesce t ~now ~src parts =
       end;
       let handler ~time = List.iter (fun q -> q.p_handler ~time) group in
       (dst, bytes, handler))
-    !order
+    !by_dst
 
 let send_multi t ~now ~src parts =
   List.iter

@@ -69,7 +69,12 @@ type t = {
   backoff : float;
   max_retries : int;
   ack_delay : float; (* quiet-link delayed-ACK timer *)
-  chans : chan option array; (* src * nprocs + dst, created on first use *)
+  chans : (int, chan) Hashtbl.t; (* src * nprocs + dst, created on first
+                                    use — faultless runs, which bypass the
+                                    channel machinery entirely, never
+                                    materialize any; faulty runs pay for
+                                    the links actually exercised instead of
+                                    an eager nprocs² table *)
 }
 
 let default_rto = 4000.
@@ -94,7 +99,7 @@ let create ?(rto = default_rto) ?(backoff = default_backoff)
     backoff;
     max_retries;
     ack_delay;
-    chans = Array.make (n * n) None;
+    chans = Hashtbl.create 64;
   }
 
 let am t = t.am
@@ -103,7 +108,7 @@ let cost t = Am.cost t.am
 
 let channel t ~src ~dst =
   let ix = (src * t.nprocs) + dst in
-  match t.chans.(ix) with
+  match Hashtbl.find_opt t.chans ix with
   | Some ch -> ch
   | None ->
       let ch =
@@ -118,20 +123,18 @@ let channel t ~src ~dst =
           ack_timer = false;
         }
       in
-      t.chans.(ix) <- Some ch;
+      Hashtbl.add t.chans ix ch;
       ch
 
 (* The already-materialized reverse channel, if any: data we send dst-ward
    can carry the ACKs we owe for data that arrived from dst. *)
-let rev_channel t ch = t.chans.((ch.c_dst * t.nprocs) + ch.c_src)
+let rev_channel t ch =
+  Hashtbl.find_opt t.chans ((ch.c_dst * t.nprocs) + ch.c_src)
 
 (* Unacked messages across all channels (a diagnosis aid: nonzero after a
    run means senders gave up — see the deadlock report in Machine.run). *)
 let pending t =
-  Array.fold_left
-    (fun acc ch ->
-      match ch with None -> acc | Some ch -> acc + Hashtbl.length ch.inflight)
-    0 t.chans
+  Hashtbl.fold (fun _ ch acc -> acc + Hashtbl.length ch.inflight) t.chans 0
 
 (* Settle delivered ACK records at the original sender: mark each in-flight
    entry acked and drop it from the channel's table (idempotent — a record
@@ -237,7 +240,9 @@ let rec arm t ch m ~at =
         else begin
           m.attempts <- m.attempts + 1;
           Stats.incr_id stats sid_retransmits;
-          Stats.incr_dim stats fam_retrans_link
+          (if t.nprocs <= Am.dense_links_limit then Stats.incr_dim
+           else Stats.incr_dim_sparse)
+            stats fam_retrans_link
             ((ch.c_src * t.nprocs) + ch.c_dst);
           (match Machine.trace (Am.machine t.am) with
           | None -> ()

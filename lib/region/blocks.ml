@@ -155,7 +155,7 @@ let recall_owner ctx meta ~time ~downgrade k =
       (match Store.copy_of meta ~node:home with
       | Some c -> c.Store.cstate <- Store.Shared
       | None -> ());
-      d.Store.sharers.(home) <- true;
+      Dir.add d.Store.sharers home;
       k time
     in
     if o = home then begin
@@ -165,7 +165,7 @@ let recall_owner ctx meta ~time ~downgrade k =
       in
       run_or_defer c ~time (fun time ->
           c.Store.cstate <- downgrade;
-          if downgrade = Store.Invalid then d.Store.sharers.(o) <- false;
+          if downgrade = Store.Invalid then Dir.remove d.Store.sharers o;
           d.Store.owner <- -1;
           k time)
     end
@@ -179,7 +179,7 @@ let recall_owner ctx meta ~time ~downgrade k =
           run_or_defer oc ~time (fun time ->
               assert (oc.Store.cstate = Store.Exclusive);
               oc.Store.cstate <- downgrade;
-              if downgrade = Store.Invalid then d.Store.sharers.(o) <- false;
+              if downgrade = Store.Invalid then Dir.remove d.Store.sharers o;
               let snapshot = Store.snapshot meta ~src:oc.Store.cdata in
               Net.send ctx.net ~now:time ~src:o ~dst:home ~bytes:(data_bytes meta)
                 (fun ~time ->
@@ -246,7 +246,7 @@ let fetch_shared ctx meta =
     Machine.advance ctx.proc (Net.cost ctx.net).Ace_net.Cost_model.miss_overhead;
     transact ctx meta (fun ~time finish ->
         recall_owner ctx meta ~time ~downgrade:Store.Shared (fun time ->
-            meta.Store.dir.Store.sharers.(n) <- true;
+            Dir.add meta.Store.dir.Store.sharers n;
             if n = home then begin
               (* master aliased: fresh after the recall *)
               copy.Store.cstate <- Store.Shared;
@@ -286,21 +286,25 @@ let fetch_shared_batch ctx metas =
       missing;
     Stats.incr_id st sid_bulk_fetch;
     Machine.advance ctx.proc (Net.cost ctx.net).Ace_net.Cost_model.miss_overhead;
-    let buckets = Array.make (Store.nprocs ctx.store) [] in
-    let order = ref [] in
+    (* Group by home in first-appearance order without touching nprocs:
+       batches are short, so a linear assoc scan beats a per-node array. *)
+    let by_home = ref [] in
     List.iter
       (fun (meta : Store.meta) ->
         let h = meta.Store.home in
-        if buckets.(h) = [] then order := h :: !order;
-        buckets.(h) <- meta :: buckets.(h))
+        if List.mem_assoc h !by_home then
+          by_home :=
+            List.map
+              (fun (h', ms) -> if h' = h then (h', meta :: ms) else (h', ms))
+              !by_home
+        else by_home := (h, [ meta ]) :: !by_home)
       missing;
-    let homes = List.rev !order in
+    let homes = List.rev_map (fun (h, ms) -> (h, List.rev ms)) !by_home in
     let done_iv = Ivar.create () in
     let groups = ref (List.length homes) in
     let parts =
       List.map
-        (fun h ->
-          let group = List.rev buckets.(h) in
+        (fun (h, group) ->
           let total =
             List.fold_left (fun a (m : Store.meta) -> a + m.Store.len) 0 group
           in
@@ -329,7 +333,7 @@ let fetch_shared_batch ctx metas =
                     dir_enter meta ~time (fun time ->
                         recall_owner ctx meta ~time ~downgrade:Store.Shared
                           (fun time ->
-                            meta.Store.dir.Store.sharers.(n) <- true;
+                            Dir.add meta.Store.dir.Store.sharers n;
                             Store.blit_out meta ~src:meta.Store.master ~at
                               payload;
                             dir_exit meta ~time;
@@ -363,11 +367,11 @@ let fetch_exclusive ctx meta =
             let n_victims = ref 0 in
             Store.iter_sharers meta ~except:n (fun s ->
                 if s <> home then incr n_victims);
-            let invalidate_home = d.Store.sharers.(home) && home <> n in
+            let invalidate_home = (Dir.mem d.Store.sharers home) && home <> n in
             let had_valid_copy = copy.Store.cstate = Store.Shared in
             let grant time =
               d.Store.owner <- n;
-              d.Store.sharers.(n) <- true;
+              Dir.add d.Store.sharers n;
               if n = home then begin
                 copy.Store.cstate <- Store.Exclusive;
                 finish ~time
@@ -403,10 +407,10 @@ let fetch_exclusive ctx meta =
                 | Some c ->
                     run_or_defer c ~time (fun time ->
                         c.Store.cstate <- Store.Invalid;
-                        d.Store.sharers.(home) <- false;
+                        Dir.remove d.Store.sharers home;
                         acked time)
                 | None ->
-                    d.Store.sharers.(home) <- false;
+                    Dir.remove d.Store.sharers home;
                     acked time
               end;
               Store.iter_sharers meta ~except:n (fun s ->
@@ -417,7 +421,7 @@ let fetch_exclusive ctx meta =
                           (match Store.copy_of meta ~node:s with
                           | Some c -> c.Store.cstate <- Store.Invalid
                           | None -> ());
-                          d.Store.sharers.(s) <- false;
+                          Dir.remove d.Store.sharers s;
                           Net.send ctx.net ~now:time ~src:s ~dst:home
                             ~bytes:ctl_bytes (fun ~time -> acked time)
                         in
@@ -453,7 +457,7 @@ let writeback ctx meta =
               (match Store.copy_of meta ~node:home with
               | Some c -> c.Store.cstate <- Store.Shared
               | None -> ());
-              d.Store.sharers.(home) <- true;
+              Dir.add d.Store.sharers home;
               Ivar.fill reply ~time ();
               dir_exit meta ~time))
     end
@@ -469,7 +473,7 @@ let flush ctx meta =
         if copy.Store.cstate <> Store.Invalid then begin
           copy.Store.cstate <- Store.Invalid;
           transact ctx meta (fun ~time finish ->
-              meta.Store.dir.Store.sharers.(n) <- false;
+              Dir.remove meta.Store.dir.Store.sharers n;
               finish ~time)
         end
   end
@@ -524,9 +528,9 @@ let invalidate_batch ctx metas =
                           (match Store.copy_of meta ~node:home with
                           | Some c -> c.Store.cstate <- Store.Shared
                           | None -> ());
-                          d.Store.sharers.(home) <- true
+                          Dir.add d.Store.sharers home
                         end;
-                        d.Store.sharers.(n) <- false;
+                        Dir.remove d.Store.sharers n;
                         dir_exit meta ~time;
                         decr outstanding;
                         if !outstanding = 0 then Ivar.fill done_iv ~time ()))
@@ -594,7 +598,7 @@ let push_update ctx meta =
                 if c.Store.cstate = Store.Invalid then
                   c.Store.cstate <- Store.Shared
             | None -> ());
-            meta.Store.dir.Store.sharers.(home) <- true;
+            Dir.add meta.Store.dir.Store.sharers home;
             forward_to_sharers ctx meta ~time ~snapshot ~n ~all_delivered;
             dir_exit meta ~time));
   done_iv
@@ -633,7 +637,7 @@ let push_to ctx meta ~dsts =
                    if c.Store.cstate = Store.Invalid then
                      c.Store.cstate <- Store.Shared)
              end);
-            meta.Store.dir.Store.sharers.(dst) <- true;
+            Dir.add meta.Store.dir.Store.sharers dst;
             decr outstanding;
             if !outstanding = 0 then Ivar.fill done_iv ~time ()))
       remote_targets;
@@ -681,7 +685,7 @@ let push_to_batch ctx items =
                        if c.Store.cstate = Store.Invalid then
                          c.Store.cstate <- Store.Shared)
                  end);
-                meta.Store.dir.Store.sharers.(dst) <- true;
+                Dir.add meta.Store.dir.Store.sharers dst;
                 decr outstanding;
                 if !outstanding = 0 then Ivar.fill done_iv ~time ())
             :: !parts)

@@ -9,9 +9,20 @@ type copy = {
                                               until the access ends *)
 }
 
+(* Per-region cache-entry table, same two-mode idea as {!Dir}: regions with
+   a handful of cached copies (the common case) keep a short assoc list;
+   widely-replicated regions — which genuinely hold ~nprocs live copies, so
+   dense is proportional to population — overflow to a per-node array. *)
+type cmap = {
+  mutable csmall : (int * copy) list; (* authoritative while [cdense] empty *)
+  mutable cdense : copy option array;
+}
+
+let cmap_cap = 6
+
 type dir = {
   mutable owner : int;
-  sharers : bool array;
+  sharers : Dir.t;
   mutable busy : bool;
   pending : (float -> unit) Queue.t;
 }
@@ -24,7 +35,8 @@ type meta = {
   len : int;
   mutable space : int;
   master : float array;
-  copies : copy option array;
+  copies : cmap;
+  mapped : Dir.t;
   dir : dir;
   lock : hlock;
 }
@@ -52,6 +64,47 @@ let create ?stats ~nprocs () =
 
 let nprocs t = t.nprocs
 
+let cmap_find m node =
+  if Array.length m.cdense > 0 then m.cdense.(node)
+  else List.assoc_opt node m.csmall
+
+let cmap_set ~nprocs m node c =
+  if Array.length m.cdense > 0 then m.cdense.(node) <- Some c
+  else if List.mem_assoc node m.csmall then
+    m.csmall <- (node, c) :: List.remove_assoc node m.csmall
+  else if List.length m.csmall < cmap_cap then m.csmall <- (node, c) :: m.csmall
+  else begin
+    let dense = Array.make nprocs None in
+    List.iter (fun (n, c) -> dense.(n) <- Some c) m.csmall;
+    dense.(node) <- Some c;
+    m.cdense <- dense;
+    m.csmall <- []
+  end
+
+let cmap_remove m node =
+  if Array.length m.cdense > 0 then m.cdense.(node) <- None
+  else m.csmall <- List.remove_assoc node m.csmall
+
+let iter_copies meta f =
+  let m = meta.copies in
+  if Array.length m.cdense > 0 then
+    Array.iteri
+      (fun node c -> match c with Some c -> f node c | None -> ())
+      m.cdense
+  else List.iter (fun (node, c) -> f node c) m.csmall
+
+(* Heap words of per-region bookkeeping whose size used to scale with
+   nprocs: the sharer set plus the copy-table index (3 words per assoc cell
+   in small mode, one option slot per node once dense). Payload data is
+   deliberately excluded — it is the application's, not the directory's. *)
+let meta_dir_words meta =
+  let m = meta.copies in
+  let cwords =
+    if Array.length m.cdense > 0 then Array.length m.cdense
+    else 3 * List.length m.csmall
+  in
+  Dir.words meta.dir.sharers + Dir.words meta.mapped + cwords
+
 let alloc t ~home ~len ~space =
   if home < 0 || home >= t.nprocs then invalid_arg "Store.alloc: bad home";
   if len <= 0 then invalid_arg "Store.alloc: bad length";
@@ -63,20 +116,21 @@ let alloc t ~home ~len ~space =
       len;
       space;
       master;
-      copies = Array.make t.nprocs None;
+      copies = { csmall = []; cdense = [||] };
+      mapped = Dir.create ~nprocs:t.nprocs;
       dir =
         {
           owner = -1;
-          sharers = Array.make t.nprocs false;
+          sharers = Dir.create ~nprocs:t.nprocs;
           busy = false;
           pending = Queue.create ();
         };
       lock = { held_by = -1; waiting = Queue.create () };
     }
   in
-  meta.copies.(home) <-
-    Some { cdata = master; cstate = Shared; readers = 0; writers = 0; deferred = [] };
-  meta.dir.sharers.(home) <- true;
+  cmap_set ~nprocs:t.nprocs meta.copies home
+    { cdata = master; cstate = Shared; readers = 0; writers = 0; deferred = [] };
+  Dir.add meta.dir.sharers home;
   if t.n = Array.length t.regions then begin
     let regions = Array.make (max 64 (2 * t.n)) meta in
     Array.blit t.regions 0 regions 0 t.n;
@@ -101,8 +155,15 @@ let get t rid =
 let count t = t.n
 let bytes meta = 8 * meta.len
 
+let dir_words t =
+  let sum = ref 0 in
+  for i = 0 to t.n - 1 do
+    sum := !sum + meta_dir_words t.regions.(i)
+  done;
+  !sum
+
 let ensure_copy_c meta ~node =
-  match meta.copies.(node) with
+  match cmap_find meta.copies node with
   | Some c -> c
   | None ->
       let c =
@@ -114,15 +175,31 @@ let ensure_copy_c meta ~node =
           deferred = [];
         }
       in
-      meta.copies.(node) <- Some c;
+      cmap_set ~nprocs:(Dir.nprocs meta.dir.sharers) meta.copies node c;
       c
 
 let ensure_copy meta ~node =
-  match meta.copies.(node) with
+  match cmap_find meta.copies node with
   | Some c -> (c, true)
   | None -> (ensure_copy_c meta ~node, false)
 
-let copy_of meta ~node = meta.copies.(node)
+(* The region-mapping bookkeeping behind ACE_MAP/rgn_map. Mapping used to
+   materialize a zeroed Invalid copy record per (region, node) — O(nprocs)
+   heap per region for programs that map everything everywhere (EM3D,
+   Barnes-Hut). Now a map call only marks the node in a compact set; the
+   copy record appears on first actual access (Blocks' local-copy path).
+   [map_note] returns whether the node already had the region mapped or
+   cached — exactly the condition the old record-existence test computed —
+   so the map_hit/map_miss cost split is unchanged. *)
+let map_note meta ~node =
+  let existed = Dir.mem meta.mapped node || cmap_find meta.copies node <> None in
+  Dir.add meta.mapped node;
+  existed
+
+let is_mapped meta ~node =
+  Dir.mem meta.mapped node || cmap_find meta.copies node <> None
+
+let copy_of meta ~node = cmap_find meta.copies node
 
 let check_range meta ~what pos len =
   if pos < 0 || len < 0 || pos + len > meta.len then
@@ -147,42 +224,33 @@ let snapshot meta ~src =
 
 let drop_copy meta ~node =
   if node = meta.home then invalid_arg "Store.drop_copy: home aliases master";
-  match meta.copies.(node) with
-  | None -> ()
+  (* Also forget the mapping, so a later re-map pays map_miss again — the
+     cost behaviour the eager copy records gave. *)
+  match cmap_find meta.copies node with
+  | None -> Dir.remove meta.mapped node
   | Some c ->
       if c.readers > 0 || c.writers > 0 || c.deferred <> [] then
         invalid_arg "Store.drop_copy: copy has active accesses";
-      meta.copies.(node) <- None
+      cmap_remove meta.copies node;
+      Dir.remove meta.mapped node
 
-let iter_sharers meta ~except f =
-  let sh = meta.dir.sharers in
-  for node = 0 to Array.length sh - 1 do
-    if sh.(node) && node <> except then f node
-  done
+let iter_sharers meta ~except f = Dir.iter meta.dir.sharers ~except f
 
 let sharers meta ~except =
-  let out = ref [] in
-  for node = Array.length meta.dir.sharers - 1 downto 0 do
-    if meta.dir.sharers.(node) && node <> except then out := node :: !out
-  done;
-  !out
+  List.rev (Dir.fold meta.dir.sharers ~except (fun acc node -> node :: acc) [])
 
 let check_invariants meta =
   let d = meta.dir in
   if d.owner >= 0 then begin
     (* The owner must be a marked sharer and be the only Exclusive copy. *)
-    assert (d.sharers.(d.owner));
-    Array.iteri
-      (fun node c ->
-        match c with
-        | Some { cstate = Exclusive; _ } -> assert (node = d.owner)
-        | Some _ | None -> ())
-      meta.copies
+    assert (Dir.mem d.sharers d.owner);
+    iter_copies meta (fun node c ->
+        match c.cstate with
+        | Exclusive -> assert (node = d.owner)
+        | Shared | Invalid -> ())
   end
   else
-    Array.iter
-      (fun c ->
-        match c with
-        | Some { cstate = Exclusive; _ } -> assert false
-        | Some _ | None -> ())
-      meta.copies
+    iter_copies meta (fun _ c ->
+        match c.cstate with
+        | Exclusive -> assert false
+        | Shared | Invalid -> ())

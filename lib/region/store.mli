@@ -21,7 +21,9 @@ type copy = {
 
 type dir = {
   mutable owner : int;             (** node holding a modified copy; -1 = none *)
-  sharers : bool array;            (** nodes with a (possibly) valid copy *)
+  sharers : Dir.t;                 (** nodes with a (possibly) valid copy —
+                                       compact two-mode set, memory
+                                       proportional to the sharer count *)
   mutable busy : bool;             (** home transaction in progress *)
   pending : (float -> unit) Queue.t; (** queued transactions, by arrival *)
 }
@@ -31,13 +33,23 @@ type hlock = {
   waiting : (int * (float -> unit)) Queue.t;
 }
 
+(** Per-region cache-entry table: a short assoc list while few nodes hold
+    copies, overflowing to a dense per-node array for widely-replicated
+    regions (where dense is proportional to the live population anyway).
+    Access it through {!ensure_copy}/{!copy_of}/{!drop_copy}. *)
+type cmap
+
 type meta = {
   rid : int;
   home : int;
   len : int;                       (** payload length, floats *)
   mutable space : int;             (** owning space id; -1 = none (CRL) *)
   master : float array;            (** authoritative copy at home *)
-  copies : copy option array;      (** per-node cache entries *)
+  copies : cmap;                   (** per-node cache entries *)
+  mapped : Dir.t;                  (** nodes that mapped the region but may
+                                       not hold a cache entry yet — a map
+                                       call costs one compact-set bit, not
+                                       a zeroed copy record *)
   dir : dir;
   lock : hlock;
 }
@@ -60,9 +72,28 @@ val get : t -> int -> meta
 val count : t -> int
 val bytes : meta -> int
 
+(** Total heap words of per-region directory bookkeeping (sharer sets plus
+    copy-table indexes, payload excluded) across all live regions. Both
+    structures only grow over a region's lifetime, so reading this at the
+    end of a run yields the run's peak. *)
+val dir_words : t -> int
+
+(** [iter_copies meta f] applies [f node copy] to every live cache entry
+    (order unspecified — host-side accounting and assertions only). *)
+val iter_copies : meta -> (int -> copy -> unit) -> unit
+
 (** The node's cache entry, creating an [Invalid] zeroed one if absent.
     Returns whether it already existed (a "map hit"). *)
 val ensure_copy : meta -> node:int -> copy * bool
+
+(** The map-call bookkeeping: marks the node in the compact mapped set and
+    returns whether the node already had the region mapped or cached — the
+    map_hit/map_miss split. Unlike {!ensure_copy}, no cache entry is
+    allocated; it appears on first actual access. *)
+val map_note : meta -> node:int -> bool
+
+(** Whether the node has the region mapped (or holds a cache entry). *)
+val is_mapped : meta -> node:int -> bool
 
 (** [ensure_copy] without the existence flag (and without allocating the
     pair) — the variant coherence hot paths use. *)

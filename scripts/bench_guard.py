@@ -8,9 +8,19 @@ per-experiment row diff so the offending cell is visible at a glance.
 Simulated times are deterministic, so any sim_s difference is reported as
 a warning regardless of the wall verdict.
 
+When the current report contains `scaling` rows (bench/main.exe scaling),
+a directory-memory guard also runs: for the sparsely-shared benchmarks the
+words-per-region slope across machine sizes must stay far below one word
+per processor — the compact two-mode directory's whole point. A slope at
+or above SCALING_SLOPE_LIMIT means the representation has regressed to
+O(nprocs) state per region, and the guard fails. Barnes-Hut is exempt:
+every node genuinely caches every body, so its per-region state is
+population-proportional by construction.
+
 Usage:
     bench_guard.py CURRENT.json BASELINE.json [--tolerance 0.15]
                    [--report OUT.json]
+    bench_guard.py SCALING.json --scaling-only [--report OUT.json]
 """
 
 import argparse
@@ -30,16 +40,82 @@ def rows_by_key(report):
     }
 
 
+# Benchmarks whose regions are sparsely shared, where directory memory per
+# region must not scale with the machine. The old bool-array + eager copy
+# records cost >= 2 words per processor per region; the compact form's
+# worst residual slope is the two mapped/sharer bitsets at 2/62.
+SCALING_SPARSE_BENCHES = {"EM3D", "BSC"}
+SCALING_SLOPE_LIMIT = 0.25  # words per region per added processor
+
+
+def scaling_guard(report):
+    """Check words-per-region growth across machine sizes; return failures."""
+    series = {}
+    for r in report.get("rows", []):
+        if r.get("experiment") != "scaling":
+            continue
+        name = r.get("name", "")          # e.g. "EM3D-inval@64"
+        bench_proto = name.rsplit("@", 1)[0]
+        sims = r.get("sim_s") or {}
+        nprocs = sims.get("nprocs")
+        wpr = sims.get("words_per_region")
+        if nprocs and wpr is not None:
+            series.setdefault(bench_proto, []).append((int(nprocs), wpr))
+
+    checks = []
+    for bench_proto, points in sorted(series.items()):
+        bench = bench_proto.split("-", 1)[0]
+        if bench not in SCALING_SPARSE_BENCHES or len(points) < 2:
+            continue
+        points.sort()
+        (n0, w0), (n1, w1) = points[0], points[-1]
+        slope = (w1 - w0) / (n1 - n0)
+        checks.append({
+            "series": bench_proto,
+            "nprocs": [n0, n1],
+            "words_per_region": [w0, w1],
+            "slope": slope,
+            "ok": slope < SCALING_SLOPE_LIMIT,
+        })
+    return checks
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current")
-    ap.add_argument("baseline")
+    ap.add_argument("baseline", nargs="?")
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed fractional wall-clock regression")
+    ap.add_argument("--scaling-only", action="store_true",
+                    help="skip the wall-clock comparison; only run the "
+                         "directory-memory guard on CURRENT's scaling rows")
     ap.add_argument("--report", help="write a JSON verdict artifact here")
     args = ap.parse_args()
 
     cur = load(args.current)
+
+    scaling_checks = scaling_guard(cur)
+    scaling_ok = all(c["ok"] for c in scaling_checks)
+    for c in scaling_checks:
+        print(f"bench_guard: scaling {c['series']}: "
+              f"{c['words_per_region'][0]:.2f} -> "
+              f"{c['words_per_region'][1]:.2f} words/region over "
+              f"{c['nprocs'][0]} -> {c['nprocs'][1]} procs "
+              f"(slope {c['slope']:.4f}, limit {SCALING_SLOPE_LIMIT}, "
+              f"{'OK' if c['ok'] else 'O(nprocs) REGRESSION'})")
+
+    if args.scaling_only:
+        if not scaling_checks:
+            sys.exit("bench_guard: --scaling-only but no scaling rows "
+                     "in current report")
+        if args.report:
+            with open(args.report, "w") as f:
+                json.dump({"ok": scaling_ok, "scaling": scaling_checks},
+                          f, indent=2)
+        sys.exit(0 if scaling_ok else 1)
+
+    if args.baseline is None:
+        ap.error("baseline report required unless --scaling-only")
     base = load(args.baseline)
 
     cur_total = cur.get("total_wall_s")
@@ -80,7 +156,9 @@ def main():
                     f"{exp}/{name}: sim_s[{sim_key}] {bv!r} -> {cv!r}")
 
     verdict = {
-        "ok": ok,
+        "ok": ok and scaling_ok,
+        "wall_ok": ok,
+        "scaling": scaling_checks,
         "tolerance": args.tolerance,
         "baseline_total_wall_s": base_total,
         "current_total_wall_s": cur_total,
@@ -110,6 +188,8 @@ def main():
                   f"{d['current_wall_s']:>9.3f} "
                   f"{ratio:>7.2f}" if ratio is not None else
                   f"  {label:<40} (no baseline wall)")
+        sys.exit(1)
+    if not scaling_ok:
         sys.exit(1)
 
 

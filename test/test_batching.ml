@@ -8,6 +8,7 @@ module Machine = Ace_engine.Machine
 module Ivar = Ace_engine.Ivar
 module Stats = Ace_engine.Stats
 module Store = Ace_region.Store
+module Dir = Ace_region.Dir
 module Blocks = Ace_region.Blocks
 module Am = Ace_net.Am
 module Reliable = Ace_net.Reliable
@@ -196,7 +197,7 @@ let invalidate_batch_writes_back () =
       if p.Machine.id = 0 then begin
         checkf "dirty copy written back" 11. meta.Store.master.(0);
         checki "ownership returned" (-1) meta.Store.dir.Store.owner;
-        check "sharer bit cleared" false meta.Store.dir.Store.sharers.(1);
+        check "sharer bit cleared" false (Dir.mem meta.Store.dir.Store.sharers 1);
         check "copy dropped" true (Store.copy_of meta ~node:1 = None)
       end);
   checkf "batch counted" 1. (Stats.get (Machine.stats w.m) "coh.inval_batch")
@@ -273,7 +274,7 @@ let fetch_shared_batch_bulk_grants () =
         checkf "m2 data" 5. (v m2 0);
         checkf "m3 data" 6. (v m3 2);
         check "sharer bits set" true
-          (m1.Store.dir.Store.sharers.(2) && m3.Store.dir.Store.sharers.(2))
+          ((Dir.mem m1.Store.dir.Store.sharers 2) && (Dir.mem m3.Store.dir.Store.sharers 2))
       end);
   let st = Machine.stats w.m in
   checkf "one bulk fetch" 1. (Stats.get st "coh.bulk_fetch");

@@ -6,6 +6,7 @@ module Machine = Ace_engine.Machine
 module Ivar = Ace_engine.Ivar
 module Rng = Ace_engine.Det_rng
 module Store = Ace_region.Store
+module Dir = Ace_region.Dir
 module Blocks = Ace_region.Blocks
 module Am = Ace_net.Am
 module Cost_model = Ace_net.Cost_model
@@ -64,7 +65,7 @@ let store_bad_args () =
 let store_sharers () =
   let s = Store.create ~nprocs:4 () in
   let meta = Store.alloc s ~home:0 ~len:1 ~space:0 in
-  meta.Store.dir.Store.sharers.(2) <- true;
+  Dir.add meta.Store.dir.Store.sharers 2;
   Alcotest.(check (list int)) "sharers" [ 0; 2 ] (Store.sharers meta ~except:3);
   Alcotest.(check (list int)) "except" [ 2 ] (Store.sharers meta ~except:0)
 
@@ -87,7 +88,7 @@ let fetch_shared_moves_data () =
         assert (c.Store.cstate = Store.Shared)
       end);
   Store.check_invariants meta;
-  check "node 1 registered" true meta.Store.dir.Store.sharers.(1)
+  check "node 1 registered" true (Dir.mem meta.Store.dir.Store.sharers 1)
 
 let fetch_exclusive_invalidates () =
   let w = make_world ~nprocs:3 in
@@ -149,7 +150,7 @@ let writeback_and_flush () =
         Blocks.flush ctx meta;
         assert (meta.Store.master.(0) = 5.);
         assert ((Option.get (Store.copy_of meta ~node:1)).Store.cstate = Store.Invalid);
-        assert (not meta.Store.dir.Store.sharers.(1))
+        assert (not (Dir.mem meta.Store.dir.Store.sharers 1))
       end);
   Store.check_invariants meta
 
