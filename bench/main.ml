@@ -49,6 +49,7 @@ let jobs : int option ref = ref None
 let json_path : string option ref = ref None
 let trace_path : string option ref = ref None
 let trace_dir : string option ref = ref None
+let critpath_file : string option ref = ref None
 let drop = ref 0.
 let dup = ref 0.
 let jitter = ref 0.
@@ -521,6 +522,153 @@ let check_overhead () =
     exit 1
   end
 
+(* ---- critical-path profiles (critpath selection) ----
+
+   Every benchmark under invalidation and under its application-specific
+   protocol, each run with the causal-DAG recorder attached; rows report
+   the profile shape (dominant op class, what-if speedups). With
+   --trace-dir D each cell's DAG is also written to
+   D/critpath-BENCH-PROTO.json for acetrace. *)
+
+let critpath_exp () =
+  line ();
+  Printf.printf
+    "Critical-path profiles: invalidation vs custom protocols (%d procs)\n"
+    !scale.E.nprocs;
+  line ();
+  let rows = E.critpath ~scale:!scale ?jobs:!jobs ?dir:!trace_dir () in
+  E.print_critpath_rows rows;
+  List.iter
+    (fun r ->
+      record ~experiment:"critpath"
+        ~name:(Printf.sprintf "%s-%s" r.E.cp_bench r.E.cp_proto)
+        ~wall:r.E.cp_wall
+        ([
+           ("seconds", r.E.cp_seconds);
+           ("cycles", r.E.cp_cycles);
+           ("dag_nodes", float_of_int r.E.cp_nodes);
+           ("path_steps", float_of_int r.E.cp_path);
+           ("whatif_net_half", r.E.cp_whatif_net);
+           ("whatif_send_half", r.E.cp_whatif_send);
+         ]
+        @ List.map (fun (k, c) -> ("blame_" ^ k, c)) r.E.cp_blame))
+    rows;
+  print_newline ()
+
+(* ---- critical-path recording overhead (critpath_overhead selection,
+        part of the default grid) ----
+
+   Run EM3D on the Ace runtime with and without a causal-DAG recorder
+   attached. Recording charges no simulated cycles, so the simulated
+   seconds must be bit-identical; the rows report the wall-clock cost of
+   recording (the budget is <5%, guarded in CI). The recorded DAG is then
+   validated in place: the critical path's blame must total the run's
+   simulated time, and the what-if prediction for halving the AM send
+   overhead is checked against an actual re-run under the halved cost
+   model (within 10%). With --critpath FILE the DAG is also written out
+   for acetrace critpath. *)
+
+let critpath_overhead () =
+  line ();
+  Printf.printf "Critical-path recording overhead (EM3D on Ace, %d procs)\n"
+    !scale.E.nprocs;
+  line ();
+  let nprocs = !scale.E.nprocs in
+  let cfg = E.em3d_cfg !scale 3 in
+  let module D = Ace_harness.Driver in
+  let module Crit = Ace_engine.Crit in
+  let module Critpath = Ace_obs.Critpath in
+  let module Cm = Ace_net.Cost_model in
+  let run ?crit ?cost () =
+    let t0 = Unix.gettimeofday () in
+    let o = D.run_ace ?crit ?cost ~nprocs (module Ace_apps.Em3d) cfg in
+    (o, Unix.gettimeofday () -. t0)
+  in
+  (* Wall-clock noise on a sub-second run swamps a 5% budget, so each
+     variant runs [reps] times and keeps its fastest wall (the simulated
+     output is deterministic, so the runs are interchangeable). *)
+  let reps = 3 in
+  let best f =
+    let out = ref None and w = ref infinity in
+    for _ = 1 to reps do
+      let o, wall = f () in
+      if wall < !w then w := wall;
+      out := Some o
+    done;
+    (Option.get !out, !w)
+  in
+  let off, wall_off = best (fun () -> run ()) in
+  let (cr, on_), wall_on =
+    best (fun () ->
+        let c = Crit.create ~nprocs () in
+        let o, w = run ~crit:c () in
+        ((c, o), w))
+  in
+  let identical = off.D.seconds = on_.D.seconds in
+  (match !critpath_file with
+  | None -> ()
+  | Some path ->
+      Crit.write_file cr path;
+      Printf.printf "wrote %s\n" path);
+  let dag = Critpath.of_crit cr in
+  let bp = Critpath.blamed_path dag in
+  let blame_s = Critpath.total_blame bp /. Cm.cm5_ace.Cm.cycles_per_sec in
+  let blame_err =
+    if on_.D.seconds > 0. then
+      abs_float (blame_s -. on_.D.seconds) /. on_.D.seconds
+    else abs_float blame_s
+  in
+  let half =
+    { Cm.cm5_ace with Cm.am_send_overhead = Cm.cm5_ace.Cm.am_send_overhead /. 2. }
+  in
+  let actual_half, wall_half = best (fun () -> run ~cost:half ()) in
+  let _, pred_end, _ = Critpath.predict dag [ E.whatif_send_half ] in
+  let pred_s = pred_end /. Cm.cm5_ace.Cm.cycles_per_sec in
+  let whatif_err =
+    if actual_half.D.seconds > 0. then
+      abs_float (pred_s -. actual_half.D.seconds) /. actual_half.D.seconds
+    else abs_float pred_s
+  in
+  Printf.printf
+    "recorder off: %.3fs wall, on: %.3fs wall (%+.1f%%); %d dag nodes; \
+     simulated seconds identical: %b\n"
+    wall_off wall_on
+    (100. *. ((wall_on /. wall_off) -. 1.))
+    (Critpath.n_nodes dag) identical;
+  Printf.printf
+    "path blame %.6fs vs simulated %.6fs; halving am_send_overhead: \
+     predicted %.6fs vs actual %.6fs (error %.2f%%)\n\n"
+    blame_s on_.D.seconds pred_s actual_half.D.seconds (100. *. whatif_err);
+  record ~experiment:"critpath_overhead" ~name:"em3d-off" ~wall:wall_off
+    [ ("seconds", off.D.seconds) ];
+  record ~experiment:"critpath_overhead" ~name:"em3d-on" ~wall:wall_on
+    [
+      ("seconds", on_.D.seconds);
+      ("dag_nodes", float_of_int (Critpath.n_nodes dag));
+      ("blame_total_s", blame_s);
+      ("predicted_half_send_s", pred_s);
+    ];
+  record ~experiment:"critpath_overhead" ~name:"em3d-half-send" ~wall:wall_half
+    [ ("seconds", actual_half.D.seconds) ];
+  if not identical then begin
+    Printf.eprintf
+      "ERROR: critpath recording changed simulated time (%.17g vs %.17g)\n"
+      off.D.seconds on_.D.seconds;
+    exit 1
+  end;
+  if blame_err > 1e-6 then begin
+    Printf.eprintf
+      "ERROR: critical-path blame %.17g s does not total simulated time %.17g s\n"
+      blame_s on_.D.seconds;
+    exit 1
+  end;
+  if whatif_err > 0.10 then begin
+    Printf.eprintf
+      "ERROR: what-if prediction off by %.1f%% (predicted %.17g, actual %.17g)\n"
+      (100. *. whatif_err) pred_s actual_half.D.seconds;
+    exit 1
+  end
+
 (* ---- bechamel microbenchmarks (wall-clock cost of the simulator) ---- *)
 
 let micro () =
@@ -590,10 +738,11 @@ let micro () =
 let usage () =
   Printf.eprintf
     "usage: main [fig7a] [fig7b] [table4] [ablation] [batching] [micro] \
-     [trace_overhead] [faultsweep] [check_overhead] [scaling] [--small] \
+     [trace_overhead] [faultsweep] [check_overhead] [scaling] [critpath] \
+     [critpath_overhead] [--small] \
      [--nprocs N] [--scaling-max N] [--jobs N] [--json FILE] \
-     [--trace FILE] [--trace-dir DIR] [--batch] [--drop P] [--dup P] \
-     [--jitter C] [--fault-seed N]\n";
+     [--trace FILE] [--trace-dir DIR] [--critpath FILE] [--batch] \
+     [--drop P] [--dup P] [--jitter C] [--fault-seed N]\n";
   exit 2
 
 let () =
@@ -640,6 +789,9 @@ let () =
     | "--trace-dir" :: dir :: rest ->
         trace_dir := Some dir;
         parse rest
+    | "--critpath" :: path :: rest ->
+        critpath_file := Some path;
+        parse rest
     | "--batch" :: rest ->
         batch := true;
         parse rest
@@ -664,13 +816,15 @@ let () =
         | None ->
             Printf.eprintf "--fault-seed expects an integer, got %s\n" v;
             exit 2)
-    | [ (("--jobs" | "--json" | "--trace" | "--trace-dir" | "--drop" | "--dup"
-        | "--jitter" | "--fault-seed" | "--nprocs" | "--scaling-max") as flag) ]
+    | [ (("--jobs" | "--json" | "--trace" | "--trace-dir" | "--critpath"
+        | "--drop" | "--dup" | "--jitter" | "--fault-seed" | "--nprocs"
+        | "--scaling-max") as flag) ]
       ->
         Printf.eprintf "missing argument to %s\n" flag;
         usage ()
     | (("fig7a" | "fig7b" | "table4" | "ablation" | "batching" | "micro"
-       | "trace_overhead" | "faultsweep" | "check_overhead" | "scaling") as s)
+       | "trace_overhead" | "faultsweep" | "check_overhead" | "scaling"
+       | "critpath" | "critpath_overhead") as s)
       :: rest ->
         s :: parse rest
     | other :: _ ->
@@ -705,6 +859,7 @@ let () =
   if wants "table4" then table4 ();
   if wants "ablation" then ablation ();
   if wants "batching" then batching_exp ();
+  if wants "critpath_overhead" then critpath_overhead ();
   (match !trace_path with
   | Some out -> trace_overhead out
   | None ->
@@ -712,6 +867,7 @@ let () =
         Printf.eprintf "trace_overhead requires --trace FILE\n";
         exit 2
       end);
+  if List.mem "critpath" selections then critpath_exp ();
   if List.mem "faultsweep" selections then faultsweep ();
   if List.mem "check_overhead" selections then check_overhead ();
   if List.mem "scaling" selections then scaling_exp ();

@@ -9,10 +9,13 @@
 open Cmdliner
 
 let run_app app backend nprocs protocol steps scale verbose trace dump_stats
-    faults batch =
+    faults batch critpath =
   if nprocs < 2 then
     invalid_arg "ace_demo: --nprocs must be at least 2 (SPMD needs a peer)";
   let module D = Ace_harness.Driver in
+  let crit =
+    Option.map (fun _ -> Ace_engine.Crit.create ~nprocs ()) critpath
+  in
   let factor = scale in
   let batch = if batch then Some true else None in
   (* Under a fault model, capture the reliable transport's counters so the
@@ -58,8 +61,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats
           }
         in
         ( pick
-            (fun () -> D.run_crl ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Em3d) cfg)
-            (fun () -> D.run_ace ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Em3d) cfg),
+            (fun () -> D.run_crl ?faults ?batch ?trace ?crit ?stats ~nprocs (module Ace_apps.Em3d) cfg)
+            (fun () -> D.run_ace ?faults ?batch ?trace ?crit ?stats ~nprocs (module Ace_apps.Em3d) cfg),
           Some
             (Ace_apps.Em3d.checksum (Ace_apps.Em3d.reference cfg ~nprocs)) )
     | `Barnes_hut ->
@@ -72,8 +75,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats
           }
         in
         ( pick
-            (fun () -> D.run_crl ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Barnes_hut) cfg)
-            (fun () -> D.run_ace ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Barnes_hut) cfg),
+            (fun () -> D.run_crl ?faults ?batch ?trace ?crit ?stats ~nprocs (module Ace_apps.Barnes_hut) cfg)
+            (fun () -> D.run_ace ?faults ?batch ?trace ?crit ?stats ~nprocs (module Ace_apps.Barnes_hut) cfg),
           Some (Ace_apps.Barnes_hut.checksum (Ace_apps.Barnes_hut.reference cfg))
         )
     | `Bsc ->
@@ -89,8 +92,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats
           }
         in
         ( pick
-            (fun () -> D.run_crl ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Cholesky) cfg)
-            (fun () -> D.run_ace ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Cholesky) cfg),
+            (fun () -> D.run_crl ?faults ?batch ?trace ?crit ?stats ~nprocs (module Ace_apps.Cholesky) cfg)
+            (fun () -> D.run_ace ?faults ?batch ?trace ?crit ?stats ~nprocs (module Ace_apps.Cholesky) cfg),
           Some
             (Ace_apps.Chol_core.checksum
                (Ace_apps.Chol_core.reference cfg.Ace_apps.Cholesky.core)) )
@@ -103,8 +106,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats
           }
         in
         ( pick
-            (fun () -> D.run_crl ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Tsp) cfg)
-            (fun () -> D.run_ace ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Tsp) cfg),
+            (fun () -> D.run_crl ?faults ?batch ?trace ?crit ?stats ~nprocs (module Ace_apps.Tsp) cfg)
+            (fun () -> D.run_ace ?faults ?batch ?trace ?crit ?stats ~nprocs (module Ace_apps.Tsp) cfg),
           Some (Ace_apps.Tsp_core.reference cfg.Ace_apps.Tsp.core) )
     | `Water phase_protocols ->
         let cfg : Ace_apps.Water.config =
@@ -120,8 +123,8 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats
           }
         in
         ( pick
-            (fun () -> D.run_crl ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Water) cfg)
-            (fun () -> D.run_ace ?faults ?batch ?trace ?stats ~nprocs (module Ace_apps.Water) cfg),
+            (fun () -> D.run_crl ?faults ?batch ?trace ?crit ?stats ~nprocs (module Ace_apps.Water) cfg)
+            (fun () -> D.run_ace ?faults ?batch ?trace ?crit ?stats ~nprocs (module Ace_apps.Water) cfg),
           Some
             (Ace_apps.Water_core.checksum
                (Ace_apps.Water_core.reference cfg.Ace_apps.Water.core)) )
@@ -151,6 +154,20 @@ let run_app app backend nprocs protocol steps scale verbose trace dump_stats
   (match trace with
   | Some path -> Printf.printf "wrote trace: %s\n" path
   | None -> ());
+  (match (critpath, crit) with
+  | Some path, Some cr ->
+      Ace_engine.Crit.write_file cr path;
+      let module Critpath = Ace_obs.Critpath in
+      let dag = Critpath.of_crit cr in
+      let bp = Critpath.blamed_path dag in
+      (match Critpath.blame_by_kind dag bp with
+      | (k, cyc) :: _ ->
+          Printf.printf
+            "wrote critical-path DAG: %s (%d nodes; top blame: %s %.1f%%)\n"
+            path (Critpath.n_nodes dag) k
+            (100. *. cyc /. Critpath.total_blame bp)
+      | [] -> Printf.printf "wrote critical-path DAG: %s\n" path)
+  | _ -> ());
   0
 
 let app_arg =
@@ -265,13 +282,23 @@ let trace_arg =
            Perfetto or chrome://tracing; analyze with acetrace). Simulated \
            times are unaffected.")
 
+let critpath_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "critpath" ] ~docv:"FILE"
+        ~doc:
+          "Record the run's causal dependency DAG as ace-critpath-v1 JSON \
+           (analyze with acetrace critpath). Simulated times are \
+           unaffected.")
+
 let cmd =
   let doc = "run an Ace/CRL benchmark on the simulated CM-5" in
   Cmd.v
     (Cmd.info "ace_demo" ~doc)
     Term.(
       const (fun app backend nprocs protocol phases steps scale verbose trace
-                 stats drop dup jitter fault_seed batch ->
+                 stats drop dup jitter fault_seed batch critpath ->
           let app =
             match app with
             | `Water_marker -> `Water phases
@@ -287,9 +314,10 @@ let cmd =
             else None
           in
           run_app app backend nprocs protocol steps scale verbose trace stats
-            faults batch)
+            faults batch critpath)
       $ app_arg $ backend_arg $ procs_arg $ protocol_arg $ phases_arg
       $ steps_arg $ scale_arg $ verbose_arg $ trace_arg $ stats_arg
-      $ drop_arg $ dup_arg $ jitter_arg $ fault_seed_arg $ batch_arg)
+      $ drop_arg $ dup_arg $ jitter_arg $ fault_seed_arg $ batch_arg
+      $ critpath_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,32 +1,60 @@
-(* acetrace: analyze a simulator trace (the Chrome trace-event JSON that
-   `bench/main.exe --trace` / `ace_demo --trace` write). Prints where
-   simulated time went — per protocol call, per region, per space — plus
-   barrier skew and message statistics. Times are simulated cycles. *)
+(* acetrace: offline analysis of simulator recordings.
+
+   `acetrace summary TRACE.json` prints where simulated time went — per
+   protocol call, per region, per space — plus barrier skew and message
+   statistics, from the Chrome trace-event JSON that `--trace` options
+   write. `acetrace critpath DAG.json` prints critical-path blame and
+   what-if latency predictions from the ace-critpath-v1 DAG that
+   `--critpath` options write. Times are simulated cycles. *)
 
 module Trace_read = Ace_obs.Trace_read
 module Analyze = Ace_obs.Analyze
+module Critpath = Ace_obs.Critpath
+
+let subcommands =
+  "subcommands:\n\
+  \  summary TRACE.json [--top N]\n\
+  \      time breakdown of a Chrome trace-event recording (--trace)\n\
+  \  critpath DAG.json [--top N] [--what-if SPEC]...\n\
+  \      critical-path blame of an ace-critpath-v1 DAG (--critpath);\n\
+  \      SPEC scales a cost class in a replay, e.g. link=0->1:0.5,\n\
+  \      link=*:0.5, op=send_ovh:0.5, space=2:0.25\n\
+  \  help | --help\n\
+  \      this message"
 
 let usage () =
-  prerr_endline "usage: acetrace TRACE.json [--top N]";
+  prerr_endline "usage: acetrace SUBCOMMAND [ARGS] (acetrace --help lists subcommands)";
   exit 2
 
-let parse_args () =
+let help () =
+  print_endline "usage: acetrace SUBCOMMAND [ARGS]";
+  print_endline "";
+  print_endline subcommands;
+  exit 0
+
+(* ---- summary (trace-event files) ---- *)
+
+let summary_usage () =
+  prerr_endline "usage: acetrace summary TRACE.json [--top N]";
+  exit 2
+
+let parse_summary_args args =
   let file = ref None and top = ref 10 in
   let rec go = function
     | [] -> ()
     | "--top" :: v :: rest ->
         (match int_of_string_opt v with
         | Some n when n > 0 -> top := n
-        | _ -> usage ());
+        | _ -> summary_usage ());
         go rest
-    | ("-h" | "--help") :: _ -> usage ()
+    | ("-h" | "--help") :: _ -> summary_usage ()
     | a :: rest ->
-        if String.length a > 0 && a.[0] = '-' then usage ();
-        (match !file with None -> file := Some a | Some _ -> usage ());
+        if String.length a > 0 && a.[0] = '-' then summary_usage ();
+        (match !file with None -> file := Some a | Some _ -> summary_usage ());
         go rest
   in
-  go (List.tl (Array.to_list Sys.argv));
-  match !file with None -> usage () | Some f -> (f, !top)
+  go args;
+  match !file with None -> summary_usage () | Some f -> (f, !top)
 
 let rows title (rows : Analyze.row list) ~top =
   Printf.printf "\n%s\n" title;
@@ -43,8 +71,8 @@ let rows title (rows : Analyze.row list) ~top =
     if n > top then Printf.printf "  ... (%d more)\n" (n - top)
   end
 
-let () =
-  let file, top = parse_args () in
+let summary_cmd args =
+  let file, top = parse_summary_args args in
   let evs =
     try Trace_read.load file
     with
@@ -105,3 +133,134 @@ let () =
     let n = List.length m.Analyze.links in
     if n > top then Printf.printf "  ... (%d more)\n" (n - top)
   end
+
+(* ---- critpath (causal-DAG files) ---- *)
+
+let critpath_usage () =
+  prerr_endline
+    "usage: acetrace critpath DAG.json [--top N] [--what-if SPEC]...\n\
+     SPEC: link=SRC->DST:FACTOR | link=*:FACTOR | op=NAME:FACTOR | \
+     space=N:FACTOR";
+  exit 2
+
+let parse_critpath_args args =
+  let file = ref None and top = ref 10 and whatifs = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--top" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n > 0 -> top := n
+        | _ -> critpath_usage ());
+        go rest
+    | "--what-if" :: spec :: rest ->
+        (match Critpath.parse_whatif spec with
+        | Ok w -> whatifs := w :: !whatifs
+        | Error msg ->
+            Printf.eprintf "acetrace: bad --what-if %s: %s\n" spec msg;
+            exit 2);
+        go rest
+    | ("-h" | "--help") :: _ -> critpath_usage ()
+    | a :: rest ->
+        if String.length a > 0 && a.[0] = '-' then critpath_usage ();
+        (match !file with None -> file := Some a | Some _ -> critpath_usage ());
+        go rest
+  in
+  go args;
+  match !file with
+  | None -> critpath_usage ()
+  | Some f -> (f, !top, List.rev !whatifs)
+
+let pct total c = if total > 0. then 100. *. c /. total else 0.
+
+let blame_table title fmt_label entries ~total ~top =
+  Printf.printf "\n%s\n" title;
+  if entries = [] then print_endline "  (none)"
+  else begin
+    Printf.printf "  %-24s %16s %7s\n" "" "cycles" "share";
+    List.iteri
+      (fun i (label, c) ->
+        if i < top then
+          Printf.printf "  %-24s %16.0f %6.1f%%\n" (fmt_label label) c
+            (pct total c))
+      entries;
+    let n = List.length entries in
+    if n > top then Printf.printf "  ... (%d more)\n" (n - top)
+  end
+
+let critpath_cmd args =
+  let file, top, whatifs = parse_critpath_args args in
+  let dag =
+    try Critpath.load file
+    with
+    | Sys_error msg ->
+        Printf.eprintf "acetrace: %s\n" msg;
+        exit 1
+    | Ace_obs.Json.Parse_error msg | Failure msg ->
+        Printf.eprintf "acetrace: %s: malformed critpath file (%s)\n" file msg;
+        exit 1
+  in
+  let bp = Critpath.blamed_path dag in
+  let total = Critpath.total_blame bp in
+  Printf.printf
+    "%s: %d dag nodes, %d simulated procs, end time %.0f cycles\n" file
+    (Critpath.n_nodes dag) dag.Critpath.nprocs dag.Critpath.end_time;
+  Printf.printf
+    "critical path: %d steps, %.0f cycles blamed (= simulated duration)\n"
+    (List.length bp) total;
+
+  blame_table "Blame by protocol-op class:" Fun.id
+    (Critpath.blame_by_kind dag bp) ~total ~top;
+  blame_table "Blame by space:"
+    (fun sp -> if sp < 0 then "(unattributed)" else Printf.sprintf "space %d" sp)
+    (Critpath.blame_by_space dag bp) ~total ~top;
+  blame_table "Blame by link:"
+    (fun (src, dst) -> Printf.sprintf "P%d->P%d" src dst)
+    (Critpath.blame_by_link dag bp) ~total ~top;
+  blame_table "Blame by processor:"
+    (fun p -> if p < 0 then "(none)" else Printf.sprintf "P%d" p)
+    (Critpath.blame_by_node dag bp) ~total ~top;
+
+  let segs = Critpath.top_segments dag bp ~k:top in
+  Printf.printf "\nTop path segments:\n";
+  if segs = [] then print_endline "  (none)"
+  else begin
+    Printf.printf "  %-12s %6s %6s %16s %14s %14s\n" "kind" "a" "b" "cycles"
+      "t0" "t1";
+    List.iter
+      (fun (s : Critpath.seg) ->
+        Printf.printf "  %-12s %6d %6d %16.0f %14.0f %14.0f\n" s.Critpath.seg_kind
+          s.Critpath.seg_a s.Critpath.seg_b s.Critpath.seg_cycles
+          s.Critpath.seg_t0 s.Critpath.seg_t1)
+      segs
+  end;
+
+  if whatifs <> [] then begin
+    Printf.printf "\nWhat-if predictions (causal replay with scaled costs):\n";
+    List.iter
+      (fun w ->
+        let recorded, predicted, speedup = Critpath.predict dag [ w ] in
+        Printf.printf "  %-28s end %16.0f -> %16.0f  speedup %5.2fx\n"
+          (Critpath.describe_whatif w) recorded predicted speedup)
+      whatifs;
+    if List.length whatifs > 1 then begin
+      let recorded, predicted, speedup = Critpath.predict dag whatifs in
+      Printf.printf "  %-28s end %16.0f -> %16.0f  speedup %5.2fx\n"
+        "(all combined)" recorded predicted speedup
+    end
+  end
+
+(* ---- dispatch ---- *)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: ("-h" | "--help" | "help") :: _ -> help ()
+  | _ :: "summary" :: rest -> summary_cmd rest
+  | _ :: "critpath" :: rest -> critpath_cmd rest
+  | _ :: (a :: _ as rest) when Sys.file_exists a || String.contains a '.' ->
+      (* legacy spelling: acetrace TRACE.json [--top N] *)
+      summary_cmd rest
+  | _ :: a :: _ ->
+      Printf.eprintf
+        "acetrace: unknown subcommand '%s'\n\n%s\n" a subcommands;
+      exit 2
+  | _ -> usage ()

@@ -9,8 +9,21 @@ module Trace = Ace_engine.Trace
 module Store = Ace_region.Store
 module Blocks = Ace_region.Blocks
 module Cost_model = Ace_net.Cost_model
+module Crit = Ace_engine.Crit
 
 let fam_dispatch_space = Stats.fam "ace.dispatch.by_space"
+
+(* Critical-path activity kinds: while a protocol-op dispatch (or the
+   pre-barrier hook) is running, the processor's compute intervals — the
+   dispatch charge, the handler's own charges, and any miss latency paid
+   inside — are blamed on the op and the region's space. *)
+let k_start_read = Crit.kind "start_read"
+let k_end_read = Crit.kind "end_read"
+let k_start_write = Crit.kind "start_write"
+let k_end_write = Crit.kind "end_write"
+let k_lock = Crit.kind "lock"
+let k_unlock = Crit.kind "unlock"
+let k_barrier_hook = Crit.kind "barrier_hook"
 
 type ctx = Protocol.ctx
 type h = Store.meta
@@ -74,42 +87,53 @@ let data (ctx : ctx) (h : h) =
    indirection). Each dispatch bumps the per-space call counter and, when a
    tracer is attached, records a span covering the protocol handler on the
    calling processor's row (recording never touches the virtual clock). *)
-let dispatch_access ctx h name hook =
-  charge ctx (cost ctx).Cost_model.dispatch;
+let dispatch_access ctx h name kid hook =
   let rt = ctx.Protocol.rt in
-  Stats.incr_dim (Machine.stats rt.Protocol.machine) fam_dispatch_space
-    h.Store.space;
-  match Machine.trace rt.Protocol.machine with
-  | None -> hook (space_of ctx h).Protocol.proto ctx h
-  | Some tr ->
-      let p = ctx.Protocol.proc in
-      let t0 = p.Machine.clock in
-      hook (space_of ctx h).Protocol.proto ctx h;
-      Trace.span tr ~name ~cat:"call" ~tid:p.Machine.id ~ts:t0
-        ~dur:(p.Machine.clock -. t0)
-        ~args:[ ("space", h.Store.space); ("rid", h.Store.rid) ] ()
+  let m = rt.Protocol.machine in
+  let run () =
+    charge ctx (cost ctx).Cost_model.dispatch;
+    Stats.incr_dim (Machine.stats m) fam_dispatch_space h.Store.space;
+    match Machine.trace m with
+    | None -> hook (space_of ctx h).Protocol.proto ctx h
+    | Some tr ->
+        let p = ctx.Protocol.proc in
+        let t0 = p.Machine.clock in
+        hook (space_of ctx h).Protocol.proto ctx h;
+        Trace.span tr ~name ~cat:"call" ~tid:p.Machine.id ~ts:t0
+          ~dur:(p.Machine.clock -. t0)
+          ~args:[ ("space", h.Store.space); ("rid", h.Store.rid) ] ()
+  in
+  match Machine.crit m with
+  | None -> run ()
+  | Some c ->
+      let proc = ctx.Protocol.proc.Machine.id in
+      let old_k, old_s =
+        Crit.swap_activity c ~proc ~kind:kid ~space:h.Store.space
+      in
+      run ();
+      Crit.set_activity c ~proc ~kind:old_k ~space:old_s
 
 let start_read (ctx : ctx) h =
-  dispatch_access ctx h "start_read" (fun p -> p.Protocol.start_read);
+  dispatch_access ctx h "start_read" k_start_read (fun p -> p.Protocol.start_read);
   Blocks.begin_access ctx.Protocol.bctx h ~write:false
 
 let end_read (ctx : ctx) h =
-  dispatch_access ctx h "end_read" (fun p -> p.Protocol.end_read);
+  dispatch_access ctx h "end_read" k_end_read (fun p -> p.Protocol.end_read);
   Blocks.end_access ctx.Protocol.bctx h ~write:false
 
 let start_write (ctx : ctx) h =
-  dispatch_access ctx h "start_write" (fun p -> p.Protocol.start_write);
+  dispatch_access ctx h "start_write" k_start_write (fun p -> p.Protocol.start_write);
   Blocks.begin_access ctx.Protocol.bctx h ~write:true
 
 let end_write (ctx : ctx) h =
-  dispatch_access ctx h "end_write" (fun p -> p.Protocol.end_write);
+  dispatch_access ctx h "end_write" k_end_write (fun p -> p.Protocol.end_write);
   Blocks.end_access ctx.Protocol.bctx h ~write:true
 
 (* Lock spans come in two kinds: the [lock]/[unlock] protocol-call spans
    (cat "call", like any other dispatch) and a [lock.hold] span (cat
    "lock") stretching from lock acquisition to the matching unlock. *)
 let lock (ctx : ctx) h =
-  dispatch_access ctx h "lock" (fun p -> p.Protocol.lock);
+  dispatch_access ctx h "lock" k_lock (fun p -> p.Protocol.lock);
   match Machine.trace ctx.Protocol.rt.Protocol.machine with
   | None -> ()
   | Some tr ->
@@ -124,7 +148,7 @@ let unlock (ctx : ctx) h =
       let p = ctx.Protocol.proc in
       Trace.lock_released tr ~tid:p.Machine.id ~rid:h.Store.rid
         ~ts:p.Machine.clock);
-  dispatch_access ctx h "unlock" (fun p -> p.Protocol.unlock)
+  dispatch_access ctx h "unlock" k_unlock (fun p -> p.Protocol.unlock)
 
 let base_barrier (ctx : ctx) =
   Machine.Barrier.wait ctx.Protocol.rt.Protocol.base_barrier ctx.Protocol.proc
@@ -135,16 +159,28 @@ let base_barrier (ctx : ctx) =
    synchronization itself is traced (per generation) by Machine.Barrier. *)
 let barrier (ctx : ctx) ~space =
   let sp = Runtime.space ctx.Protocol.rt space in
-  charge ctx (cost ctx).Cost_model.dispatch;
-  (match Machine.trace ctx.Protocol.rt.Protocol.machine with
-  | None -> sp.Protocol.proto.Protocol.barrier ctx sp
-  | Some tr ->
-      let p = ctx.Protocol.proc in
-      let t0 = p.Machine.clock in
-      sp.Protocol.proto.Protocol.barrier ctx sp;
-      Trace.span tr ~name:"barrier_hook" ~cat:"call" ~tid:p.Machine.id ~ts:t0
-        ~dur:(p.Machine.clock -. t0)
-        ~args:[ ("space", space) ] ());
+  let m = ctx.Protocol.rt.Protocol.machine in
+  let run_hook () =
+    charge ctx (cost ctx).Cost_model.dispatch;
+    match Machine.trace m with
+    | None -> sp.Protocol.proto.Protocol.barrier ctx sp
+    | Some tr ->
+        let p = ctx.Protocol.proc in
+        let t0 = p.Machine.clock in
+        sp.Protocol.proto.Protocol.barrier ctx sp;
+        Trace.span tr ~name:"barrier_hook" ~cat:"call" ~tid:p.Machine.id ~ts:t0
+          ~dur:(p.Machine.clock -. t0)
+          ~args:[ ("space", space) ] ()
+  in
+  (match Machine.crit m with
+  | None -> run_hook ()
+  | Some c ->
+      let proc = ctx.Protocol.proc.Machine.id in
+      let old_k, old_s =
+        Crit.swap_activity c ~proc ~kind:k_barrier_hook ~space
+      in
+      run_hook ();
+      Crit.set_activity c ~proc ~kind:old_k ~space:old_s);
   base_barrier ctx
 
 (* Ace_ChangeProtocol: collective. The old protocol defines the transition

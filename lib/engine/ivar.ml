@@ -2,16 +2,23 @@ type 'a state =
   | Empty of (time:float -> 'a -> unit) list (* waiters, reverse order *)
   | Full of float * 'a
 
-type 'a t = { mutable state : 'a state }
+(* [cause] is the causal context of the fill (a Crit node id, -1 when no
+   recorder was active): a fiber that awaits only after the fill has
+   already happened needs the filler's identity to record the
+   cross-processor dependency edge (see Machine's Await handler). *)
+type 'a t = { mutable state : 'a state; mutable cause : int }
 
-let create () = { state = Empty [] }
+let create () = { state = Empty []; cause = -1 }
 
 let fill t ~time v =
   match t.state with
   | Full _ -> failwith "Ivar.fill: already filled"
   | Empty waiters ->
+      t.cause <- Crit.fill_cause ();
       t.state <- Full (time, v);
       List.iter (fun f -> f ~time v) (List.rev waiters)
+
+let cause t = t.cause
 
 let peek t = match t.state with Empty _ -> None | Full (time, v) -> Some (time, v)
 let is_filled t = match t.state with Empty _ -> false | Full _ -> true

@@ -18,3 +18,7 @@ val is_filled : 'a t -> bool
 
 (** [on_fill t f] calls [f ~time v] now if filled, otherwise when filled. *)
 val on_fill : 'a t -> (time:float -> 'a -> unit) -> unit
+
+(** The causal context of the fill — the active {!Crit} recorder's current
+    node at fill time, or -1 when none was active (or not yet filled). *)
+val cause : 'a t -> int

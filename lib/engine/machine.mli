@@ -36,14 +36,32 @@ val set_trace : t -> Trace.t option -> unit
 
 val trace : t -> Trace.t option
 
+(** Attach (or detach) a causal-DAG recorder for critical-path profiling,
+    same contract as tracing: with [None] every hook is one field read,
+    and a recorded run's simulated output is bit-identical. *)
+val set_crit : t -> Crit.t option -> unit
+
+val crit : t -> Crit.t option
+
 (** [schedule t ~time f] runs [f] at virtual [time] on the event loop
-    (used for message deliveries; [f] must not block). *)
+    (used for message deliveries; [f] must not block). When a recorder is
+    attached, [f] runs in the scheduling event's causal context. *)
 val schedule : t -> time:float -> (unit -> unit) -> unit
+
+(** Like {!schedule} but [f] runs with the given {!Crit} node as its
+    causal context (used by message delivery, whose cause is the freshly
+    recorded send→deliver arc). Plain push when no recorder is attached. *)
+val schedule_cause : t -> time:float -> cause:int -> (unit -> unit) -> unit
 
 (** {2 Fiber operations} — may only be called from inside a running fiber. *)
 
 (** Advance the calling processor's clock by [cycles] (>= 0). *)
 val advance : proc -> float -> unit
+
+(** Like {!advance}, but when a recorder is attached the cycles are blamed
+    on the given {!Crit} kind instead of the current activity (e.g.
+    [Crit.k_send_ovh] for message send overhead). *)
+val advance_as : proc -> int -> float -> unit
 
 (** Block the calling fiber until the ivar is filled; the processor clock is
     advanced to at least the fill time. Returns the value. *)

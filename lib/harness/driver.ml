@@ -70,7 +70,35 @@ let traced ?trace machine ~nprocs body =
       Trace.write_file tr ~nprocs path;
       out
 
-let run_crl (type cfg) ?faults ?batch ?trace ?stats ?policy
+(* Attach a caller-supplied causal-DAG recorder for the duration of [body]
+   (critical-path profiling; the caller keeps the recorder for analysis or
+   serialization). After the run the critical path is walked once and the
+   per-space cycles-on-critical-path land in the machine's stats as the
+   coh.blame.by_space dimensioned family, so downstream consumers — e.g. a
+   protocol-adaptation loop — can read blame like any other counter,
+   without parsing the DAG. Space -1 (unattributed path time: messages,
+   barriers, app compute) is folded into the scalar coh.blame.other. *)
+let fam_blame_space = Stats.fam "coh.blame.by_space"
+let sid_blame_other = Stats.intern "coh.blame.other"
+
+let critted ?crit machine body =
+  match crit with
+  | None -> body ()
+  | Some cr ->
+      Machine.set_crit machine (Some cr);
+      let out = body () in
+      Machine.set_crit machine None;
+      let dag = Ace_obs.Critpath.of_crit cr in
+      let bp = Ace_obs.Critpath.blamed_path dag in
+      let stats = Machine.stats machine in
+      List.iter
+        (fun (space, cycles) ->
+          if space >= 0 then Stats.add_dim stats fam_blame_space space cycles
+          else Stats.add_id stats sid_blame_other cycles)
+        (Ace_obs.Critpath.blame_by_space dag bp);
+      out
+
+let run_crl (type cfg) ?faults ?batch ?trace ?crit ?stats ?policy
     ?(wrap : Ace_crl.Crl.ctx wrap option) ~nprocs
     (module App : APP with type config = cfg) (cfg : cfg) =
   let sys = Ace_crl.Crl.create ?policy ~nprocs () in
@@ -85,21 +113,22 @@ let run_crl (type cfg) ?faults ?batch ?trace ?stats ?policy
   in
   let out =
     traced ?trace machine ~nprocs (fun () ->
-        let module A = App.Make ((val facade)) in
-        let result = ref nan in
-        Ace_crl.Crl.run sys (fun ctx ->
-            let r = A.run cfg ctx in
-            if Ace_crl.Crl.me ctx = 0 then result := r);
-        { seconds = Ace_crl.Crl.time_seconds sys; result = !result })
+        critted ?crit machine (fun () ->
+            let module A = App.Make ((val facade)) in
+            let result = ref nan in
+            Ace_crl.Crl.run sys (fun ctx ->
+                let r = A.run cfg ctx in
+                if Ace_crl.Crl.me ctx = 0 then result := r);
+            { seconds = Ace_crl.Crl.time_seconds sys; result = !result }))
   in
   record_dir_stats (Machine.stats machine) (Ace_crl.Crl.store sys);
   Option.iter (fun f -> f (Machine.stats machine)) stats;
   out
 
-let run_ace (type cfg) ?faults ?batch ?trace ?stats ?policy
+let run_ace (type cfg) ?faults ?batch ?trace ?crit ?cost ?stats ?policy
     ?(wrap : Ace_runtime.Protocol.ctx wrap option) ~nprocs
     (module App : APP with type config = cfg) (cfg : cfg) =
-  let rt = Ace_runtime.Runtime.create ?policy ~nprocs () in
+  let rt = Ace_runtime.Runtime.create ?cost ?policy ~nprocs () in
   attach_faults (Ace_runtime.Runtime.am rt) faults;
   attach_batch (Ace_runtime.Runtime.am rt) batch;
   Ace_protocols.Proto_lib.register_all rt;
@@ -116,12 +145,13 @@ let run_ace (type cfg) ?faults ?batch ?trace ?stats ?policy
   in
   let out =
     traced ?trace machine ~nprocs (fun () ->
-        let module A = App.Make ((val facade)) in
-        let result = ref nan in
-        Ace_runtime.Runtime.run rt (fun ctx ->
-            let r = A.run cfg ctx in
-            if Ace_runtime.Ops.me ctx = 0 then result := r);
-        { seconds = Ace_runtime.Runtime.time_seconds rt; result = !result })
+        critted ?crit machine (fun () ->
+            let module A = App.Make ((val facade)) in
+            let result = ref nan in
+            Ace_runtime.Runtime.run rt (fun ctx ->
+                let r = A.run cfg ctx in
+                if Ace_runtime.Ops.me ctx = 0 then result := r);
+            { seconds = Ace_runtime.Runtime.time_seconds rt; result = !result }))
   in
   record_dir_stats (Machine.stats machine) (Ace_runtime.Runtime.store rt);
   Option.iter (fun f -> f (Machine.stats machine)) stats;

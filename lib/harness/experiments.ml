@@ -660,6 +660,145 @@ let print_scaling_rows rows =
         rows)
     [ "EM3D"; "Barnes-Hut" ]
 
+(* {2 Critical-path profiling}
+
+   Every benchmark under the invalidation (SC) protocol and under its
+   application-specific protocol (fig. 7b's custom protocols), each run
+   with a causal-DAG recorder attached. The recorded DAG yields the
+   critical path, a per-op-class blame breakdown (whose cycles sum to the
+   run's whole simulated duration — checked in the tests), and two
+   causal-profiling what-if predictions: all wire latency halved and the
+   AM send overhead halved. Short steady-state runs, same sizes as the
+   batching experiment: the profile's shape, not application speed, is
+   the measurement. *)
+
+module Crit = Ace_engine.Crit
+module Critpath = Ace_obs.Critpath
+
+type critpath_row = {
+  cp_bench : string;
+  cp_proto : string; (* "inval" | the custom protocol's name *)
+  cp_seconds : float; (* simulated, total *)
+  cp_cycles : float; (* recorded end time = total path blame *)
+  cp_nodes : int; (* DAG size *)
+  cp_path : int; (* steps on the critical path *)
+  cp_blame : (string * float) list; (* cycles by op class, descending *)
+  cp_whatif_net : float; (* predicted speedup, every link at half latency *)
+  cp_whatif_send : float; (* predicted speedup, send overhead halved *)
+  cp_wall : float;
+}
+
+(* The op class carrying the most critical-path cycles, with its share. *)
+let critpath_top r =
+  match r.cp_blame with
+  | [] -> ("-", 0.)
+  | (k, c) :: _ -> (k, if r.cp_cycles > 0. then c /. r.cp_cycles else 0.)
+
+let whatif_net_half = { Critpath.target = Critpath.Link (None, None); factor = 0.5 }
+let whatif_send_half = { Critpath.target = Critpath.Op "send_ovh"; factor = 0.5 }
+
+(* One DAG file per cell when [dir] is given: DIR/critpath-BENCH-PROTO.json. *)
+let critpath_path dir ~bench ~proto =
+  Option.map
+    (fun d ->
+      Filename.concat d (Printf.sprintf "critpath-%s-%s.json" (slug bench) (slug proto)))
+    dir
+
+let critpath ?(scale = default_scale) ?jobs ?dir () =
+  let nprocs = scale.nprocs in
+  let benches :
+      (string
+      * string
+      * (crit:Crit.t -> Driver.outcome)
+      * (crit:Crit.t -> Driver.outcome))
+      array =
+    [|
+      ( "Barnes-Hut",
+        "DYN_UPDATE",
+        (fun ~crit ->
+          Driver.run_ace ~crit ~nprocs (module Barnes_hut) (bh_cfg scale 2)),
+        fun ~crit ->
+          Driver.run_ace ~crit ~nprocs (module Barnes_hut)
+            { (bh_cfg scale 2) with Barnes_hut.protocol = Some "DYN_UPDATE" } );
+      ( "BSC",
+        "WRITE_ONCE",
+        (fun ~crit ->
+          Driver.run_ace ~crit ~nprocs (module Cholesky) (bsc_cfg scale)),
+        fun ~crit ->
+          Driver.run_ace ~crit ~nprocs (module Cholesky)
+            { (bsc_cfg scale) with Cholesky.protocol = Some "WRITE_ONCE" } );
+      ( "EM3D",
+        "STATIC_UPDATE",
+        (fun ~crit ->
+          Driver.run_ace ~crit ~nprocs (module Em3d) (em3d_cfg scale 2)),
+        fun ~crit ->
+          Driver.run_ace ~crit ~nprocs (module Em3d)
+            { (em3d_cfg scale 2) with Em3d.protocol = Some "STATIC_UPDATE" } );
+      ( "TSP",
+        "COUNTER",
+        (fun ~crit ->
+          Driver.run_ace ~crit ~nprocs (module Tsp) (tsp_cfg scale)),
+        fun ~crit ->
+          Driver.run_ace ~crit ~nprocs (module Tsp)
+            { (tsp_cfg scale) with Tsp.counter_protocol = Some "COUNTER" } );
+      ( "Water",
+        "NULL+PIPELINE",
+        (fun ~crit ->
+          Driver.run_ace ~crit ~nprocs (module Water) (water_cfg scale 2)),
+        fun ~crit ->
+          Driver.run_ace ~crit ~nprocs (module Water)
+            {
+              (water_cfg scale 2) with
+              Water.phase_protocols = Some ("NULL", "PIPELINE");
+            } );
+    |]
+  in
+  let cells =
+    Array.init
+      (2 * Array.length benches)
+      (fun i ->
+        let bench, custom_name, sc, custom = benches.(i / 2) in
+        let proto, run =
+          if i mod 2 = 0 then ("inval", sc) else (custom_name, custom)
+        in
+        Pool.timed (fun () ->
+            let cr = Crit.create ~nprocs () in
+            let out = run ~crit:cr in
+            (match critpath_path dir ~bench ~proto with
+            | None -> ()
+            | Some path -> Crit.write_file cr path);
+            let dag = Critpath.of_crit cr in
+            let bp = Critpath.blamed_path dag in
+            let _, _, sp_net = Critpath.predict dag [ whatif_net_half ] in
+            let _, _, sp_send = Critpath.predict dag [ whatif_send_half ] in
+            {
+              cp_bench = bench;
+              cp_proto = proto;
+              cp_seconds = out.Driver.seconds;
+              cp_cycles = Critpath.total_blame bp;
+              cp_nodes = Critpath.n_nodes dag;
+              cp_path = List.length bp;
+              cp_blame = Critpath.blame_by_kind dag bp;
+              cp_whatif_net = sp_net;
+              cp_whatif_send = sp_send;
+              cp_wall = 0.;
+            }))
+  in
+  let out = Pool.run_all ?jobs cells in
+  Array.to_list (Array.map (fun (r, wall) -> { r with cp_wall = wall }) out)
+
+let print_critpath_rows rows =
+  Printf.printf "%-12s %-14s %12s %9s %8s %-22s %8s %8s\n" "benchmark" "proto"
+    "sim s" "dag" "path" "top op-class" "net x0.5" "snd x0.5";
+  Printf.printf "%s\n" (String.make 100 '-');
+  List.iter
+    (fun r ->
+      let top, share = critpath_top r in
+      Printf.printf "%-12s %-14s %12.6f %9d %8d %-15s %5.1f%%  %7.3fx %7.3fx\n"
+        r.cp_bench r.cp_proto r.cp_seconds r.cp_nodes r.cp_path top
+        (100. *. share) r.cp_whatif_net r.cp_whatif_send)
+    rows
+
 let print_fault_rows rows =
   Printf.printf "%-12s %6s %12s %8s %8s %8s %8s %8s %9s %8s\n" "benchmark"
     "drop" "sim s" "rexmit" "timeout" "dupsup" "dropped" "giveup" "piggyack"

@@ -2,6 +2,7 @@ module Machine = Ace_engine.Machine
 module Ivar = Ace_engine.Ivar
 module Stats = Ace_engine.Stats
 module Trace = Ace_engine.Trace
+module Crit = Ace_engine.Crit
 
 let sid_messages = Stats.intern "net.messages"
 let sid_bytes = Stats.intern "net.bytes"
@@ -116,7 +117,18 @@ let deliver t ~now ~src ~dst ~bytes ~fbytes ~extra handler =
       Trace.arc tr ~name:"msg" ~cat:"msg" ~tid_src:src ~tid_dst:dst ~ts:now
         ~ts_end:arrival
         ~args:[ ("src", src); ("dst", dst); ("bytes", bytes) ] ());
-  Machine.schedule t.machine ~time:arrival (fun () -> handler ~time:arrival)
+  match Machine.crit t.machine with
+  | None ->
+      Machine.schedule t.machine ~time:arrival (fun () -> handler ~time:arrival)
+  | Some c ->
+      (* The send→deliver arc: the handler's cause is this wire message,
+         whose own cause is whatever context performed the send. *)
+      let node =
+        Crit.node c ~pred:(Crit.cur c) ~kind:Crit.k_msg ~a:src ~b:dst
+          ~time:arrival ~cost:(arrival -. now) ()
+      in
+      Machine.schedule_cause t.machine ~time:arrival ~cause:node (fun () ->
+          handler ~time:arrival)
 
 (* One wire message (already tallied as a logical send): draw a fault fate
    if a model is attached, then put the surviving copies on the wire. *)
@@ -214,12 +226,14 @@ let send_multi t ~now ~src parts =
 
 let send_multi_from t (p : Machine.proc) parts =
   if parts <> [] then begin
-    Machine.advance p t.cost.Cost_model.am_send_overhead;
+    Machine.advance_as p Crit.k_send_ovh
+      t.cost.Cost_model.am_send_overhead;
     send_multi t ~now:p.Machine.clock ~src:p.Machine.id parts
   end
 
 let send_from t (p : Machine.proc) ~dst ~bytes handler =
-  Machine.advance p t.cost.Cost_model.am_send_overhead;
+  Machine.advance_as p Crit.k_send_ovh
+    t.cost.Cost_model.am_send_overhead;
   send t ~now:p.Machine.clock ~src:p.Machine.id ~dst ~bytes handler
 
 let rpc t p ~dst ~bytes handler =

@@ -284,7 +284,8 @@ let send t ~now ~src ~dst ~bytes handler =
       arm t ch m ~at:(now +. m.rto)
 
 let send_from t (p : Machine.proc) ~dst ~bytes handler =
-  Machine.advance p (Am.cost t.am).Cost_model.am_send_overhead;
+  Machine.advance_as p Ace_engine.Crit.k_send_ovh
+    (Am.cost t.am).Cost_model.am_send_overhead;
   send t ~now:p.Machine.clock ~src:p.Machine.id ~dst ~bytes handler
 
 let part = Am.part
@@ -303,7 +304,8 @@ let send_multi t ~now ~src parts =
 
 let send_multi_from t (p : Machine.proc) parts =
   if parts <> [] then begin
-    Machine.advance p (Am.cost t.am).Cost_model.am_send_overhead;
+    Machine.advance_as p Ace_engine.Crit.k_send_ovh
+      (Am.cost t.am).Cost_model.am_send_overhead;
     send_multi t ~now:p.Machine.clock ~src:p.Machine.id parts
   end
 

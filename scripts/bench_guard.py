@@ -17,10 +17,21 @@ O(nprocs) state per region, and the guard fails. Barnes-Hut is exempt:
 every node genuinely caches every body, so its per-region state is
 population-proportional by construction.
 
+When the current report contains `critpath_overhead` rows (bench/main.exe
+critpath), a recording-overhead guard also runs: the recorder-on EM3D wall
+must stay within CRITPATH_TOLERANCE of the recorder-off wall plus an
+absolute floor. The floor exists because the benched run is sub-second:
+the recorder's fixed per-event cost (~140 ns) is a large *fraction* of a
+0.2 s run but a small absolute cost, and machine wall noise on runs that
+short is itself several percent. The guard therefore bounds the absolute
+regression, which is what CI can measure honestly, rather than pretending
+a percentage of a sub-second wall is meaningful.
+
 Usage:
     bench_guard.py CURRENT.json BASELINE.json [--tolerance 0.15]
                    [--report OUT.json]
     bench_guard.py SCALING.json --scaling-only [--report OUT.json]
+    bench_guard.py CRITPATH.json --critpath-only [--report OUT.json]
 """
 
 import argparse
@@ -80,6 +91,34 @@ def scaling_guard(report):
     return checks
 
 
+# Critical-path recorder overhead bound: on-wall may exceed off-wall by
+# 5% plus an absolute floor. See the module docstring for why a pure
+# percentage is not honest at sub-second run lengths.
+CRITPATH_TOLERANCE = 0.05
+CRITPATH_FLOOR_S = 0.15
+
+
+def critpath_guard(report):
+    """Bound recorder-on wall against recorder-off wall; return checks."""
+    walls = {}
+    for r in report.get("rows", []):
+        if r.get("experiment") == "critpath_overhead":
+            walls[r.get("name", "")] = r.get("wall_s")
+
+    checks = []
+    off, on = walls.get("em3d-off"), walls.get("em3d-on")
+    if off is not None and on is not None:
+        limit = off * (1.0 + CRITPATH_TOLERANCE) + CRITPATH_FLOOR_S
+        checks.append({
+            "series": "critpath-recording",
+            "off_wall_s": off,
+            "on_wall_s": on,
+            "limit_wall_s": limit,
+            "ok": on <= limit,
+        })
+    return checks
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current")
@@ -89,6 +128,10 @@ def main():
     ap.add_argument("--scaling-only", action="store_true",
                     help="skip the wall-clock comparison; only run the "
                          "directory-memory guard on CURRENT's scaling rows")
+    ap.add_argument("--critpath-only", action="store_true",
+                    help="skip the wall-clock comparison; only run the "
+                         "recorder-overhead guard on CURRENT's "
+                         "critpath_overhead rows")
     ap.add_argument("--report", help="write a JSON verdict artifact here")
     args = ap.parse_args()
 
@@ -104,6 +147,15 @@ def main():
               f"(slope {c['slope']:.4f}, limit {SCALING_SLOPE_LIMIT}, "
               f"{'OK' if c['ok'] else 'O(nprocs) REGRESSION'})")
 
+    critpath_checks = critpath_guard(cur)
+    critpath_ok = all(c["ok"] for c in critpath_checks)
+    for c in critpath_checks:
+        print(f"bench_guard: critpath recording: off {c['off_wall_s']:.3f}s, "
+              f"on {c['on_wall_s']:.3f}s "
+              f"(limit {c['limit_wall_s']:.3f}s = off x "
+              f"{1.0 + CRITPATH_TOLERANCE:.2f} + {CRITPATH_FLOOR_S}s floor, "
+              f"{'OK' if c['ok'] else 'OVERHEAD REGRESSION'})")
+
     if args.scaling_only:
         if not scaling_checks:
             sys.exit("bench_guard: --scaling-only but no scaling rows "
@@ -113,6 +165,16 @@ def main():
                 json.dump({"ok": scaling_ok, "scaling": scaling_checks},
                           f, indent=2)
         sys.exit(0 if scaling_ok else 1)
+
+    if args.critpath_only:
+        if not critpath_checks:
+            sys.exit("bench_guard: --critpath-only but no critpath_overhead "
+                     "rows in current report")
+        if args.report:
+            with open(args.report, "w") as f:
+                json.dump({"ok": critpath_ok, "critpath": critpath_checks},
+                          f, indent=2)
+        sys.exit(0 if critpath_ok else 1)
 
     if args.baseline is None:
         ap.error("baseline report required unless --scaling-only")
@@ -156,9 +218,10 @@ def main():
                     f"{exp}/{name}: sim_s[{sim_key}] {bv!r} -> {cv!r}")
 
     verdict = {
-        "ok": ok and scaling_ok,
+        "ok": ok and scaling_ok and critpath_ok,
         "wall_ok": ok,
         "scaling": scaling_checks,
+        "critpath": critpath_checks,
         "tolerance": args.tolerance,
         "baseline_total_wall_s": base_total,
         "current_total_wall_s": cur_total,
@@ -189,7 +252,7 @@ def main():
                   f"{ratio:>7.2f}" if ratio is not None else
                   f"  {label:<40} (no baseline wall)")
         sys.exit(1)
-    if not scaling_ok:
+    if not scaling_ok or not critpath_ok:
         sys.exit(1)
 
 
