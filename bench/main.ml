@@ -284,6 +284,50 @@ let faultsweep () =
     rows;
   print_newline ()
 
+(* ---- adaptive serving (serving selection) ----
+
+   The kvserve workload under each fixed candidate protocol and under
+   online per-space adaptation; the adaptive row should match or beat the
+   best fixed row on physical messages (guarded in CI). With --trace-dir
+   the adaptive cell's trace records the protocol-switch instants for
+   acetrace. *)
+
+let serving_exp () =
+  line ();
+  Printf.printf
+    "Adaptive serving: fixed protocols vs online adaptation (%d procs)\n"
+    !scale.E.nprocs;
+  line ();
+  let rows =
+    E.serving ~scale:!scale ?jobs:!jobs ?batch:(batch_opt ())
+      ?trace_dir:!trace_dir ()
+  in
+  E.print_serving_rows rows;
+  List.iter
+    (fun r ->
+      record ~experiment:"serving" ~name:r.E.sv_mode ~wall:r.E.sv_wall
+        ~messages:[ ("total", r.E.sv_messages) ]
+        ([
+           ("seconds", r.E.sv_seconds);
+           ("result", r.E.sv_result);
+           ("ok", if r.E.sv_ok then 1. else 0.);
+           ("switches", r.E.sv_switches);
+         ]
+        @ List.map
+            (fun (name, n) -> ("residency_" ^ name, n))
+            r.E.sv_residency))
+    rows;
+  List.iter
+    (fun r ->
+      if not r.E.sv_ok then begin
+        Printf.eprintf
+          "ERROR: serving mode %s computed %.17g, not the reference total\n"
+          r.E.sv_mode r.E.sv_result;
+        exit 1
+      end)
+    rows;
+  print_newline ()
+
 (* ---- bulk-transfer batching (batching selection) ---- *)
 
 let batching_exp () =
@@ -739,7 +783,7 @@ let usage () =
   Printf.eprintf
     "usage: main [fig7a] [fig7b] [table4] [ablation] [batching] [micro] \
      [trace_overhead] [faultsweep] [check_overhead] [scaling] [critpath] \
-     [critpath_overhead] [--small] \
+     [critpath_overhead] [serving] [--small] \
      [--nprocs N] [--scaling-max N] [--jobs N] [--json FILE] \
      [--trace FILE] [--trace-dir DIR] [--critpath FILE] [--batch] \
      [--drop P] [--dup P] [--jitter C] [--fault-seed N]\n";
@@ -824,7 +868,7 @@ let () =
         usage ()
     | (("fig7a" | "fig7b" | "table4" | "ablation" | "batching" | "micro"
        | "trace_overhead" | "faultsweep" | "check_overhead" | "scaling"
-       | "critpath" | "critpath_overhead") as s)
+       | "critpath" | "critpath_overhead" | "serving") as s)
       :: rest ->
         s :: parse rest
     | other :: _ ->
@@ -871,6 +915,7 @@ let () =
   if List.mem "faultsweep" selections then faultsweep ();
   if List.mem "check_overhead" selections then check_overhead ();
   if List.mem "scaling" selections then scaling_exp ();
+  if List.mem "serving" selections then serving_exp ();
   if List.mem "micro" selections then micro ();
   match !json_path with
   | Some path -> write_json path ~total_wall:(Unix.gettimeofday () -. t0)

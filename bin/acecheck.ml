@@ -28,6 +28,8 @@ let usage () =
   --no-batch       drop the bulk-transfer batching cells from the grid
   --out DIR        where to write .repro counterexamples (default .)
   --replay FILE    re-run one .repro counterexample and exit
+  --switch-heavy   pin the transition-torture shape: generic DRF programs
+                   where most epochs end in a mid-run Ace_ChangeProtocol
   --inject-broken  also test a deliberately broken protocol; exit 0 only
                    if the kit catches it|};
   exit 2
@@ -42,6 +44,7 @@ type opts = {
   mutable batch : bool;
   mutable out : string;
   mutable replay : string option;
+  mutable switch_heavy : bool;
   mutable inject_broken : bool;
 }
 
@@ -57,6 +60,7 @@ let parse_args () =
       batch = true;
       out = ".";
       replay = None;
+      switch_heavy = false;
       inject_broken = false;
     }
   in
@@ -94,6 +98,9 @@ let parse_args () =
     | "--replay" :: v :: rest ->
         o.replay <- Some v;
         go rest
+    | "--switch-heavy" :: rest ->
+        o.switch_heavy <- true;
+        go rest
     | "--inject-broken" :: rest ->
         o.inject_broken <- true;
         go rest
@@ -126,8 +133,9 @@ let describe (p, (fl : Runner.failure)) =
 let run_fuzz o ~protocols ~label ~expect_failure =
   let fault_specs = if o.faults then default_fault_specs else [] in
   let batch_modes = if o.batch then [ false; true ] else [ false ] in
+  let shape = if o.switch_heavy then Some Prog.Switch_heavy else None in
   let report =
-    Runner.fuzz ?protocols ?nprocs:o.nprocs ~seed:o.seed ~count:o.fuzz
+    Runner.fuzz ?protocols ?shape ?nprocs:o.nprocs ~seed:o.seed ~count:o.fuzz
       ~schedules:o.schedules ~fault_specs ~batch_modes
       ~log:(fun m -> Printf.printf "[%s] %s\n%!" label m)
       ()

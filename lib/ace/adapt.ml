@@ -1,0 +1,180 @@
+(* Online per-space protocol adaptation (ROADMAP item 3): at application
+   epoch boundaries each space consults its dimensioned per-space counters
+   (read/write misses, invalidations, dispatches — and critical-path blame
+   when a profiler run has folded it in) and decides whether to move the
+   space between the invalidation protocol (SC), an update protocol
+   (DYN_UPDATE) and MIGRATORY.
+
+   The measurement and decision logic lives here, below [Ops]; the
+   collective switch itself is orchestrated by [Ops.adapt], which calls
+   [Ops.change_protocol] with the decision this module memoizes. The memo
+   is what makes the collective safe: the first node to reach an epoch
+   point decides from a single counter snapshot, and every other node
+   reads the same decision — no node can observe a different snapshot
+   (e.g. after the first node's detach traffic) and disagree at the
+   change_protocol agreement check.
+
+   The hysteresis rule: decisions fire only every [window] epochs (the
+   learning window — counters accumulate long enough to mean something),
+   a protocol must win by a [margin] factor to displace the incumbent,
+   and a quiet space (no misses to speak of) is never moved — the current
+   protocol is evidently serving it. *)
+
+module Stats = Ace_engine.Stats
+module Machine = Ace_engine.Machine
+
+type config = {
+  window : int;  (* epochs per learning window between decisions *)
+  margin : float;  (* dominance factor required to displace the incumbent *)
+  min_traffic : float;  (* per-window miss+inval floor below which we stay *)
+}
+
+let default = { window = 2; margin = 1.2; min_traffic = 8. }
+
+(* Candidate protocols, in the residency family's index order. *)
+let candidates = [| "SC"; "DYN_UPDATE"; "MIGRATORY" |]
+
+let candidate_index name =
+  let rec go i =
+    if i >= Array.length candidates then -1
+    else if String.equal candidates.(i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let fam_read_miss = Stats.fam "coh.read_miss.by_space"
+let fam_write_miss = Stats.fam "coh.write_miss.by_space"
+let fam_inval = Stats.fam "coh.inval.by_space"
+let fam_dispatch = Stats.fam "ace.dispatch.by_space"
+let fam_blame = Stats.fam "coh.blame.by_space"
+
+(* Published results, readable through the ordinary stats probes: total
+   collective switches, and per-candidate epoch residency summed over
+   spaces (index = position in [candidates]). *)
+let sid_switches = Stats.intern "ace.adapt.switches"
+let fam_residency = Stats.fam "ace.adapt.residency.by_proto"
+
+type t = {
+  cfg : config;
+  stats : Stats.t;
+  mutable switches : int;
+  ctr : (int * int, int ref) Hashtbl.t;  (* (space, node) -> epochs seen *)
+  memo : (int * int, string option) Hashtbl.t;  (* (space, epoch) -> advice *)
+  last : (int, float array) Hashtbl.t;  (* space -> snapshot at last decision *)
+  residency : (int * int, int) Hashtbl.t;  (* (space, candidate ix) -> epochs *)
+}
+
+type Protocol.adapt_slot += Adapt of t
+
+let create (cfg : config) stats =
+  if cfg.window < 1 then invalid_arg "Adapt.create: window must be >= 1";
+  {
+    cfg;
+    stats;
+    switches = 0;
+    ctr = Hashtbl.create 32;
+    memo = Hashtbl.create 64;
+    last = Hashtbl.create 32;
+    residency = Hashtbl.create 16;
+  }
+
+let install (rt : Protocol.runtime) cfg =
+  let t = create cfg (Machine.stats rt.Protocol.machine) in
+  rt.Protocol.adapt <- Adapt t;
+  t
+
+let installed (rt : Protocol.runtime) =
+  match rt.Protocol.adapt with Adapt t -> Some t | _ -> None
+
+let switches t = t.switches
+
+(* Per-candidate epoch residency summed over spaces, in candidate order. *)
+let residency t =
+  Array.to_list
+    (Array.mapi
+       (fun i name ->
+         let n =
+           Hashtbl.fold
+             (fun (_, ix) v acc -> if ix = i then acc + v else acc)
+             t.residency 0
+         in
+         (name, n))
+       candidates)
+
+let snapshot t ~space =
+  [|
+    Stats.get_dim t.stats fam_read_miss space;
+    Stats.get_dim t.stats fam_write_miss space;
+    Stats.get_dim t.stats fam_inval space;
+    Stats.get_dim t.stats fam_dispatch space;
+    Stats.get_dim t.stats fam_blame space;
+  |]
+
+(* The decision rule over one learning window's counter deltas:
+
+   - writes missing far more often than reads (every write fights for
+     ownership, reads mostly local) is the migratory pattern — reading
+     *and* writing exclusively makes the whole visit one transfer;
+   - read misses and invalidations dominating writes is invalidation
+     thrash over read-mostly data — push updates instead of invalidating
+     ([DYN_UPDATE]);
+   - anything else (or a quiet space) keeps the incumbent, and the
+     invalidation default wins back a space whose pattern degenerates. *)
+let advise (cfg : config) ~current deltas =
+  let rm = deltas.(0) and wm = deltas.(1) and inv = deltas.(2) in
+  let traffic = rm +. wm +. inv in
+  if traffic < cfg.min_traffic then current
+  else if wm >= cfg.margin *. (rm +. inv) then "MIGRATORY"
+  else if rm +. inv >= cfg.margin *. wm then "DYN_UPDATE"
+  else if String.equal current "MIGRATORY" || String.equal current "DYN_UPDATE"
+  then current
+  else "SC"
+
+(* One node's arrival at an epoch point for [space]. The first node of an
+   epoch charges residency and, at window boundaries, computes and
+   memoizes the advice from a fresh counter snapshot; every node gets the
+   memoized advice back ([Some name] = collectively switch to [name]). *)
+let note_epoch t ~space ~node ~current =
+  let c =
+    match Hashtbl.find_opt t.ctr (space, node) with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t.ctr (space, node) r;
+        r
+  in
+  let epoch = !c in
+  incr c;
+  match Hashtbl.find_opt t.memo (space, epoch) with
+  | Some advice -> advice
+  | None ->
+      (* first node to reach this (space, epoch) *)
+      (let ix = candidate_index current in
+       if ix >= 0 then begin
+         let key = (space, ix) in
+         Hashtbl.replace t.residency key
+           (1 + Option.value ~default:0 (Hashtbl.find_opt t.residency key));
+         Stats.incr_dim t.stats fam_residency ix
+       end);
+      let advice =
+        if (epoch + 1) mod t.cfg.window <> 0 then None
+        else begin
+          let now = snapshot t ~space in
+          let last =
+            match Hashtbl.find_opt t.last space with
+            | Some l -> l
+            | None -> Array.make (Array.length now) 0.
+          in
+          Hashtbl.replace t.last space now;
+          let deltas = Array.mapi (fun i v -> v -. last.(i)) now in
+          let target = advise t.cfg ~current deltas in
+          if String.equal target current then None
+          else begin
+            t.switches <- t.switches + 1;
+            Stats.incr_id t.stats sid_switches;
+            Some target
+          end
+        end
+      in
+      Hashtbl.replace t.memo (space, epoch) advice;
+      advice

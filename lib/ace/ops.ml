@@ -188,8 +188,24 @@ let barrier (ctx : ctx) ~space =
    protocol); barriers separate detach, the swap, and attach so no node can
    race ahead with the new protocol while another still runs the old one. *)
 let change_protocol (ctx : ctx) ~space name =
-  let sp = Runtime.space ctx.Protocol.rt space in
-  let newp = Runtime.find_protocol ctx.Protocol.rt name in
+  let rt = ctx.Protocol.rt in
+  let sp = Runtime.space rt space in
+  let newp = Runtime.find_protocol rt name in
+  (* Collective-call matching is a correctness condition, not a debug
+     check (cf. [new_space]): it must survive -noassert builds and name
+     the mismatch. The first node to arrive posts its request; every later
+     node compares before any node can reach the swap barrier, so node 0
+     can never silently win over a disagreeing peer. *)
+  (match Hashtbl.find_opt rt.Protocol.change_req space with
+  | None -> Hashtbl.replace rt.Protocol.change_req space (name, me ctx)
+  | Some (first_name, first_node) ->
+      if not (String.equal first_name name) then
+        invalid_arg
+          (Printf.sprintf
+             "Ops.change_protocol: collective call on node %d requests \
+              protocol %S for space %d but node %d requested %S (mismatched \
+              Ace_ChangeProtocol across nodes?)"
+             (me ctx) name sp.Protocol.sid first_node first_name));
   (match Machine.trace ctx.Protocol.rt.Protocol.machine with
   | None -> ()
   | Some tr ->
@@ -198,9 +214,17 @@ let change_protocol (ctx : ctx) ~space name =
         ~name:(Printf.sprintf "change_protocol->%s" name)
         ~cat:"proto" ~tid:p.Machine.id ~ts:p.Machine.clock
         ~args:[ ("space", space) ] ());
+  (* No fiber may block with a non-empty write-combining queue, and the
+     swap barriers below block without passing through a Blocks entry
+     point: a parked [queue_write_home] update crossing the swap would be
+     invisible to readers under the new protocol (and a combined
+     update+release gated on it could stall another node forever). Free
+     when the queue is empty — always, with batching off. *)
+  Blocks.flush_writes ctx.Protocol.bctx;
   sp.Protocol.proto.Protocol.detach ctx sp;
   base_barrier ctx;
   if me ctx = 0 then begin
+    Hashtbl.remove rt.Protocol.change_req space;
     sp.Protocol.proto <- newp;
     Array.fill sp.Protocol.pstate 0 (Array.length sp.Protocol.pstate)
       Protocol.Pstate_none
@@ -208,6 +232,25 @@ let change_protocol (ctx : ctx) ~space name =
   base_barrier ctx;
   newp.Protocol.attach ctx sp;
   base_barrier ctx
+
+(* Collective adaptation point: every node calls this at an epoch boundary
+   for [space]. The installed engine (Adapt.install) memoizes one decision
+   per (space, epoch) from a single counter snapshot, so all nodes see the
+   same advice and the collective [change_protocol] below cannot disagree.
+   Without an installed engine this is free and returns [None]. *)
+let adapt (ctx : ctx) ~space =
+  match Adapt.installed ctx.Protocol.rt with
+  | None -> None
+  | Some t ->
+      let sp = Runtime.space ctx.Protocol.rt space in
+      let advice =
+        Adapt.note_epoch t ~space:sp.Protocol.sid ~node:(me ctx)
+          ~current:sp.Protocol.proto.Protocol.name
+      in
+      (match advice with
+      | Some name -> change_protocol ctx ~space name
+      | None -> ());
+      advice
 
 (* Collective Ace_NewSpace for SPMD program text (Fig. 2 lines 2-3): the
    k-th collective call on every node denotes the same space. *)
@@ -298,7 +341,9 @@ struct
   let unlock = unlock
   let barrier = barrier
   let change_protocol = change_protocol
+  let adapt = adapt
   let work = work
+  let global_id = global_id
   let bcast = bcast
   let allgather = allgather
 end

@@ -61,6 +61,12 @@ val barrier : ctx -> space:int -> unit
     protocol); barriers fence the detach, the swap, and the attach. *)
 val change_protocol : ctx -> space:int -> string -> unit
 
+(** Collective adaptation point: consult the runtime's installed
+    adaptation engine ({!Adapt.install}) for [space] and collectively
+    switch its protocol if the engine so advises, returning the protocol
+    switched to. Free (and [None]) when no engine is installed. *)
+val adapt : ctx -> space:int -> string option
+
 (** Collective Ace_NewSpace for SPMD program text (Fig. 2): the k-th
     collective call on every node denotes the same space; returns its id. *)
 val new_space : ctx -> string -> int

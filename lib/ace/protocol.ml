@@ -18,6 +18,12 @@ module Blocks = Ace_region.Blocks
 type pstate = ..
 type pstate += Pstate_none
 
+(* Slot for an installed protocol-adaptation engine (see Adapt): extensible
+   so the runtime record can hold it without depending on the module that
+   defines it. *)
+type adapt_slot = ..
+type adapt_slot += Adapt_none
+
 type runtime = {
   machine : Machine.t;
   am : Ace_net.Am.t;
@@ -34,6 +40,12 @@ type runtime = {
      queried remotely via Ops.global_id *)
   names : (int * int * int, int) Hashtbl.t;
   alloc_seq : (int * int, int ref) Hashtbl.t;
+  (* collective Ace_ChangeProtocol agreement: space sid -> (protocol name,
+     node) posted by the first arriving node; later nodes must match it
+     before any node reaches the swap barrier (cleared during the swap) *)
+  change_req : (int, string * int) Hashtbl.t;
+  (* installed adaptation engine, if any (Adapt.install) *)
+  mutable adapt : adapt_slot;
 }
 
 and space = {

@@ -28,6 +28,8 @@ let create ?(cost = Cost_model.cm5_ace) ?policy ~nprocs () =
       coll = Ace_region.Collective.create ~nprocs;
       names = Hashtbl.create 64;
       alloc_seq = Hashtbl.create 16;
+      change_req = Hashtbl.create 8;
+      adapt = Protocol.Adapt_none;
     }
   in
   Hashtbl.add rt.Protocol.registry "SC" Proto_sc.protocol;

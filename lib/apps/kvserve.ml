@@ -1,0 +1,108 @@
+(* Adaptive key-value serving: N-key spaces served by simulated client
+   drivers with Zipfian-skewed get/put mixes (kv_core), hot-key churn and
+   rolling quiesce phases. Each space's access profile favours a different
+   protocol, and the profiles drift over time — the workload the paper's
+   customizable-protocol argument is about: no single compiled-in protocol
+   serves all six spaces, and with the adaptation engine installed
+   (Driver.run_ace ~adapt) each space finds its own at epoch boundaries
+   via Ace_ChangeProtocol.
+
+   Region naming is lazy: key [k] of a space is the [(k - lo)]-th region
+   its owner allocated there, resolved through [global_id] on first touch
+   and cached — a name-service round trip per distinct key a node serves,
+   never a full-table exchange (at ~1M keys that is the only pattern that
+   scales). *)
+
+module Core = Kv_core
+
+type config = Core.config
+
+let default = Core.default
+let n_spaces = Core.n_spaces
+
+module Make (D : Ace_region.Dsm_intf.S) = struct
+  let run (cfg : config) (ctx : D.ctx) =
+    let me = D.me ctx and nprocs = D.nprocs ctx in
+    let n = cfg.Core.n_keys in
+    let lo, hi = Core.block_of ~n ~nprocs me in
+    (* Allocate and initialize my key block of every space, in key order
+       (the order [global_id] names assume). *)
+    for s = 0 to n_spaces - 1 do
+      for k = lo to hi - 1 do
+        let h = D.alloc ctx ~space:s ~len:1 in
+        D.start_write ctx h;
+        (D.data ctx h).(0) <- Core.init_value ~space:s ~key:k;
+        D.end_write ctx h
+      done
+    done;
+    D.barrier ctx ~space:0;
+    (match cfg.Core.protocol with
+    | Some p ->
+        for s = 0 to n_spaces - 1 do
+          D.change_protocol ctx ~space:s p
+        done
+    | None -> ());
+    (* Lazy handle cache: (space, key) -> mapped handle. *)
+    let cache = Hashtbl.create 1024 in
+    let handle s k =
+      match Hashtbl.find_opt cache (s, k) with
+      | Some h -> h
+      | None ->
+          let owner = Core.owner_of ~n ~nprocs k in
+          let olo, _ = Core.block_of ~n ~nprocs owner in
+          let h = D.map ctx (D.global_id ctx ~space:s ~owner ~seq:(k - olo)) in
+          Hashtbl.add cache (s, k) h;
+          h
+    in
+    let serve s = function
+      | Core.Get k ->
+          let h = handle s k in
+          D.start_read ctx h;
+          ignore (D.data ctx h).(0);
+          D.end_read ctx h;
+          D.work ctx Core.get_cycles
+      | Core.Put (k, d) ->
+          (* Lock-serialized read-modify-write: correct under every
+             candidate protocol (DYN_UPDATE awaits its push before the
+             unlock releases the next writer). *)
+          let h = handle s k in
+          D.lock ctx h;
+          D.start_write ctx h;
+          let a = D.data ctx h in
+          a.(0) <- a.(0) +. d;
+          D.end_write ctx h;
+          D.unlock ctx h;
+          D.work ctx Core.put_cycles
+    in
+    for e = 0 to cfg.Core.epochs - 1 do
+      for s = 0 to n_spaces - 1 do
+        Array.iter (serve s) (Core.ops cfg ~nprocs ~space:s ~node:me ~epoch:e)
+      done;
+      (* Epoch boundary: barrier each space (update protocols publish
+         here), then give the adaptation engine its collective decision
+         point per space. *)
+      for s = 0 to n_spaces - 1 do
+        D.barrier ctx ~space:s;
+        ignore (D.adapt ctx ~space:s)
+      done
+    done;
+    (* Settle every space back on SC so a plain scan observes all
+       updates, whatever protocols adaptation left the spaces on. *)
+    for s = 0 to n_spaces - 1 do
+      D.change_protocol ctx ~space:s "SC"
+    done;
+    D.barrier ctx ~space:0;
+    if me = 0 then begin
+      let sum = ref 0. in
+      for s = 0 to n_spaces - 1 do
+        for k = 0 to n - 1 do
+          let h = handle s k in
+          D.start_read ctx h;
+          sum := !sum +. (D.data ctx h).(0);
+          D.end_read ctx h
+        done
+      done;
+      !sum
+    end
+    else 0.
+end

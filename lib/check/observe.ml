@@ -59,7 +59,14 @@ let wrap (type c) (oracle : Oracle.t)
       D.change_protocol ctx ~space name;
       Oracle.barrier oracle ~node:(D.me ctx)
 
+    let adapt ctx ~space =
+      let switched = D.adapt ctx ~space in
+      (* an actual switch is a collective with internal barriers *)
+      if switched <> None then Oracle.barrier oracle ~node:(D.me ctx);
+      switched
+
     let work = D.work
+    let global_id = D.global_id
     let bcast = D.bcast
     let allgather = D.allgather
   end)

@@ -25,6 +25,12 @@ type op =
 type epoch = {
   ops : op list array; (* per proc, program order *)
   flush : bool; (* collective re-[change_protocol] after this epoch *)
+  switch : string option;
+      (* collective mid-run [change_protocol] to a *different* protocol
+         after this epoch's barrier; later epochs run under it until a
+         [flush] returns the space to the run's base protocol. Generated
+         targets are universal protocols (SC, MIGRATORY) so the program
+         stays correct whatever the base protocol admits. *)
 }
 
 type t = {
@@ -49,6 +55,9 @@ let validate p =
   List.iter
     (fun e ->
       if Array.length e.ops <> p.nprocs then invalid_arg "Prog: bad epoch";
+      (match e.switch with
+      | Some "" -> invalid_arg "Prog: empty switch target"
+      | Some _ | None -> ());
       Array.iter
         (List.iter (fun op ->
              let r = rid_of_op op in
@@ -96,8 +105,9 @@ let to_string p =
     (String.concat " " (Array.to_list (Array.map string_of_int p.homes)));
   List.iter
     (fun e ->
-      Printf.bprintf b "epoch %d %s\n"
+      Printf.bprintf b "epoch %d %s%s\n"
         (if e.flush then 1 else 0)
+        (match e.switch with Some q -> "@" ^ q ^ " " | None -> "")
         (String.concat "|"
            (Array.to_list
               (Array.map
@@ -125,6 +135,12 @@ let of_string s =
       | "homes" :: hs ->
           homes := Array.of_list (List.map int_of_string hs)
       | "epoch" :: fl :: rest ->
+          let switch, rest =
+            match rest with
+            | tok :: more when String.length tok > 1 && tok.[0] = '@' ->
+                (Some (String.sub tok 1 (String.length tok - 1)), more)
+            | _ -> (None, rest)
+          in
           let cells = String.concat " " rest in
           let ops =
             String.split_on_char '|' cells
@@ -134,7 +150,7 @@ let of_string s =
                      String.split_on_char ',' cell |> List.map op_of_string)
             |> Array.of_list
           in
-          epochs := { ops; flush = int_of_string fl <> 0 } :: !epochs
+          epochs := { ops; flush = int_of_string fl <> 0; switch } :: !epochs
       | _ -> fail line)
     lines;
   let p =
@@ -304,9 +320,27 @@ let predicted_counter_heap p =
 
 (* ---------- generator ---------- *)
 
-type shape = Generic | Static | Write_once | Counter | Locked_chain
+type shape = Generic | Static | Write_once | Counter | Locked_chain | Switch_heavy
 
-let shapes = [| Generic; Generic; Static; Write_once; Counter; Locked_chain |]
+let shapes =
+  [| Generic; Generic; Static; Write_once; Counter; Locked_chain; Switch_heavy |]
+
+(* Mid-run protocol transitions. Targets are the universal protocols — SC
+   and MIGRATORY admit every DRF pattern — so a switch never invalidates
+   the base protocol's admissibility; epochs after a switch simply run
+   under the target until a flush returns to the base. Counter programs
+   are excluded: their unlocked increments are only atomic under COUNTER,
+   and a mid-run switch would hand them to a protocol that legally loses
+   concurrent RMWs. *)
+let gen_switch_target st = if Gen.bool st then "SC" else "MIGRATORY"
+
+let add_switches ~prob10 epochs st =
+  List.map
+    (fun e ->
+      if Gen.int_bound 9 st < prob10 then
+        { e with switch = Some (gen_switch_target st) }
+      else e)
+    epochs
 
 let gen_value st = float_of_int (1 + Gen.int_bound 7 st)
 
@@ -335,7 +369,7 @@ let gen_generic_epoch ~nprocs ~nregions st =
                 else None)
         |> List.filter_map Fun.id)
   in
-  { ops; flush = Gen.int_bound 4 st = 0 }
+  { ops; flush = Gen.int_bound 4 st = 0; switch = None }
 
 let generate ?shape ?nprocs () st =
   let shape =
@@ -357,9 +391,20 @@ let generate ?shape ?nprocs () st =
   let epochs =
     match shape with
     | Generic ->
-        List.init
-          (1 + Gen.int_bound 3 st)
-          (fun _ -> gen_generic_epoch ~nprocs ~nregions st)
+        add_switches ~prob10:2
+          (List.init
+             (1 + Gen.int_bound 3 st)
+             (fun _ -> gen_generic_epoch ~nprocs ~nregions st))
+          st
+    | Switch_heavy ->
+        (* the transition-torture shape: generic DRF epochs where most
+           epoch boundaries carry a mid-run change_protocol (and the usual
+           flush draws still return to the base protocol in between) *)
+        add_switches ~prob10:6
+          (List.init
+             (2 + Gen.int_bound 3 st)
+             (fun _ -> gen_generic_epoch ~nprocs ~nregions st))
+          st
     | Static ->
         (* fixed writer and stable reader set per region; alternating
            write / read phases, at least two cycles so the learning window
@@ -395,8 +440,8 @@ let generate ?shape ?nprocs () st =
                             else None))
                in
                [
-                 { ops = wops; flush = false };
-                 { ops = rops; flush = Gen.int_bound 6 st = 0 };
+                 { ops = wops; flush = false; switch = None };
+                 { ops = rops; flush = Gen.int_bound 6 st = 0; switch = None };
                ]))
     | Write_once ->
         let init =
@@ -409,6 +454,8 @@ let generate ?shape ?nprocs () st =
                            Some (Write (r, gen_value st))
                          else None));
             flush = false;
+
+            switch = None;
           }
         in
         let read_epochs =
@@ -422,6 +469,8 @@ let generate ?shape ?nprocs () st =
                       List.init n (fun _ ->
                           Read (Gen.int_bound (nregions - 1) st)));
                 flush = false;
+
+                switch = None;
               })
         in
         init :: read_epochs
@@ -436,6 +485,8 @@ let generate ?shape ?nprocs () st =
                     List.init n (fun _ ->
                         Incr (Gen.int_bound (nregions - 1) st)));
               flush = false;
+
+              switch = None;
             })
     | Locked_chain ->
         List.init
@@ -449,6 +500,8 @@ let generate ?shape ?nprocs () st =
                       List.init n (fun _ ->
                           Read (Gen.int_bound (nregions - 1) st)));
                 flush = false;
+
+                switch = None;
               }
             else
               {
@@ -459,6 +512,7 @@ let generate ?shape ?nprocs () st =
                           Locked_add
                             (Gen.int_bound (nregions - 1) st, gen_value st)));
                 flush = Gen.int_bound 5 st = 0;
+                switch = None;
               })
   in
   let p = { nprocs; nregions; rlen; homes; epochs } in
@@ -503,8 +557,18 @@ let shrink_candidates p =
       [ { p with epochs = List.map (fun e -> { e with flush = false }) p.epochs } ]
     else []
   in
+  let unswitch =
+    if List.exists (fun e -> e.switch <> None) p.epochs then
+      [
+        {
+          p with
+          epochs = List.map (fun e -> { e with switch = None }) p.epochs;
+        };
+      ]
+    else []
+  in
   let shorter = if p.rlen > 1 then [ { p with rlen = 1 } ] else [] in
-  drop_epoch @ drop_op @ unflush @ shorter
+  drop_epoch @ drop_op @ unflush @ unswitch @ shorter
 
 (* ---------- interpreter ---------- *)
 
@@ -580,6 +644,13 @@ let interp (type c)
               D.end_write ctx h)
         e.ops.(me);
       D.barrier ctx ~space:0;
+      (* A switch hands the space to a different protocol mid-run; a flush
+         returns it to the run's base protocol (both collective). When an
+         epoch carries both, the flush wins — the switch round still
+         exercises a full transition. *)
+      (match e.switch with
+      | Some q -> D.change_protocol ctx ~space:0 q
+      | None -> ());
       if e.flush then D.change_protocol ctx ~space:0 flush_to)
     p.epochs;
   ignore !sink;

@@ -21,6 +21,12 @@ type t = {
   store : Store.t;
   base_barrier : Machine.Barrier.b;
   coll : Ace_region.Collective.t;
+  (* deterministic region naming, as in the Ace runtime: the [space]
+     argument is a pure naming namespace here (CRL regions have no
+     spaces), so the same SPMD sources resolve the same names on both
+     backends *)
+  names : (int * int * int, int) Hashtbl.t;
+  alloc_seq : (int * int, int ref) Hashtbl.t;
 }
 
 let create ?(cost = Cost_model.cm5_crl) ?policy ~nprocs () =
@@ -35,6 +41,8 @@ let create ?(cost = Cost_model.cm5_crl) ?policy ~nprocs () =
     base_barrier =
       Machine.Barrier.create machine ~cost:(fun p -> Cost_model.barrier_cost cost p);
     coll = Ace_region.Collective.create ~nprocs;
+    names = Hashtbl.create 64;
+    alloc_seq = Hashtbl.create 16;
   }
 
 type ctx = {
@@ -66,8 +74,19 @@ let charge ctx c = Machine.advance ctx.proc c
 
 (* rgn_create: CRL regions are homed at their creator; [space] is ignored
    (CRL has no spaces). *)
-let alloc ctx ~space:_ ~len =
+let alloc ctx ~space ~len =
   let meta = Store.alloc ctx.sys.store ~home:(me ctx) ~len ~space:(-1) in
+  let sys = ctx.sys in
+  let seq =
+    match Hashtbl.find_opt sys.alloc_seq (space, me ctx) with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add sys.alloc_seq (space, me ctx) r;
+        r
+  in
+  Hashtbl.replace sys.names (space, me ctx, !seq) meta.Store.rid;
+  incr seq;
   charge ctx ctx.sys.cost.Cost_model.map_miss;
   meta
 
@@ -154,6 +173,34 @@ let barrier ctx ~space:_ = Machine.Barrier.wait ctx.sys.base_barrier ctx.proc
    single-protocol system safely ignores. *)
 let change_protocol _ctx ~space:_ _name = ()
 
+(* CRL has no protocols to adapt between either. *)
+let adapt _ctx ~space:_ = None
+
+(* Deterministic region naming lookup; remote queries are one name-service
+   round trip to the owner (same convention as Ace's Ops.global_id). *)
+let global_id ctx ~space ~owner ~seq =
+  let sys = ctx.sys in
+  let lookup () =
+    match Hashtbl.find_opt sys.names (space, owner, seq) with
+    | Some rid -> rid
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Crl.global_id (%d, %d, %d): not allocated (missing barrier?)"
+             space owner seq)
+  in
+  if owner = me ctx then begin
+    charge ctx sys.cost.Cost_model.map_hit;
+    lookup ()
+  end
+  else
+    Ace_net.Reliable.rpc ctx.bctx.Blocks.net ctx.proc ~dst:owner
+      ~bytes:Blocks.ctl_bytes (fun reply ~time ->
+        let rid = lookup () in
+        Ace_net.Reliable.send ctx.bctx.Blocks.net ~now:time ~src:owner
+          ~dst:(me ctx) ~bytes:Blocks.ctl_bytes (fun ~time ->
+            Ace_engine.Ivar.fill reply ~time rid))
+
 let work ctx cycles = charge ctx cycles
 
 let bcast ctx ~root f =
@@ -188,7 +235,9 @@ struct
   let unlock = unlock
   let barrier = barrier
   let change_protocol = change_protocol
+  let adapt = adapt
   let work = work
+  let global_id = global_id
   let bcast = bcast
   let allgather = allgather
 end

@@ -64,7 +64,16 @@ val barrier : ctx -> space:int -> unit
 (** No-op: a single-protocol system safely ignores protocol hints. *)
 val change_protocol : ctx -> space:int -> string -> unit
 
+(** No-op ([None]): CRL has no protocols to adapt between. *)
+val adapt : ctx -> space:int -> string option
+
 val work : ctx -> float -> unit
+
+(** Deterministic region naming: the rid of the [seq]-th region [owner]
+    allocated with namespace [space] (a pure naming namespace on CRL).
+    Remote queries cost one name-service round trip to the owner. *)
+val global_id : ctx -> space:int -> owner:int -> seq:int -> int
+
 val bcast : ctx -> root:int -> (unit -> int array) -> int array
 val allgather : ctx -> int array -> int array array
 

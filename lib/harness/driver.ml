@@ -125,13 +125,19 @@ let run_crl (type cfg) ?faults ?batch ?trace ?crit ?stats ?policy
   Option.iter (fun f -> f (Machine.stats machine)) stats;
   out
 
-let run_ace (type cfg) ?faults ?batch ?trace ?crit ?cost ?stats ?policy
+let run_ace (type cfg) ?faults ?batch ?trace ?crit ?cost ?stats ?policy ?adapt
     ?(wrap : Ace_runtime.Protocol.ctx wrap option) ~nprocs
     (module App : APP with type config = cfg) (cfg : cfg) =
   let rt = Ace_runtime.Runtime.create ?cost ?policy ~nprocs () in
   attach_faults (Ace_runtime.Runtime.am rt) faults;
   attach_batch (Ace_runtime.Runtime.am rt) batch;
   Ace_protocols.Proto_lib.register_all rt;
+  (* Install the online protocol-adaptation engine (default absent: the
+     Ops.adapt hook then returns None and fixed-protocol runs pay nothing,
+     keeping their output bit-identical). *)
+  (match adapt with
+  | Some acfg -> ignore (Ace_runtime.Adapt.install rt acfg)
+  | None -> ());
   for _ = 1 to App.n_spaces do
     ignore (Ace_runtime.Runtime.new_space rt "SC")
   done;

@@ -799,6 +799,130 @@ let print_critpath_rows rows =
         (100. *. share) r.cp_whatif_net r.cp_whatif_send)
     rows
 
+(* {2 Adaptive serving}
+
+   The kvserve workload (Zipfian key-value serving with per-space access
+   profiles, hot-key churn and rolling quiesce phases) under each fixed
+   candidate protocol and under online adaptation. The fixed rows are the
+   menu a static deployment would have to choose from; the adaptive row
+   lets every space pick — and re-pick, as churn and quiesce shift the
+   profiles — its own protocol at epoch boundaries through
+   Ace_ChangeProtocol. The headline comparison is total physical
+   messages: adaptation should match or beat the best fixed protocol,
+   which no single row can do per-space. All rows compute the same exact
+   (integral) total, checked against the sequential reference. *)
+
+module Kvserve = Ace_apps.Kvserve
+module Kv_core = Ace_apps.Kv_core
+module Adapt = Ace_runtime.Adapt
+
+type serving_row = {
+  sv_mode : string; (* "SC" | "DYN_UPDATE" | "MIGRATORY" | "adaptive" *)
+  sv_seconds : float; (* simulated, total *)
+  sv_messages : float; (* physical messages *)
+  sv_result : float; (* grand total served (exact integer) *)
+  sv_ok : bool; (* result equals the sequential reference *)
+  sv_switches : float; (* collective protocol switches performed *)
+  sv_residency : (string * float) list; (* space-epochs per candidate *)
+  sv_wall : float;
+}
+
+let serving_fixed = [ "SC"; "DYN_UPDATE"; "MIGRATORY" ]
+
+(* Physical messages of the best fixed row vs the adaptive row — the
+   experiment's acceptance ratio (<= 1.0 means adaptation won). *)
+let serving_headline rows =
+  let fixed =
+    List.filter (fun r -> List.mem r.sv_mode serving_fixed) rows
+  in
+  let adaptive = List.find_opt (fun r -> r.sv_mode = "adaptive") rows in
+  match (fixed, adaptive) with
+  | [], _ | _, None -> None
+  | f :: fs, Some a ->
+      let best = List.fold_left (fun b r -> if r.sv_messages < b.sv_messages then r else b) f fs in
+      Some (best, a, if best.sv_messages > 0. then a.sv_messages /. best.sv_messages else nan)
+
+let serving ?(scale = default_scale) ?jobs ?batch ?trace_dir () =
+  let nprocs = scale.nprocs in
+  let cfg =
+    {
+      Kv_core.default with
+      Kv_core.n_keys = 96 * scale.factor;
+      ops_per_epoch = 24;
+      epochs = 12;
+    }
+  in
+  let reference = Kv_core.reference cfg ~nprocs in
+  let fam_res = Stats.fam "ace.adapt.residency.by_proto" in
+  let tp mode = trace_path trace_dir ~fig:"serving" ~row:mode ~side:"ace" in
+  let modes =
+    List.map (fun p -> (p, Some p)) serving_fixed @ [ ("adaptive", None) ]
+  in
+  let cells =
+    Array.of_list
+      (List.map
+         (fun (mode, fixed) ->
+           Pool.timed (fun () ->
+               let msgs = ref 0.
+               and switches = ref 0.
+               and res = ref [] in
+               let stats st =
+                 msgs := Stats.get st "net.messages";
+                 switches := Stats.get st "ace.adapt.switches";
+                 res :=
+                   Array.to_list
+                     (Array.mapi
+                        (fun i name -> (name, Stats.get_dim st fam_res i))
+                        Adapt.candidates)
+               in
+               let adapt =
+                 match fixed with None -> Some Adapt.default | Some _ -> None
+               in
+               let out =
+                 Driver.run_ace ?batch ?adapt ?trace:(tp mode) ~stats ~nprocs
+                   (module Kvserve)
+                   { cfg with Kv_core.protocol = fixed }
+               in
+               {
+                 sv_mode = mode;
+                 sv_seconds = out.Driver.seconds;
+                 sv_messages = !msgs;
+                 sv_result = out.Driver.result;
+                 sv_ok = out.Driver.result = reference;
+                 sv_switches = !switches;
+                 sv_residency = !res;
+                 sv_wall = 0.;
+               }))
+         modes)
+  in
+  let out = Pool.run_all ?jobs cells in
+  Array.to_list (Array.map (fun (r, wall) -> { r with sv_wall = wall }) out)
+
+let print_serving_rows rows =
+  Printf.printf "%-12s %12s %12s %9s %6s  %s\n" "mode" "sim s" "messages"
+    "switches" "ok" "residency (space-epochs)";
+  Printf.printf "%s\n" (String.make 92 '-');
+  List.iter
+    (fun r ->
+      let res =
+        String.concat " "
+          (List.filter_map
+             (fun (name, n) ->
+               if n > 0. then Some (Printf.sprintf "%s:%.0f" name n) else None)
+             r.sv_residency)
+      in
+      Printf.printf "%-12s %12.6f %12.0f %9.0f %6s  %s\n" r.sv_mode
+        r.sv_seconds r.sv_messages r.sv_switches
+        (if r.sv_ok then "yes" else "NO")
+        res)
+    rows;
+  match serving_headline rows with
+  | None -> ()
+  | Some (best, a, ratio) ->
+      Printf.printf
+        "\nadaptive vs best fixed (%s): %.0f vs %.0f messages (%.3fx)\n"
+        best.sv_mode a.sv_messages best.sv_messages ratio
+
 let print_fault_rows rows =
   Printf.printf "%-12s %6s %12s %8s %8s %8s %8s %8s %9s %8s\n" "benchmark"
     "drop" "sim s" "rexmit" "timeout" "dupsup" "dropped" "giveup" "piggyack"

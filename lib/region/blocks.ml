@@ -53,6 +53,7 @@ let sid_write_miss = Stats.intern "coh.write_miss"
 let sid_update_push = Stats.intern "coh.update_push"
 let sid_static_push = Stats.intern "coh.static_push"
 let sid_inval_batch = Stats.intern "coh.inval_batch"
+let sid_late_forward = Stats.intern "coh.late_forward"
 let sid_write_combined = Stats.intern "coh.write_combined"
 let sid_bulk_fetch = Stats.intern "coh.bulk_fetch"
 let fam_read_miss_space = Stats.fam "coh.read_miss.by_space"
@@ -100,21 +101,53 @@ let begin_access ctx meta ~write =
   if write then c.Store.writers <- c.Store.writers + 1
   else c.Store.readers <- c.Store.readers + 1
 
-let end_access ctx meta ~write =
-  let c = local_copy ctx meta in
-  if write then c.Store.writers <- c.Store.writers - 1
-  else c.Store.readers <- c.Store.readers - 1;
+let release_deferred (c : Store.copy) ~time =
   if c.Store.readers = 0 && c.Store.writers = 0 then
     match c.Store.deferred with
     | [] -> ()
     | ds ->
         c.Store.deferred <- [];
-        List.iter (fun f -> f ctx.proc.Machine.clock) (List.rev ds)
+        List.iter (fun f -> f time) (List.rev ds)
+
+let end_access ctx meta ~write =
+  let c = local_copy ctx meta in
+  if write then c.Store.writers <- c.Store.writers - 1
+  else c.Store.readers <- c.Store.readers - 1;
+  release_deferred c ~time:ctx.proc.Machine.clock
 
 let run_or_defer (c : Store.copy) ~time f =
   if c.Store.readers > 0 || c.Store.writers > 0 then
     c.Store.deferred <- (fun tend -> f (Float.max tend time)) :: c.Store.deferred
   else f time
+
+(* Grant-to-resume pinning. A fetch's grant applies at message-delivery
+   time, but the fetching fiber's resumption is a *queued* event — and the
+   transaction-closing [dir_exit] starts the next queued directory
+   transaction synchronously in between. Without a pin, that transaction's
+   recall (or invalidation) would find readers = writers = 0 on the
+   just-granted copy and steal it before the requester has even observed
+   it; the requester then runs its access section against a dead copy and
+   its write never reaches the master (a lost update). So the grant pins
+   the copy like a one-access hold, and the requester releases the pin
+   after resuming. Deferred actions released by an unpin are *rescheduled*
+   rather than run inline: the [begin_access] that normally follows a
+   fetch runs later in the same event, so an inline recall would reopen
+   the very window the pin closes. Uncontended runs never defer, so the
+   pin is a pure counter twiddle there. *)
+let pin (c : Store.copy) ~write =
+  if write then c.Store.writers <- c.Store.writers + 1
+  else c.Store.readers <- c.Store.readers + 1
+
+let unpin ctx (c : Store.copy) ~write =
+  if write then c.Store.writers <- c.Store.writers - 1
+  else c.Store.readers <- c.Store.readers - 1;
+  if c.Store.readers = 0 && c.Store.writers = 0 && c.Store.deferred <> [] then begin
+    let time = ctx.proc.Machine.clock in
+    Machine.schedule
+      (Net.machine ctx.net)
+      ~time
+      (fun () -> release_deferred c ~time)
+  end
 
 (* Run [body] as a home-side directory transaction on behalf of the calling
    fiber. At the home the request leg is free (a local table operation);
@@ -273,6 +306,7 @@ let fetch_shared ctx meta =
             if n = home then begin
               (* master aliased: fresh after the recall *)
               copy.Store.cstate <- Store.Shared;
+              pin copy ~write:false;
               finish ~time
             end
             else begin
@@ -281,8 +315,10 @@ let fetch_shared ctx meta =
                 (fun ~time ->
                   Store.blit_in meta ~buf:snapshot ~at:0 copy.Store.cdata;
                   copy.Store.cstate <- Store.Shared;
+                  pin copy ~write:false;
                   finish ~time)
-            end))
+            end));
+    unpin ctx copy ~write:false
   end
 
 (* Batched read misses (bulk prefetch): one vectored request per home node
@@ -402,6 +438,7 @@ let fetch_exclusive ctx meta =
               Dir.add d.Store.sharers n;
               if n = home then begin
                 copy.Store.cstate <- Store.Exclusive;
+                pin copy ~write:true;
                 finish ~time
               end
               else begin
@@ -413,6 +450,7 @@ let fetch_exclusive ctx meta =
                     if not had_valid_copy then
                       Store.blit_in meta ~buf:snapshot ~at:0 copy.Store.cdata;
                     copy.Store.cstate <- Store.Exclusive;
+                    pin copy ~write:true;
                     finish ~time)
               end
             in
@@ -461,7 +499,8 @@ let fetch_exclusive ctx meta =
                         match Store.copy_of meta ~node:s with
                         | Some c -> run_or_defer c ~time act
                         | None -> act time))
-            end))
+            end));
+    unpin ctx copy ~write:true
   end
 
 let writeback ctx meta =
@@ -699,6 +738,11 @@ let push_to ctx meta ~dsts =
    ivar fills once every consumer copy (and every remote master) has been
    refreshed. *)
 let push_to_batch ctx items =
+  (* The caller blocks on the returned ivar, and no fiber may block with a
+     non-empty write-combining queue (see [drain]) — flush parked updates
+     first so they cannot be stranded behind the push (e.g. a protocol
+     detach publishing its last batch before a change_protocol swap). *)
+  drain ctx;
   let n = node ctx in
   let done_iv = Ivar.create () in
   let outstanding = ref 0 in
@@ -717,29 +761,58 @@ let push_to_batch ctx items =
       List.iter
         (fun dst ->
           incr outstanding;
+          let delivered ~time =
+            merge_cause ctx cjn;
+            decr outstanding;
+            if !outstanding = 0 then begin
+              adopt_cause ctx cjn;
+              Ivar.fill done_iv ~time ()
+            end
+          in
           parts :=
             Net.part ~dst ~bytes:(data_bytes meta) (fun ~time ->
-                (if dst = home then begin
-                   Store.blit_in meta ~buf:snapshot ~at:0 meta.Store.master;
-                   match Store.copy_of meta ~node:home with
-                   | Some c ->
-                       if c.Store.cstate = Store.Invalid then
-                         c.Store.cstate <- Store.Shared
-                   | None -> ()
-                 end
-                 else begin
-                   let c = Store.ensure_copy_c meta ~node:dst in
+                if dst = home then
+                  (* [targets] is the writer's host view of the sharer set
+                     from before the send; a reader whose fetch lands at the
+                     home in flight holds the old master as a Shared copy and
+                     is missing from it. Take the directory like
+                     [push_update]'s home path and forward the payload to any
+                     sharer the writer's list missed, so the batch refreshes
+                     exactly the copies the unbatched push would have. *)
+                  dir_enter meta ~time (fun time ->
+                      Store.blit_in meta ~buf:snapshot ~at:0 meta.Store.master;
+                      (match Store.copy_of meta ~node:home with
+                      | Some c ->
+                          if c.Store.cstate = Store.Invalid then
+                            c.Store.cstate <- Store.Shared
+                      | None -> ());
+                      Dir.add meta.Store.dir.Store.sharers dst;
+                      Store.iter_sharers meta ~except:n (fun s ->
+                          if s <> home && not (List.mem s targets) then begin
+                            incr outstanding;
+                            Stats.incr_id st sid_late_forward;
+                            Net.send ctx.net ~now:time ~src:home ~dst:s
+                              ~bytes:(data_bytes meta) (fun ~time ->
+                                (match Store.copy_of meta ~node:s with
+                                | Some c ->
+                                    run_or_defer c ~time (fun _ ->
+                                        Store.blit_in meta ~buf:snapshot ~at:0
+                                          c.Store.cdata;
+                                        if c.Store.cstate = Store.Invalid then
+                                          c.Store.cstate <- Store.Shared)
+                                | None -> ());
+                                delivered ~time)
+                          end);
+                      dir_exit meta ~time;
+                      delivered ~time)
+                else begin
+                  (let c = Store.ensure_copy_c meta ~node:dst in
                    run_or_defer c ~time (fun _ ->
                        Store.blit_in meta ~buf:snapshot ~at:0 c.Store.cdata;
                        if c.Store.cstate = Store.Invalid then
-                         c.Store.cstate <- Store.Shared)
-                 end);
-                Dir.add meta.Store.dir.Store.sharers dst;
-                merge_cause ctx cjn;
-                decr outstanding;
-                if !outstanding = 0 then begin
-                  adopt_cause ctx cjn;
-                  Ivar.fill done_iv ~time ()
+                         c.Store.cstate <- Store.Shared));
+                  Dir.add meta.Store.dir.Store.sharers dst;
+                  delivered ~time
                 end)
             :: !parts)
         targets)

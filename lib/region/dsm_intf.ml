@@ -36,8 +36,22 @@ module type S = sig
       correct program stays correct when they are ignored). *)
   val change_protocol : ctx -> space:int -> string -> unit
 
+  (** Collective adaptation point, called by every node at an epoch
+      boundary for [space]: consult the runtime's installed adaptation
+      policy and collectively switch the space's protocol if it so
+      advises, returning the protocol switched to. A no-op returning
+      [None] on CRL and when no policy is installed, so fixed-protocol
+      runs pay nothing for the hook. *)
+  val adapt : ctx -> space:int -> string option
+
   (** Charge local computation cycles. *)
   val work : ctx -> float -> unit
+
+  (** Deterministic region naming: the rid of the [seq]-th region [owner]
+      allocated from [space]. Remote queries cost one name-service round
+      trip to the owner; callers must synchronize (barrier) after the
+      allocation phase before looking names up. *)
+  val global_id : ctx -> space:int -> owner:int -> seq:int -> int
 
   (** Collective broadcast of an int array computed at [root]. *)
   val bcast : ctx -> root:int -> (unit -> int array) -> int array

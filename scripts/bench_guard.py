@@ -27,11 +27,21 @@ short is itself several percent. The guard therefore bounds the absolute
 regression, which is what CI can measure honestly, rather than pretending
 a percentage of a sub-second wall is meaningful.
 
+When the current report contains `serving` rows (bench/main.exe serving),
+an adaptation guard also runs: every row must have computed the exact
+sequential reference (ok == 1), the adaptive row must actually have
+switched protocols at least once, and — the experiment's headline claim —
+the adaptive row's physical message count must not exceed the best fixed
+protocol's. The claim is scale-sensitive (update-protocol push fan-out
+grows with the sharer population), so CI runs this guard on the --small
+smoke, the configuration the claim is made for.
+
 Usage:
     bench_guard.py CURRENT.json BASELINE.json [--tolerance 0.15]
                    [--report OUT.json]
     bench_guard.py SCALING.json --scaling-only [--report OUT.json]
     bench_guard.py CRITPATH.json --critpath-only [--report OUT.json]
+    bench_guard.py SERVING.json --serving-only [--report OUT.json]
 """
 
 import argparse
@@ -119,6 +129,59 @@ def critpath_guard(report):
     return checks
 
 
+# The adaptive row may not send more messages than the best fixed
+# protocol: adaptation's whole pitch is that per-space re-picking matches
+# or beats any single static choice.
+SERVING_RATIO_LIMIT = 1.0
+SERVING_FIXED = {"SC", "DYN_UPDATE", "MIGRATORY"}
+
+
+def serving_guard(report):
+    """Check the adaptive-serving rows' correctness and headline ratio."""
+    rows = [r for r in report.get("rows", [])
+            if r.get("experiment") == "serving"]
+    if not rows:
+        return []
+
+    checks = []
+    fixed_msgs = {}
+    adaptive = None
+    for r in rows:
+        name = r.get("name", "?")
+        sims = r.get("sim_s") or {}
+        msgs = (r.get("net_messages") or {}).get("total")
+        checks.append({
+            "series": f"serving-{name}-correct",
+            "ok": sims.get("ok") == 1,
+        })
+        if name in SERVING_FIXED and msgs is not None:
+            fixed_msgs[name] = msgs
+        if name == "adaptive":
+            adaptive = (msgs, sims.get("switches"))
+
+    if adaptive is not None and fixed_msgs:
+        msgs, switches = adaptive
+        checks.append({
+            "series": "serving-adaptive-switched",
+            "switches": switches,
+            "ok": bool(switches and switches > 0),
+        })
+        best_name = min(fixed_msgs, key=fixed_msgs.get)
+        best = fixed_msgs[best_name]
+        ratio = (msgs / best) if (msgs is not None and best > 0) else None
+        checks.append({
+            "series": "serving-adaptive-vs-best-fixed",
+            "best_fixed": best_name,
+            "best_fixed_messages": best,
+            "adaptive_messages": msgs,
+            "ratio": ratio,
+            "ok": ratio is not None and ratio <= SERVING_RATIO_LIMIT,
+        })
+    else:
+        checks.append({"series": "serving-rows-complete", "ok": False})
+    return checks
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current")
@@ -132,6 +195,9 @@ def main():
                     help="skip the wall-clock comparison; only run the "
                          "recorder-overhead guard on CURRENT's "
                          "critpath_overhead rows")
+    ap.add_argument("--serving-only", action="store_true",
+                    help="skip the wall-clock comparison; only run the "
+                         "adaptation guard on CURRENT's serving rows")
     ap.add_argument("--report", help="write a JSON verdict artifact here")
     args = ap.parse_args()
 
@@ -156,6 +222,21 @@ def main():
               f"{1.0 + CRITPATH_TOLERANCE:.2f} + {CRITPATH_FLOOR_S}s floor, "
               f"{'OK' if c['ok'] else 'OVERHEAD REGRESSION'})")
 
+    serving_checks = serving_guard(cur)
+    serving_ok = all(c["ok"] for c in serving_checks)
+    for c in serving_checks:
+        if c["series"] == "serving-adaptive-vs-best-fixed":
+            ratio = c["ratio"]
+            print(f"bench_guard: serving adaptive "
+                  f"{c['adaptive_messages']:.0f} msgs vs best fixed "
+                  f"{c['best_fixed']} {c['best_fixed_messages']:.0f} "
+                  f"(ratio {ratio:.3f}, limit {SERVING_RATIO_LIMIT}, "
+                  f"{'OK' if c['ok'] else 'ADAPTATION REGRESSION'})"
+                  if ratio is not None else
+                  "bench_guard: serving ratio unavailable (FAIL)")
+        elif not c["ok"]:
+            print(f"bench_guard: serving check {c['series']}: FAIL")
+
     if args.scaling_only:
         if not scaling_checks:
             sys.exit("bench_guard: --scaling-only but no scaling rows "
@@ -175,6 +256,16 @@ def main():
                 json.dump({"ok": critpath_ok, "critpath": critpath_checks},
                           f, indent=2)
         sys.exit(0 if critpath_ok else 1)
+
+    if args.serving_only:
+        if not serving_checks:
+            sys.exit("bench_guard: --serving-only but no serving rows "
+                     "in current report")
+        if args.report:
+            with open(args.report, "w") as f:
+                json.dump({"ok": serving_ok, "serving": serving_checks},
+                          f, indent=2)
+        sys.exit(0 if serving_ok else 1)
 
     if args.baseline is None:
         ap.error("baseline report required unless --scaling-only")
@@ -218,10 +309,11 @@ def main():
                     f"{exp}/{name}: sim_s[{sim_key}] {bv!r} -> {cv!r}")
 
     verdict = {
-        "ok": ok and scaling_ok and critpath_ok,
+        "ok": ok and scaling_ok and critpath_ok and serving_ok,
         "wall_ok": ok,
         "scaling": scaling_checks,
         "critpath": critpath_checks,
+        "serving": serving_checks,
         "tolerance": args.tolerance,
         "baseline_total_wall_s": base_total,
         "current_total_wall_s": cur_total,
@@ -252,7 +344,7 @@ def main():
                   f"{ratio:>7.2f}" if ratio is not None else
                   f"  {label:<40} (no baseline wall)")
         sys.exit(1)
-    if not scaling_ok or not critpath_ok:
+    if not scaling_ok or not critpath_ok or not serving_ok:
         sys.exit(1)
 
 

@@ -1,0 +1,157 @@
+(* The adaptive serving workload: the Zipf sampler and churn permutation
+   (seeded determinism, frequency shape), and the kvserve app itself —
+   every backend, every fixed candidate protocol, batching on and off,
+   and the online-adaptation run must all compute the sequential
+   reference's exact total (all stored values are integral, so equality
+   is exact). The adaptive run must also actually switch protocols. *)
+
+module Rng = Ace_engine.Det_rng
+module Driver = Ace_harness.Driver
+module Adapt = Ace_runtime.Adapt
+module Stats = Ace_engine.Stats
+module Kv = Ace_apps.Kvserve
+module Core = Ace_apps.Kv_core
+
+let nprocs = 4
+
+(* ---- Zipf sampler ---- *)
+
+let zipf_deterministic () =
+  let z = Core.zipf_make ~n:1000 ~theta:0.99 in
+  let draw () =
+    let rng = Rng.create 7 in
+    Array.init 200 (fun _ -> Core.zipf_sample z rng)
+  in
+  Alcotest.(check (array int)) "same seed, same ranks" (draw ()) (draw ());
+  let rng = Rng.create 8 in
+  let other = Array.init 200 (fun _ -> Core.zipf_sample z rng) in
+  if draw () = other then Alcotest.fail "different seeds gave equal streams"
+
+let zipf_rank1_frequency () =
+  (* Empirical mass of rank 0 over many draws vs the CDF's exact mass. *)
+  List.iter
+    (fun theta ->
+      let z = Core.zipf_make ~n:500 ~theta in
+      let rng = Rng.create 42 in
+      let trials = 20_000 in
+      let hits = ref 0 in
+      for _ = 1 to trials do
+        if Core.zipf_sample z rng = 0 then incr hits
+      done;
+      let emp = float_of_int !hits /. float_of_int trials in
+      let exact = Core.rank1_mass z in
+      if abs_float (emp -. exact) > 0.015 then
+        Alcotest.failf "theta=%.2f: empirical %.4f vs exact %.4f" theta emp
+          exact)
+    [ 0.5; 0.99; 1.2 ]
+
+let zipf_rank1_tracks_theta () =
+  (* Heavier exponent, heavier head. *)
+  let mass theta = Core.rank1_mass (Core.zipf_make ~n:500 ~theta) in
+  if not (mass 1.2 > mass 0.99 && mass 0.99 > mass 0.5) then
+    Alcotest.fail "rank-1 mass not monotone in theta"
+
+let zipf_bounds () =
+  let z = Core.zipf_make ~n:17 ~theta:1.1 in
+  let rng = Rng.create 3 in
+  for _ = 1 to 5_000 do
+    let r = Core.zipf_sample z rng in
+    if r < 0 || r >= 17 then Alcotest.failf "rank %d out of range" r
+  done
+
+(* ---- Churn permutation ---- *)
+
+let churn_deterministic_bijection () =
+  let n = 257 in
+  List.iter
+    (fun era ->
+      let image = Array.init n (fun r -> Core.churn_key ~n ~seed:42 ~era r) in
+      let again = Array.init n (fun r -> Core.churn_key ~n ~seed:42 ~era r) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "era %d deterministic" era)
+        image again;
+      let seen = Array.make n false in
+      Array.iter (fun k -> seen.(k) <- true) image;
+      if Array.exists not seen then
+        Alcotest.failf "era %d: churn map is not a permutation" era)
+    [ 0; 1; 2; 7 ]
+
+let churn_rotates () =
+  let n = 256 in
+  let image era = Array.init n (fun r -> Core.churn_key ~n ~seed:42 ~era r) in
+  if image 0 = image 1 then
+    Alcotest.fail "consecutive eras map ranks identically"
+
+(* ---- The serving app vs its reference ---- *)
+
+let cfg =
+  { Core.default with Core.n_keys = 48; ops_per_epoch = 12; epochs = 8 }
+
+let reference = lazy (Core.reference cfg ~nprocs)
+
+let check_run name (r : Driver.outcome) =
+  let want = Lazy.force reference in
+  if r.Driver.result <> want then
+    Alcotest.failf "%s: %.12g <> reference %.12g" name r.Driver.result want
+
+let kv_crl () = check_run "crl" (Driver.run_crl ~nprocs (module Kv) cfg)
+let kv_ace_sc () = check_run "ace-sc" (Driver.run_ace ~nprocs (module Kv) cfg)
+
+let kv_fixed_protocols () =
+  List.iter
+    (fun proto ->
+      let c = { cfg with Core.protocol = Some proto } in
+      check_run proto (Driver.run_ace ~nprocs (module Kv) c);
+      check_run (proto ^ "+batch")
+        (Driver.run_ace ~batch:true ~nprocs (module Kv) c))
+    [ "SC"; "DYN_UPDATE"; "MIGRATORY" ]
+
+let kv_adaptive () =
+  let switches = ref 0. in
+  let stats st = switches := Stats.get st "ace.adapt.switches" in
+  let r =
+    Driver.run_ace ~adapt:Adapt.default ~stats ~nprocs (module Kv) cfg
+  in
+  check_run "adaptive" r;
+  if !switches <= 0. then
+    Alcotest.fail "adaptation never switched a protocol"
+
+let kv_adaptive_batch () =
+  check_run "adaptive+batch"
+    (Driver.run_ace ~adapt:Adapt.default ~batch:true ~nprocs (module Kv) cfg)
+
+let kv_adaptive_deterministic () =
+  let go () =
+    (Driver.run_ace ~adapt:Adapt.default ~nprocs (module Kv) cfg).Driver.seconds
+  in
+  Alcotest.(check (float 0.)) "same simulated seconds" (go ()) (go ())
+
+let () =
+  Alcotest.run "kvserve"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "seeded determinism" `Quick zipf_deterministic;
+          Alcotest.test_case "rank-1 frequency" `Quick zipf_rank1_frequency;
+          Alcotest.test_case "rank-1 tracks theta" `Quick zipf_rank1_tracks_theta;
+          Alcotest.test_case "sample bounds" `Quick zipf_bounds;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "deterministic bijection" `Quick
+            churn_deterministic_bijection;
+          Alcotest.test_case "rotates across eras" `Quick churn_rotates;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "crl" `Quick kv_crl;
+          Alcotest.test_case "ace sc" `Quick kv_ace_sc;
+          Alcotest.test_case "fixed protocols (+batch)" `Quick
+            kv_fixed_protocols;
+          Alcotest.test_case "adaptive switches and is exact" `Quick
+            kv_adaptive;
+          Alcotest.test_case "adaptive under batching" `Quick kv_adaptive_batch;
+          Alcotest.test_case "adaptive is deterministic" `Quick
+            kv_adaptive_deterministic;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+(* Regression tests for mid-run Ace_ChangeProtocol hardening:
+
+   - the collective-agreement check: nodes passing different protocol
+     names must die with a diagnostic naming the space, both protocol
+     names and both nodes (not silently adopt node 0's choice);
+   - the strand-flush guarantee under bulk-transfer batching: a
+     write-combined update parked by [queue_write_home] must not cross
+     the swap barrier unflushed (queued write -> switch -> read must see
+     the write, even when the switched space's detach hook is a no-op). *)
+
+module Runtime = Ace_runtime.Runtime
+module Ops = Ace_runtime.Ops
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 0.))
+let contains s sub = Str_find.find s sub >= 0
+
+let make ~nprocs =
+  let rt = Runtime.create ~nprocs () in
+  Ace_protocols.Proto_lib.register_all rt;
+  rt
+
+(* ---- collective-agreement diagnostic ---- *)
+
+let mismatch_reports () =
+  let rt = make ~nprocs:2 in
+  ignore (Runtime.new_space rt "SC");
+  match
+    Runtime.run rt (fun ctx ->
+        let name = if Ops.me ctx = 0 then "NULL" else "MIGRATORY" in
+        Ops.change_protocol ctx ~space:0 name)
+  with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      check "names both protocols" true
+        (contains msg "\"NULL\"" && contains msg "\"MIGRATORY\"");
+      check "names the space" true (contains msg "space 0");
+      check "names the call" true (contains msg "Ace_ChangeProtocol")
+
+let agreement_accepts_and_clears () =
+  let rt = make ~nprocs:4 in
+  ignore (Runtime.new_space rt "SC");
+  (* Two successive collective switches on the same space: the second one
+     must start from a cleared agreement slot, not compare against the
+     first call's posted name. *)
+  Runtime.run rt (fun ctx ->
+      Ops.change_protocol ctx ~space:0 "MIGRATORY";
+      Ops.change_protocol ctx ~space:0 "SC");
+  check "runs to completion" true true
+
+(* ---- strand flush under batching ---- *)
+
+(* Node 1 parks a write-combined update on the PIPELINE space, including a
+   combined update+release gated on it, then every node switches a
+   *different* space whose detach hook is a no-op (NULL). Without the
+   flush in change_protocol, node 1 sits in the swap barrier with a
+   non-empty queue: node 0's lock waits on a release that can never land
+   (deadlock), and the written value is stranded on node 1. *)
+let switch_flushes_parked_writes () =
+  let rt = make ~nprocs:2 in
+  ignore (Runtime.new_space rt "PIPELINE");
+  ignore (Runtime.new_space rt "NULL");
+  Ace_net.Am.set_batching (Runtime.am rt) true;
+  let seen = ref nan in
+  Runtime.run rt (fun ctx ->
+      let me = Ops.me ctx in
+      if me = 0 then ignore (Ops.alloc ctx ~space:0 ~len:4);
+      Ops.barrier ctx ~space:1;
+      let h = Ops.map ctx (Ops.global_id ctx ~space:0 ~owner:0 ~seq:0) in
+      if me = 1 then begin
+        Ops.lock ctx h;
+        Ops.start_write ctx h;
+        (Ops.data ctx h).(0) <- 42.;
+        Ops.end_write ctx h;
+        (* parks the update; the release rides it (unlock_after) *)
+        Ops.unlock ctx h
+      end;
+      Ops.change_protocol ctx ~space:1 "SC";
+      if me = 0 then begin
+        Ops.lock ctx h;
+        Ops.start_read ctx h;
+        seen := (Ops.data ctx h).(0);
+        Ops.end_read ctx h;
+        Ops.unlock ctx h
+      end);
+  checkf "read after switch sees the queued write" 42. !seen
+
+(* Switching the PIPELINE space itself: the detach hook's barrier must
+   publish the parked update (and await it) before the swap, so a plain
+   post-switch read under SC sees the value. *)
+let detach_publishes_parked_writes () =
+  let rt = make ~nprocs:2 in
+  ignore (Runtime.new_space rt "PIPELINE");
+  Ace_net.Am.set_batching (Runtime.am rt) true;
+  let seen = ref nan in
+  Runtime.run rt (fun ctx ->
+      let me = Ops.me ctx in
+      if me = 0 then ignore (Ops.alloc ctx ~space:0 ~len:4);
+      Ops.barrier ctx ~space:0;
+      let h = Ops.map ctx (Ops.global_id ctx ~space:0 ~owner:0 ~seq:0) in
+      if me = 1 then begin
+        Ops.start_write ctx h;
+        (Ops.data ctx h).(0) <- 7.5;
+        Ops.end_write ctx h
+      end;
+      Ops.change_protocol ctx ~space:0 "SC";
+      if me = 0 then begin
+        Ops.start_read ctx h;
+        seen := (Ops.data ctx h).(0);
+        Ops.end_read ctx h
+      end);
+  checkf "read under the new protocol sees the queued write" 7.5 !seen
+
+let () =
+  Alcotest.run "switch"
+    [
+      ( "change_protocol",
+        [
+          Alcotest.test_case "mismatch reports" `Quick mismatch_reports;
+          Alcotest.test_case "agreement accepts and clears" `Quick
+            agreement_accepts_and_clears;
+          Alcotest.test_case "switch flushes parked writes" `Quick
+            switch_flushes_parked_writes;
+          Alcotest.test_case "detach publishes parked writes" `Quick
+            detach_publishes_parked_writes;
+        ] );
+    ]
