@@ -14,6 +14,7 @@ module Runner = Ace_check.Runner
 module Prog = Ace_check.Prog
 module Repro = Ace_check.Repro
 module Faults = Ace_net.Faults
+module Machine = Ace_engine.Machine
 
 let usage () =
   prerr_endline
@@ -27,6 +28,11 @@ let usage () =
   --no-faults      drop the lossy-network cells from the grid
   --no-batch       drop the bulk-transfer batching cells from the grid
   --out DIR        where to write .repro counterexamples (default .)
+  --engine E       seq (default) runs the conformance grid; par or par:N
+                   switches to the engine differential: every program runs
+                   under the sequential and the sharded parallel engine
+                   (same seed, FIFO, no faults) and final heaps, message
+                   counts and simulated times must be bit-identical
   --replay FILE    re-run one .repro counterexample and exit
   --switch-heavy   pin the transition-torture shape: generic DRF programs
                    where most epochs end in a mid-run Ace_ChangeProtocol
@@ -43,6 +49,7 @@ type opts = {
   mutable faults : bool;
   mutable batch : bool;
   mutable out : string;
+  mutable engine : Machine.engine;
   mutable replay : string option;
   mutable switch_heavy : bool;
   mutable inject_broken : bool;
@@ -59,6 +66,7 @@ let parse_args () =
       faults = true;
       batch = true;
       out = ".";
+      engine = Machine.Seq_engine;
       replay = None;
       switch_heavy = false;
       inject_broken = false;
@@ -95,6 +103,13 @@ let parse_args () =
     | "--out" :: v :: rest ->
         o.out <- v;
         go rest
+    | "--engine" :: v :: rest ->
+        (match Machine.engine_of_string v with
+        | Ok e -> o.engine <- e
+        | Error m ->
+            prerr_endline ("acecheck: " ^ m);
+            usage ());
+        go rest
     | "--replay" :: v :: rest ->
         o.replay <- Some v;
         go rest
@@ -129,6 +144,31 @@ let describe (p, (fl : Runner.failure)) =
   Printf.printf "counterexample (%s):\n  %s\n%s"
     (Runner.cell_to_string fl.Runner.cell)
     fl.Runner.reason (Prog.to_string p)
+
+(* The engine differential: every generated program, sequential vs
+   parallel engine, all admissible protocols, batched and unbatched. *)
+let run_fuzz_engine o =
+  let batch_modes = if o.batch then [ false; true ] else [ false ] in
+  let shape = if o.switch_heavy then Some Prog.Switch_heavy else None in
+  let label = "engine-diff " ^ Machine.engine_to_string o.engine in
+  let report =
+    Runner.fuzz_engine ?protocols:o.protocols ?shape ?nprocs:o.nprocs
+      ~seed:o.seed ~count:o.fuzz ~engine:o.engine ~batch_modes
+      ~log:(fun m -> Printf.printf "[%s] %s\n%!" label m)
+      ()
+  in
+  match report.Runner.counterexample with
+  | None ->
+      Printf.printf "[%s] %d programs: par bit-identical to seq\n%!" label
+        report.Runner.programs;
+      true
+  | Some cex ->
+      let path = write_repro o cex in
+      Printf.printf "[%s] DIVERGED after %d programs\n" label
+        report.Runner.programs;
+      describe cex;
+      Printf.printf "  repro written to %s\n%!" path;
+      false
 
 let run_fuzz o ~protocols ~label ~expect_failure =
   let fault_specs = if o.faults then default_fault_specs else [] in
@@ -165,6 +205,7 @@ let () =
              policy = r.Repro.policy;
              faults = r.Repro.faults;
              batch = r.Repro.batch;
+             engine = r.Repro.engine;
            });
       match Runner.replay r with
       | Some fl ->
@@ -173,6 +214,8 @@ let () =
       | None ->
           print_endline "no longer failing";
           exit 0)
+  | None when o.engine <> Machine.Seq_engine ->
+      exit (if run_fuzz_engine o then 0 else 1)
   | None ->
       let ok =
         run_fuzz o ~protocols:o.protocols ~label:"conformance"

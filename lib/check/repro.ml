@@ -5,6 +5,7 @@
    the program body is Prog's textual form. *)
 
 module Event_queue = Ace_engine.Event_queue
+module Machine = Ace_engine.Machine
 module Faults = Ace_net.Faults
 
 type t = {
@@ -12,6 +13,9 @@ type t = {
   policy : Event_queue.policy;
   faults : Faults.spec option;
   batch : bool;
+  engine : Machine.engine;
+      (* [Par_engine n] marks an engine-differential counterexample:
+         replay re-runs seq-vs-par rather than cell-vs-reference *)
   reason : string;
   prog : Prog.t;
 }
@@ -37,6 +41,7 @@ let to_string r =
       "policy " ^ Event_queue.policy_to_string r.policy;
       "faults " ^ faults_to_string r.faults;
       "batch " ^ string_of_bool r.batch;
+      "engine " ^ Machine.engine_to_string r.engine;
       "reason " ^ String.map (fun c -> if c = '\n' then ';' else c) r.reason;
       Prog.to_string r.prog;
     ]
@@ -50,7 +55,7 @@ let of_string s =
       | Some i
         when List.mem
                (String.sub line 0 i)
-               [ "proto"; "policy"; "faults"; "batch"; "reason" ] ->
+               [ "proto"; "policy"; "faults"; "batch"; "engine"; "reason" ] ->
           Hashtbl.replace header (String.sub line 0 i)
             (String.sub line (i + 1) (String.length line - i - 1))
       | _ ->
@@ -69,6 +74,14 @@ let of_string s =
     policy = Event_queue.policy_of_string (get "policy");
     faults = faults_of_string (get "faults");
     batch = bool_of_string (get "batch");
+    engine =
+      (* absent in pre-engine .repro files: they are sequential *)
+      (match Hashtbl.find_opt header "engine" with
+      | None -> Machine.Seq_engine
+      | Some s -> (
+          match Machine.engine_of_string s with
+          | Ok e -> e
+          | Error m -> invalid_arg ("Repro.of_string: " ^ m)));
     reason = (match Hashtbl.find_opt header "reason" with Some r -> r | None -> "");
     prog = Prog.of_string (Buffer.contents body);
   }

@@ -110,28 +110,38 @@ let grow t =
   t.thunks <- thunks
 
 (* Insert (time, order, thunk) by walking a hole up from [i]: elements move
-   at most once and the new entry is written exactly once. *)
+   at most once and the new entry is written exactly once.
+
+   Both sifts run once per simulated event — the simulator's innermost
+   loop — so they bind the arrays to locals (a mutable record field
+   cannot be cached across the stores inside the loop) and use unchecked
+   accesses: every index is either the hole [i] (< capacity, ensured by
+   [grow]/[pop_min] before the call), a parent (i-1)/4 < i, or a child
+   index already compared against [size]. *)
 let sift_up t i time order thunk =
+  let times = t.times and orders = t.orders and thunks = t.thunks in
   let i = ref i in
   let placed = ref false in
   while (not !placed) && !i > 0 do
     let parent = (!i - 1) lsr 2 in
-    let pt = t.times.(parent) in
-    if pt < time || (pt = time && t.orders.(parent) < order) then placed := true
+    let pt = Array.unsafe_get times parent in
+    if pt < time || (pt = time && Array.unsafe_get orders parent < order)
+    then placed := true
     else begin
-      t.times.(!i) <- pt;
-      t.orders.(!i) <- t.orders.(parent);
-      t.thunks.(!i) <- t.thunks.(parent);
+      Array.unsafe_set times !i pt;
+      Array.unsafe_set orders !i (Array.unsafe_get orders parent);
+      Array.unsafe_set thunks !i (Array.unsafe_get thunks parent);
       i := parent
     end
   done;
-  t.times.(!i) <- time;
-  t.orders.(!i) <- order;
-  t.thunks.(!i) <- thunk
+  Array.unsafe_set times !i time;
+  Array.unsafe_set orders !i order;
+  Array.unsafe_set thunks !i thunk
 
 (* Walk a hole down from the root, pulling the smallest of up to four
    children up each level, until (time, order) fits. *)
 let sift_down t time order thunk =
+  let times = t.times and orders = t.orders and thunks = t.thunks in
   let size = t.size in
   let i = ref 0 in
   let placed = ref false in
@@ -140,29 +150,30 @@ let sift_down t time order thunk =
     if base >= size then placed := true
     else begin
       let best = ref base in
-      let bt = ref t.times.(base) in
-      let bo = ref t.orders.(base) in
+      let bt = ref (Array.unsafe_get times base) in
+      let bo = ref (Array.unsafe_get orders base) in
       let last = if base + 3 < size then base + 3 else size - 1 in
       for c = base + 1 to last do
-        let ct = t.times.(c) in
-        if ct < !bt || (ct = !bt && t.orders.(c) < !bo) then begin
+        let ct = Array.unsafe_get times c in
+        if ct < !bt || (ct = !bt && Array.unsafe_get orders c < !bo)
+        then begin
           best := c;
           bt := ct;
-          bo := t.orders.(c)
+          bo := Array.unsafe_get orders c
         end
       done;
       if !bt < time || (!bt = time && !bo < order) then begin
-        t.times.(!i) <- !bt;
-        t.orders.(!i) <- !bo;
-        t.thunks.(!i) <- t.thunks.(!best);
+        Array.unsafe_set times !i !bt;
+        Array.unsafe_set orders !i !bo;
+        Array.unsafe_set thunks !i (Array.unsafe_get thunks !best);
         i := !best
       end
       else placed := true
     end
   done;
-  t.times.(!i) <- time;
-  t.orders.(!i) <- order;
-  t.thunks.(!i) <- thunk
+  Array.unsafe_set times !i time;
+  Array.unsafe_set orders !i order;
+  Array.unsafe_set thunks !i thunk
 
 let push t ~time thunk =
   if not (Float.is_finite time) || time < 0. then

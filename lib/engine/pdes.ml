@@ -1,0 +1,231 @@
+(* Support structures for the conservative parallel discrete-event engine
+   (see Machine's par mode).
+
+   The whole point of the parallel engine is that its simulated output is
+   bit-identical to the sequential engine's. The sequential engine breaks
+   same-timestamp ties by global push order (Event_queue's seq counter).
+   Observe that sequential push order is exactly lexicographic
+
+     (execution position of the pushing event, push index within the pusher)
+
+   because the sequential loop runs one event at a time: all pushes of an
+   earlier event precede all pushes of a later one, and pushes within one
+   event are in program order. Execution position in turn equals (time,
+   order) rank — the loop pops in key order. So the parallel engine can
+   reproduce the sequential tie-break without ever running sequentially: give
+   every event an order of the form (rank of pusher, push index), where
+   ranks are assigned to executed events in global key order.
+
+   Ranks cannot be assigned online (shards execute concurrently), so orders
+   start life as a [parent] pointer to the pusher's order plus the push
+   index, and are resolved to packed integers at window boundaries, once the
+   window's executed events have been globally sorted and ranked. Before
+   resolution, two orders compare by their ancestor paths — (resolved
+   ancestor key, idx, idx, ...) lexicographically — which is the same total
+   order the resolved integers will have. An ancestor always resolves before
+   its descendants (a pusher executes before its pushes), so paths are
+   well-founded, and chains only span one window (every executed event is
+   ranked when its window closes), so path compares stay shallow. *)
+
+module Order = struct
+  (* 22 bits of push index leaves 40+ for the rank: a single event would
+     need 4M pushes to overflow (the largest real burst, a barrier release
+     at 4096 nodes, is 3 orders of magnitude smaller). *)
+  let idx_bits = 22
+  let max_idx = 1 lsl idx_bits
+
+  type t = {
+    mutable key : int; (* pusher_rank lsl idx_bits lor idx; -1 = unresolved *)
+    mutable rank : int; (* own execution rank; -1 until ranked *)
+    parent : t option; (* pusher's order; None for root orders *)
+    idx : int; (* push index within the pusher *)
+  }
+
+  let dummy = { key = 0; rank = 0; parent = None; idx = 0 }
+
+  (* A root order with an explicit packed key: initial spawns, whose
+     relative order is fixed by the spawner, not by a pusher event. *)
+  let root ~rank = { key = rank lsl idx_bits; rank = -1; parent = None; idx = 0 }
+
+  let child parent ~idx =
+    if idx >= max_idx then failwith "Pdes.Order.child: push index overflow";
+    { key = -1; rank = -1; parent = Some parent; idx }
+
+  (* Resolve [o]'s packed key if its pusher has been ranked (memoized). *)
+  let key o =
+    if o.key >= 0 then o.key
+    else
+      match o.parent with
+      | Some p when p.rank >= 0 ->
+          let k = (p.rank lsl idx_bits) lor o.idx in
+          o.key <- k;
+          k
+      | _ -> -1
+
+  (* Total order matching the packed-integer order after resolution, and
+     — crucially — time-invariant: a verdict reached while a key is still
+     unresolved never flips once ranks are assigned. An unresolved order's
+     pusher executes in the current window, so its rank (assigned at the
+     window close) exceeds every rank already assigned: at equal event
+     times, resolved orders precede unresolved ones. Two unresolved
+     orders' eventual pusher ranks follow the pushers' own order (that is
+     exactly the order the window close ranks them in), so the comparison
+     recurses into the pushers; a shared pusher falls through to the push
+     index. Lexicographic ancestor-path comparison would NOT be safe
+     here: a pusher's own later pushes (high index) sequentially precede
+     everything its earlier-pushed children push when they execute, so
+     lineage order and push-counter order disagree. *)
+  let rec compare a b =
+    if a == b then 0
+    else
+      let ka = key a and kb = key b in
+      if ka >= 0 && kb >= 0 then Int.compare ka kb
+      else if ka >= 0 then -1
+      else if kb >= 0 then 1
+      else
+        let c = compare (Option.get a.parent) (Option.get b.parent) in
+        if c <> 0 then c else Int.compare a.idx b.idx
+end
+
+(* A 4-ary min-heap on (time, Order.t), the parallel sibling of
+   Event_queue. Each entry also carries the event's owning processor (for
+   causality checks), the order its pushes are children of, and the first
+   push index (continuation events inherit their pusher's order so their
+   pushes tie-break exactly like the sequential engine's inline execution
+   of the same code). *)
+module Pq = struct
+  type t = {
+    mutable times : float array;
+    mutable ords : Order.t array;
+    mutable owners : int array;
+    mutable parents : Order.t array; (* order this event's pushes descend from *)
+    mutable bases : int array; (* first push index *)
+    mutable thunks : (unit -> unit) array;
+    mutable size : int;
+  }
+
+  let create () =
+    {
+      times = Array.make 64 0.;
+      ords = Array.make 64 Order.dummy;
+      owners = Array.make 64 0;
+      parents = Array.make 64 Order.dummy;
+      bases = Array.make 64 0;
+      thunks = Array.make 64 ignore;
+      size = 0;
+    }
+
+  let length q = q.size
+  let is_empty q = q.size = 0
+  let min_time q = if q.size = 0 then infinity else q.times.(0)
+
+  let grow q =
+    let cap = 2 * Array.length q.times in
+    let blit : 'a. 'a array -> 'a -> 'a array =
+     fun a dummy ->
+      let b = Array.make cap dummy in
+      Array.blit a 0 b 0 q.size;
+      b
+    in
+    q.times <- blit q.times 0.;
+    q.ords <- blit q.ords Order.dummy;
+    q.owners <- blit q.owners 0;
+    q.parents <- blit q.parents Order.dummy;
+    q.bases <- blit q.bases 0;
+    q.thunks <- blit q.thunks ignore
+
+  let lt q i time ord =
+    let ti = q.times.(i) in
+    ti < time || (ti = time && Order.compare q.ords.(i) ord < 0)
+
+  let set q i time ord owner parent base thunk =
+    q.times.(i) <- time;
+    q.ords.(i) <- ord;
+    q.owners.(i) <- owner;
+    q.parents.(i) <- parent;
+    q.bases.(i) <- base;
+    q.thunks.(i) <- thunk
+
+  let copy q dst src =
+    set q dst q.times.(src) q.ords.(src) q.owners.(src) q.parents.(src)
+      q.bases.(src) q.thunks.(src)
+
+  let push q ~time ~ord ~owner ~parent ~base thunk =
+    if not (Float.is_finite time) || time < 0. then
+      invalid_arg "Pdes.Pq.push: bad time";
+    if q.size = Array.length q.times then grow q;
+    let i = ref q.size in
+    q.size <- q.size + 1;
+    let placed = ref false in
+    while (not !placed) && !i > 0 do
+      let p = (!i - 1) lsr 2 in
+      if lt q p time ord then placed := true
+      else begin
+        copy q !i p;
+        i := p
+      end
+    done;
+    set q !i time ord owner parent base thunk
+
+  (* Popped-entry slots, Event_queue-style: drain loops allocate nothing. *)
+  type popped = {
+    mutable p_time : float;
+    mutable p_ord : Order.t;
+    mutable p_owner : int;
+    mutable p_parent : Order.t;
+    mutable p_base : int;
+    mutable p_thunk : unit -> unit;
+  }
+
+  let make_popped () =
+    {
+      p_time = 0.;
+      p_ord = Order.dummy;
+      p_owner = 0;
+      p_parent = Order.dummy;
+      p_base = 0;
+      p_thunk = ignore;
+    }
+
+  let pop_min q (out : popped) =
+    if q.size = 0 then false
+    else begin
+      out.p_time <- q.times.(0);
+      out.p_ord <- q.ords.(0);
+      out.p_owner <- q.owners.(0);
+      out.p_parent <- q.parents.(0);
+      out.p_base <- q.bases.(0);
+      out.p_thunk <- q.thunks.(0);
+      let n = q.size - 1 in
+      q.size <- n;
+      if n > 0 then begin
+        let time = q.times.(n) and ord = q.ords.(n) in
+        let owner = q.owners.(n)
+        and parent = q.parents.(n)
+        and base = q.bases.(n)
+        and thunk = q.thunks.(n) in
+        q.thunks.(n) <- ignore;
+        let i = ref 0 in
+        let placed = ref false in
+        while not !placed do
+          let base_c = (!i lsl 2) + 1 in
+          if base_c >= n then placed := true
+          else begin
+            let best = ref base_c in
+            let last = if base_c + 3 < n then base_c + 3 else n - 1 in
+            for c = base_c + 1 to last do
+              if lt q c q.times.(!best) q.ords.(!best) then best := c
+            done;
+            if lt q !best time ord then begin
+              copy q !i !best;
+              i := !best
+            end
+            else placed := true
+          end
+        done;
+        set q !i time ord owner parent base thunk
+      end
+      else q.thunks.(0) <- ignore;
+      true
+    end
+end

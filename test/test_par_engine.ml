@@ -1,0 +1,402 @@
+(* The parallel (sharded) engine must be an invisible substitute for the
+   sequential one: bit-identical simulated times, results, statistics and
+   traces. These tests pin that contract at two levels — hand-built
+   two-shard machine fixtures that stress the cross-shard ordering edges
+   (same-timestamp boundary events, cross-shard ivar wakeups, barrier
+   last-arriver continuations), and whole-application runs through the
+   harness driver compared field-by-field against sequential runs. *)
+
+module Machine = Ace_engine.Machine
+module Ivar = Ace_engine.Ivar
+module Stats = Ace_engine.Stats
+module Eq = Ace_engine.Event_queue
+module Driver = Ace_harness.Driver
+module Em3d = Ace_apps.Em3d
+module Bh = Ace_apps.Barnes_hut
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- machine-level fixtures ----------------------------------------- *)
+
+(* Run a fixture on a fresh 4-proc machine under [engine]; [make] receives
+   the machine and builds the per-processor program (so fixtures can
+   allocate per-run shared state like ivars and barriers). Returns the
+   per-processor event logs — each log is only ever appended from its own
+   processor's context, so it is shard-private — plus the final time. *)
+let run_fixture engine make =
+  let n = 4 in
+  let m = Machine.create ~engine ~nprocs:n () in
+  Machine.set_lookahead m 10.;
+  let logs = Array.make n [] in
+  let log i tag t = logs.(i) <- (tag, t) :: logs.(i) in
+  let program = make m in
+  Machine.run m (fun p -> program log p);
+  (Array.map List.rev logs, Machine.time m)
+
+let same_on_par ?(engines = [ Machine.Par_engine 2; Machine.Par_engine 4 ])
+    name make =
+  let reference = run_fixture Machine.Seq_engine make in
+  List.iter
+    (fun e ->
+      let got = run_fixture e make in
+      if got <> reference then
+        Alcotest.failf "%s: parallel run diverges from sequential" name)
+    engines
+
+(* The parallel engine splits into shards at the first barrier release (the
+   natural end of every Ace program's setup phase), so each fixture leads
+   with one barrier to get out of the sequential warmup. *)
+let after_split m body =
+  let b = Machine.Barrier.create m ~cost:(fun _ -> 4.) in
+  fun log p ->
+    Machine.advance p (float_of_int p.Machine.id);
+    Machine.Barrier.wait b p;
+    body log p
+
+(* Every processor schedules an event on every other processor at the same
+   absolute timestamp: three same-timestamp events per destination, some
+   crossing the shard boundary. FIFO demands they run in the pushers'
+   sequential execution order. *)
+let par_ties () =
+  same_on_par "same-timestamp boundary events" (fun m ->
+      after_split m (fun log p ->
+          let me = p.Machine.id in
+          Machine.advance p (float_of_int (3 * me));
+          for dst = 0 to 3 do
+            if dst <> me then
+              Machine.schedule ~owner:dst m ~time:100. (fun () ->
+                  log dst me 100.)
+          done;
+          Machine.advance p 50.;
+          log me (-1) p.Machine.clock))
+
+(* A chain of cross-shard deliveries landing at one destination, with the
+   source side re-scheduling from inside a delivered event (an event's
+   pushes, not just a fiber's, must keep their order across the wire). *)
+let par_relay () =
+  same_on_par "cross-shard relayed events" (fun m ->
+      after_split m (fun log p ->
+          let me = p.Machine.id in
+          if me = 3 then
+            (* two generations: 3 -> 0 (cross-shard), whose handler
+               immediately re-schedules 0 -> 2 (cross-shard again) at a
+               shared timestamp *)
+            for k = 0 to 4 do
+              let t1 = 30. +. float_of_int k in
+              Machine.schedule ~owner:0 m ~time:t1 (fun () ->
+                  log 0 (100 + k) t1;
+                  Machine.schedule ~owner:2 m ~time:70. (fun () ->
+                      log 2 (200 + k) 70.))
+            done;
+          Machine.advance p 80.;
+          log me (-1) p.Machine.clock))
+
+(* Cross-shard ivar wakeup: proc 0 (shard 0) blocks on an ivar filled by a
+   delivery scheduled from proc 3 (shard 1). The waiter's resumption is
+   itself a cross-shard continuation. *)
+let par_ivar () =
+  same_on_par "cross-shard ivar wakeup" (fun m ->
+      let iv = Ivar.create () in
+      after_split m (fun log p ->
+          match p.Machine.id with
+          | 0 ->
+              Machine.advance p 5.;
+              let v = Machine.await p iv in
+              log 0 v p.Machine.clock
+          | 3 ->
+              Machine.advance p 20.;
+              let t = p.Machine.clock +. 15. in
+              Machine.schedule ~owner:0 m ~time:t (fun () ->
+                  Ivar.fill iv ~time:t 42);
+              Machine.advance p 1.;
+              log 3 (-1) p.Machine.clock
+          | i ->
+              Machine.advance p 2.;
+              log i (-1) p.Machine.clock))
+
+(* Barrier rounds with rotating arrival order: each round a different
+   processor is the last arriver, so the release continuation (which the
+   parallel engine re-threads through the last arriver's order) moves
+   across the shard boundary from round to round. *)
+let par_barrier () =
+  same_on_par "barrier last-arriver rotation" (fun m ->
+      let b = Machine.Barrier.create m ~cost:(fun n -> float_of_int (2 * n)) in
+      fun log p ->
+        let me = p.Machine.id in
+        for round = 0 to 4 do
+          Machine.advance p (float_of_int (((me + round) * 7) mod 13));
+          Machine.Barrier.wait b p;
+          log me round p.Machine.clock
+        done)
+
+(* Regression: after a skewed barrier, the last arriver keeps running
+   inside the releasing event, so its same-timestamp pushes sequentially
+   beat the woken fibers' pushes — whose order keys only resolve at the
+   window close. All four processors race a delivery onto processor 0 at
+   one absolute timestamp right after each release; the service order
+   (and with it proc 0's clock) must match the sequential engine's even
+   while the woken pushers' ranks are still pending. *)
+let par_last_arriver_race () =
+  same_on_par "post-barrier same-time contention" (fun m ->
+      let b = Machine.Barrier.create m ~cost:(fun _ -> 4.) in
+      fun log p ->
+        let me = p.Machine.id in
+        for round = 1 to 3 do
+          Machine.advance p (float_of_int ((7 * (me + round)) mod 13));
+          Machine.Barrier.wait b p;
+          let t = 200. *. float_of_int round in
+          Machine.schedule ~owner:0 m ~time:t (fun () -> log 0 me t)
+        done;
+        log me (-1) p.Machine.clock)
+
+(* ---- engine selection edges ------------------------------------------ *)
+
+let seq_structure () =
+  let m = Machine.create ~nprocs:4 () in
+  check_int "seq nshards" 1 (Machine.nshards m);
+  check_bool "seq engine" true (Machine.engine m = Machine.Seq_engine);
+  check_bool "seq stats is root" true (Machine.stats m == Machine.root_stats m)
+
+let par_clamps_shards () =
+  let m = Machine.create ~engine:(Machine.Par_engine 8) ~nprocs:4 () in
+  check_int "clamped to nprocs" 4 (Machine.nshards m);
+  check_bool "reports clamped engine" true
+    (Machine.engine m = Machine.Par_engine 4)
+
+let par_rejects_policy () =
+  check_bool "non-FIFO policy refused" true
+    (try
+       ignore
+         (Machine.create ~policy:(Eq.Random 7) ~engine:(Machine.Par_engine 2)
+            ~nprocs:4 ());
+       false
+     with Machine.Par_unsupported _ -> true)
+
+let fallback_reason () =
+  check_bool "violation recognized" true
+    (Machine.par_fallback_reason (Machine.Par_violation "x")
+    = Some "violation: x");
+  check_bool "unsupported recognized" true
+    (Machine.par_fallback_reason (Machine.Par_unsupported "y")
+    = Some "unsupported: y");
+  check_bool "other exns pass through" true
+    (Machine.par_fallback_reason Exit = None)
+
+(* ---- whole-application bit-identity ---------------------------------- *)
+
+type probe = {
+  seconds : float;
+  result : float;
+  scalars : (string * float) list;
+  dims : (string * (int * float) list) list;
+}
+
+let check_probe name a b =
+  if a.seconds <> b.seconds then
+    Alcotest.failf "%s: seconds differ: %.17g <> %.17g" name a.seconds b.seconds;
+  if a.result <> b.result then
+    Alcotest.failf "%s: results differ: %.17g <> %.17g" name a.result b.result;
+  if a.scalars <> b.scalars then
+    Alcotest.failf "%s: stat counters differ" name;
+  if a.dims <> b.dims then
+    Alcotest.failf "%s: dimensioned stats differ" name
+
+let em3d_cfg = { Em3d.default with Em3d.n_nodes = 64; steps = 4 }
+let bh_cfg = { Bh.default with Bh.n_bodies = 48; steps = 2 }
+
+let run_probe runner =
+  let captured = ref None in
+  let out =
+    runner ~stats:(fun s ->
+        captured := Some (Stats.to_list s, Stats.dims_to_list s))
+  in
+  match !captured with
+  | Some (scalars, dims) ->
+      {
+        seconds = out.Driver.seconds;
+        result = out.Driver.result;
+        scalars;
+        dims;
+      }
+  | None -> Alcotest.fail "stats probe not invoked"
+
+let ace_probe ?batch ?engine ?protocol () =
+  let cfg = { em3d_cfg with Em3d.protocol } in
+  run_probe (fun ~stats ->
+      Driver.run_ace ?batch ?engine ~stats ~nprocs:4 (module Em3d) cfg)
+
+let par_ace_em3d () =
+  let seq = ace_probe () in
+  check_probe "ace em3d par:2" seq (ace_probe ~engine:(Machine.Par_engine 2) ());
+  check_probe "ace em3d par:4" seq (ace_probe ~engine:(Machine.Par_engine 4) ())
+
+let par_ace_em3d_protocols () =
+  List.iter
+    (fun proto ->
+      let seq = ace_probe ~protocol:proto () in
+      let par =
+        ace_probe ~protocol:proto ~engine:(Machine.Par_engine 4) ()
+      in
+      check_probe ("ace em3d " ^ proto) seq par)
+    [ "DYN_UPDATE"; "STATIC_UPDATE" ]
+
+let par_ace_em3d_batched () =
+  let seq = ace_probe ~batch:true () in
+  check_probe "ace em3d batched" seq
+    (ace_probe ~batch:true ~engine:(Machine.Par_engine 4) ())
+
+let par_crl_em3d () =
+  let crl_probe ?engine () =
+    run_probe (fun ~stats ->
+        Driver.run_crl ?engine ~stats ~nprocs:4 (module Em3d) em3d_cfg)
+  in
+  let seq = crl_probe () in
+  check_probe "crl em3d par:2" seq (crl_probe ~engine:(Machine.Par_engine 2) ());
+  check_probe "crl em3d par:4" seq (crl_probe ~engine:(Machine.Par_engine 4) ())
+
+let par_ace_bh () =
+  let bh_probe ?engine () =
+    run_probe (fun ~stats ->
+        Driver.run_ace ?engine ~stats ~nprocs:4 (module Bh) bh_cfg)
+  in
+  let seq = bh_probe () in
+  check_probe "ace bh par:4" seq (bh_probe ~engine:(Machine.Par_engine 4) ())
+
+(* Traces must also be replicated byte-for-byte: arc ids, span order, the
+   lot. *)
+let par_trace_identity () =
+  let trace_of engine =
+    let path = Filename.temp_file "ace_par_trace" ".json" in
+    ignore (Driver.run_ace ?engine ~trace:path ~nprocs:4 (module Em3d) em3d_cfg);
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  let seq = trace_of None in
+  let par = trace_of (Some (Machine.Par_engine 4)) in
+  if seq <> par then Alcotest.fail "trace files differ between engines"
+
+(* ---- transparent sequential fallback --------------------------------- *)
+
+(* An application that switches protocols mid-run: Ace_ChangeProtocol is an
+   order-dependent global operation, so the parallel engine refuses it
+   after the shards split and the driver transparently re-runs the whole
+   program sequentially — same result, same simulated time. *)
+module Switch_app = struct
+  type config = unit
+
+  let n_spaces = 1
+
+  module Make (D : Ace_region.Dsm_intf.S) = struct
+    let run () ctx =
+      let me = D.me ctx in
+      let n = D.nprocs ctx in
+      let h =
+        if me = 0 then D.alloc ctx ~space:0 ~len:8
+        else begin
+          D.barrier ctx ~space:0;
+          D.map ctx (D.global_id ctx ~space:0 ~owner:0 ~seq:0)
+        end
+      in
+      if me = 0 then D.barrier ctx ~space:0;
+      D.start_write ctx h;
+      (D.data ctx h).(me) <- float_of_int (me + 1);
+      D.end_write ctx h;
+      D.barrier ctx ~space:0;
+      (* after the split: the gate fires here under the parallel engine *)
+      D.change_protocol ctx ~space:0 "SC";
+      D.barrier ctx ~space:0;
+      D.start_read ctx h;
+      let sum = Array.fold_left ( +. ) 0. (D.data ctx h) in
+      D.end_read ctx h;
+      D.barrier ctx ~space:0;
+      sum *. float_of_int (n + 1)
+  end
+end
+
+let par_fallback_seq_identical () =
+  let run ?engine () =
+    run_probe (fun ~stats ->
+        Driver.run_ace ?engine ~stats ~nprocs:4 (module Switch_app) ())
+  in
+  let seq = run () in
+  let par = run ~engine:(Machine.Par_engine 4) () in
+  check_bool "fallback computed something" true (seq.result > 0.);
+  check_probe "fallback run" seq par
+
+(* Gated features silently select the sequential engine (no exception, no
+   divergence). *)
+let par_gates_resolve_seq () =
+  let seq =
+    run_probe (fun ~stats ->
+        Driver.run_ace ~stats ~nprocs:4 (module Em3d) em3d_cfg)
+  in
+  let with_crit =
+    let cr = Ace_engine.Crit.create ~nprocs:4 () in
+    run_probe (fun ~stats ->
+        Driver.run_ace ~crit:cr ~engine:(Machine.Par_engine 4) ~stats ~nprocs:4
+          (module Em3d) em3d_cfg)
+  in
+  if seq.seconds <> with_crit.seconds || seq.result <> with_crit.result then
+    Alcotest.fail "crit-gated run diverges from sequential"
+
+(* ---- per-shard stats plumbing ---------------------------------------- *)
+
+let stats_merge_roundtrip () =
+  let a = Stats.create () in
+  let b = Stats.create () in
+  Stats.add a "x" 2.;
+  Stats.add b "x" 3.;
+  Stats.add b "y" 1.;
+  let f = Stats.fam "test.par.fam" in
+  Stats.add_dim a f 0 5.;
+  Stats.add_dim b f 0 7.;
+  Stats.add_dim b f 3 1.;
+  Stats.merge_into a b;
+  check_bool "scalar summed" true (Stats.get a "x" = 5.);
+  check_bool "scalar adopted" true (Stats.get a "y" = 1.);
+  check_bool "dim summed" true (Stats.get_dim a f 0 = 12.);
+  check_bool "dim adopted" true (Stats.get_dim a f 3 = 1.);
+  (* merge resets make the source reusable for the next window *)
+  Stats.reset b;
+  check_bool "source resets clean" true (Stats.get b "x" = 0.)
+
+let () =
+  let t name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "par_engine"
+    [
+      ( "fixtures",
+        [
+          t "same-timestamp boundary events" par_ties;
+          t "cross-shard relayed events" par_relay;
+          t "cross-shard ivar wakeup" par_ivar;
+          t "barrier last-arriver rotation" par_barrier;
+          t "post-barrier same-time contention" par_last_arriver_race;
+        ] );
+      ( "selection",
+        [
+          t "sequential structure" seq_structure;
+          t "shard clamp" par_clamps_shards;
+          t "non-FIFO rejected" par_rejects_policy;
+          t "fallback recognizer" fallback_reason;
+        ] );
+      ( "bit-identity",
+        [
+          t "ace em3d" par_ace_em3d;
+          t "ace em3d protocols" par_ace_em3d_protocols;
+          t "ace em3d batched" par_ace_em3d_batched;
+          t "crl em3d" par_crl_em3d;
+          t "ace barnes-hut" par_ace_bh;
+          t "trace identity" par_trace_identity;
+        ] );
+      ( "fallback",
+        [
+          t "change_protocol falls back" par_fallback_seq_identical;
+          t "crit gates to seq" par_gates_resolve_seq;
+        ] );
+      ("stats", [ t "merge roundtrip" stats_merge_roundtrip ]);
+    ]
