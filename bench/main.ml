@@ -739,6 +739,87 @@ let critpath_overhead () =
     exit 1
   end
 
+(* ---- combinator identity (combinator selection) ----
+
+   Each row runs one benchmark under a hand-written protocol and under its
+   combinator-built re-expression; simulated seconds, checksums and
+   physical message counts must be bit-identical (hard error otherwise).
+   The dispatch rows then time EM3D wall-clock under hand SC vs DSL_SC
+   (best of 3, like the critpath-overhead guard): the simulated output is
+   identical, so any wall gap is compiled-dispatch cost — guarded within
+   noise by bench_guard.py --combinator-only. *)
+
+let combinator_exp () =
+  line ();
+  Printf.printf
+    "Combinator-built protocols vs hand-written originals (%d procs)\n"
+    !scale.E.nprocs;
+  line ();
+  let rows =
+    E.combinator ~scale:!scale ?jobs:!jobs ?faults:(fault_spec ())
+      ?batch:(batch_opt ()) ?engine:!engine ()
+  in
+  E.print_rows ~left:"hand" ~right:"DSL" rows;
+  let bad = ref [] in
+  List.iter
+    (fun r ->
+      let identical =
+        r.E.baseline = r.E.ace
+        && r.E.base_result = r.E.ace_result
+        && r.E.base_msgs = r.E.ace_msgs
+      in
+      if not identical then bad := r.E.name :: !bad;
+      record ~experiment:"combinator" ~name:r.E.name ~wall:r.E.wall
+        ~messages:[ ("hand", r.E.base_msgs); ("dsl", r.E.ace_msgs) ]
+        [
+          ("hand", r.E.baseline);
+          ("dsl", r.E.ace);
+          ("identical", (if identical then 1. else 0.));
+        ])
+    rows;
+  let nprocs = !scale.E.nprocs in
+  let module D = Ace_harness.Driver in
+  let cfg p =
+    { (E.em3d_cfg !scale 3) with Ace_apps.Em3d.protocol = Some p }
+  in
+  let best p =
+    let reps = 3 in
+    let out = ref None and w = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let o = D.run_ace ~nprocs (module Ace_apps.Em3d) (cfg p) in
+      let wall = Unix.gettimeofday () -. t0 in
+      if wall < !w then w := wall;
+      out := Some o
+    done;
+    (Option.get !out, !w)
+  in
+  let hand, wall_hand = best "SC" in
+  let dsl, wall_dsl = best "DSL_SC" in
+  Printf.printf
+    "dispatch overhead (EM3D): hand SC %.3fs wall, DSL_SC %.3fs wall \
+     (%+.1f%%); simulated seconds identical: %b\n\n"
+    wall_hand wall_dsl
+    (100. *. ((wall_dsl /. wall_hand) -. 1.))
+    (hand.D.seconds = dsl.D.seconds);
+  record ~experiment:"combinator" ~name:"dispatch-em3d-hand" ~wall:wall_hand
+    [ ("seconds", hand.D.seconds) ];
+  record ~experiment:"combinator" ~name:"dispatch-em3d-dsl" ~wall:wall_dsl
+    [ ("seconds", dsl.D.seconds) ];
+  if hand.D.seconds <> dsl.D.seconds then begin
+    Printf.eprintf
+      "ERROR: DSL_SC changed EM3D simulated time (%.17g vs %.17g)\n"
+      hand.D.seconds dsl.D.seconds;
+    exit 1
+  end;
+  match !bad with
+  | [] -> ()
+  | names ->
+      Printf.eprintf
+        "ERROR: combinator-built protocol diverged from hand-written on: %s\n"
+        (String.concat ", " (List.rev names));
+      exit 1
+
 (* ---- parallel engine speedup (engine_speedup selection) ----
 
    Sequential vs sharded engine wall-clock on weak-scaled EM3D and
@@ -857,7 +938,7 @@ let usage () =
   Printf.eprintf
     "usage: main [fig7a] [fig7b] [table4] [ablation] [batching] [micro] \
      [trace_overhead] [faultsweep] [check_overhead] [scaling] [critpath] \
-     [critpath_overhead] [serving] [engine_speedup] [--small] \
+     [critpath_overhead] [serving] [engine_speedup] [combinator] [--small] \
      [--nprocs N] [--scaling-max N] [--jobs N] [--engine seq|par:N] \
      [--json FILE] \
      [--trace FILE] [--trace-dir DIR] [--critpath FILE] [--batch] \
@@ -951,7 +1032,8 @@ let () =
         usage ()
     | (("fig7a" | "fig7b" | "table4" | "ablation" | "batching" | "micro"
        | "trace_overhead" | "faultsweep" | "check_overhead" | "scaling"
-       | "critpath" | "critpath_overhead" | "serving" | "engine_speedup")
+       | "critpath" | "critpath_overhead" | "serving" | "engine_speedup"
+       | "combinator")
        as s)
       :: rest ->
         s :: parse rest
@@ -1007,6 +1089,7 @@ let () =
   if List.mem "check_overhead" selections then check_overhead ();
   if List.mem "scaling" selections then scaling_exp ();
   if List.mem "engine_speedup" selections then engine_speedup_exp ();
+  if List.mem "combinator" selections then combinator_exp ();
   if List.mem "serving" selections then serving_exp ();
   if List.mem "micro" selections then micro ();
   match !json_path with

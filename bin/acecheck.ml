@@ -36,6 +36,10 @@ let usage () =
   --replay FILE    re-run one .repro counterexample and exit
   --switch-heavy   pin the transition-torture shape: generic DRF programs
                    where most epochs end in a mid-run Ace_ChangeProtocol
+  --combinators    certify the combinator-built protocol library: one fuzz
+                   round per DSL protocol (each differential against SC);
+                   with --inject-broken, also demand the broken canary
+                   combinator is caught
   --inject-broken  also test a deliberately broken protocol; exit 0 only
                    if the kit catches it|};
   exit 2
@@ -52,6 +56,7 @@ type opts = {
   mutable engine : Machine.engine;
   mutable replay : string option;
   mutable switch_heavy : bool;
+  mutable combinators : bool;
   mutable inject_broken : bool;
 }
 
@@ -69,6 +74,7 @@ let parse_args () =
       engine = Machine.Seq_engine;
       replay = None;
       switch_heavy = false;
+      combinators = false;
       inject_broken = false;
     }
   in
@@ -115,6 +121,9 @@ let parse_args () =
         go rest
     | "--switch-heavy" :: rest ->
         o.switch_heavy <- true;
+        go rest
+    | "--combinators" :: rest ->
+        o.combinators <- true;
         go rest
     | "--inject-broken" :: rest ->
         o.inject_broken <- true;
@@ -193,6 +202,40 @@ let run_fuzz o ~protocols ~label ~expect_failure =
       Printf.printf "  repro written to %s\n%!" path;
       expect_failure
 
+(* Certification of the combinator-built library: every DSL protocol gets
+   its own fuzz round, differential against SC, so a regression in one
+   compiled protocol is blamed by name. With --inject-broken the canary
+   combinator (SC that never acquires exclusive write access) must be
+   caught too. *)
+let run_combinators o =
+  let name (e : Ace_combinator.Library.entry) =
+    e.Ace_combinator.Library.proto.Ace_runtime.Protocol.name
+  in
+  let ok =
+    List.for_all
+      (fun e ->
+        let n = name e in
+        run_fuzz o
+          ~protocols:(Some [ "SC"; n ])
+          ~label:("combinator " ^ n) ~expect_failure:false)
+      Ace_combinator.Library.all
+  in
+  if not o.inject_broken then ok
+  else begin
+    let n = name Ace_combinator.Library.broken in
+    Printf.printf
+      "[broken] injecting %s (SC whose writes never reach the master)\n%!" n;
+    let caught =
+      run_fuzz o
+        ~protocols:(Some [ "SC"; n ])
+        ~label:"combinator broken" ~expect_failure:true
+    in
+    if not caught then
+      print_endline
+        "[broken] ERROR: the kit failed to catch the broken combinator";
+    ok && caught
+  end
+
 let () =
   let o = parse_args () in
   match o.replay with
@@ -216,6 +259,7 @@ let () =
           exit 0)
   | None when o.engine <> Machine.Seq_engine ->
       exit (if run_fuzz_engine o then 0 else 1)
+  | None when o.combinators -> exit (if run_combinators o then 0 else 1)
   | None ->
       let ok =
         run_fuzz o ~protocols:o.protocols ~label:"conformance"

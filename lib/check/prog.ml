@@ -293,7 +293,17 @@ let features p =
    can lose updates — so Incr programs are admitted only by COUNTER, the
    protocol whose home-serialized fetch-and-add makes them atomic (and
    whose final value the fuzzer predicts exactly). *)
-let admits f = function
+(* User-authored protocols (combinator-built ones in particular) enroll by
+   naming the built-in whose admissibility contract they inherit; unknown
+   names stay inadmissible. *)
+let admits_alias : (string, string) Hashtbl.t = Hashtbl.create 16
+
+let register_admits_like ~name ~like =
+  if Hashtbl.mem admits_alias name then
+    invalid_arg ("Prog.register_admits_like: duplicate " ^ name);
+  Hashtbl.replace admits_alias name like
+
+let rec admits f = function
   | "SC" | "MIGRATORY" | "RACE_CHECK" | "CRL" -> not f.incr
   | "NULL" -> not f.writes
   | "DYN_UPDATE" | "BROKEN_DYN_UPDATE" -> f.dyn_ok
@@ -301,7 +311,20 @@ let admits f = function
   | "WRITE_ONCE" -> f.write_once_ok
   | "COUNTER" -> f.counter_ok
   | "PIPELINE" -> not f.incr
-  | _ -> false
+  | name -> (
+      match Hashtbl.find_opt admits_alias name with
+      | Some like -> admits f like
+      | None -> false)
+
+(* Auto-enroll every combinator-library protocol (and its broken canary)
+   under the contract of the hand-written protocol it re-expresses. *)
+let () =
+  List.iter
+    (fun (e : Ace_combinator.Library.entry) ->
+      register_admits_like
+        ~name:e.Ace_combinator.Library.proto.Ace_runtime.Protocol.name
+        ~like:e.Ace_combinator.Library.admits_like)
+    (Ace_combinator.Library.broken :: Ace_combinator.Library.all)
 
 (* The exact final heap of a pure-increment program (counter_ok): +1.0 is
    exact in floats and commutes, so slot 0 of each region ends at its

@@ -109,8 +109,11 @@ let run_cell_full ?oracle (p : Prog.t) (c : cell) :
       attach_faults (Runtime.am rt) c.faults;
       if c.batch then Ace_net.Am.set_batching (Runtime.am rt) true;
       Ace_protocols.Proto_lib.register_all rt;
+      Ace_combinator.Library.register_all rt;
       if c.proto = broken_protocol.Protocol.name then
         Runtime.register rt broken_protocol;
+      let dsl_broken = Ace_combinator.Library.broken.Ace_combinator.Library.proto in
+      if c.proto = dsl_broken.Protocol.name then Runtime.register rt dsl_broken;
       ignore (Runtime.new_space rt c.proto);
       let facade =
         wrap
@@ -165,9 +168,10 @@ let heap_mismatch ~got ~want =
   end
 
 (* The protocols the kit checks by default: everything in the registry
-   plus the CRL baseline. *)
+   (combinator-built ones included) plus the CRL baseline. *)
 let default_protocols =
-  "CRL" :: "SC" :: "NULL" :: Ace_protocols.Proto_lib.names
+  ("CRL" :: "SC" :: "NULL" :: Ace_protocols.Proto_lib.names)
+  @ Ace_combinator.Library.names
 
 let reference_cell =
   {

@@ -1,0 +1,306 @@
+(* A combinator language for coherence protocols (ROADMAP item 4; the
+   paper's "linguistic mechanisms" claim taken further than the paper did).
+
+   A protocol is declared as a {!spec}: one list of primitive actions per
+   hook point of {!Ace_runtime.Protocol.protocol} — start/end read,
+   start/end write, lock, unlock on regions; barrier, attach, detach on
+   spaces. {!compile} lowers a spec to the existing handler record:
+
+   - an empty action list compiles to the *physically shared*
+     {!Ace_runtime.Protocol.null_hook}, so the acelang registry's
+     [handler != null_hook] derivation and the runtime's null-hook fast
+     paths see compiled protocols exactly like hand-written ones;
+   - a non-empty list compiles to a closure chain built once at compile
+     time (no per-dispatch list traversal of the spec itself);
+   - the [has_*] flags are derived automatically from the action lists, so
+     the Table-4 direct-dispatch deletion pass can never skip a live hook.
+     The one escape hatch, [unregistered], declares a hook as null for
+     dispatch even though a handler exists; compilation rejects it unless
+     every action at that point is observational (assertions, counters) —
+     exactly the WRITE_ONCE "assertion only; registered as null" idiom.
+
+   Layers ({!counting}, {!write_combining}) are spec-to-spec transforms, so
+   composition happens before compilation and costs nothing at dispatch
+   time. *)
+
+module Protocol = Ace_runtime.Protocol
+module Blocks = Ace_region.Blocks
+module Store = Ace_region.Store
+module Machine = Ace_engine.Machine
+module Stats = Ace_engine.Stats
+
+(* Cost-model selectors, so specs name charges symbolically. *)
+type charge = Start_hit | End_op | Lock_base | Null_hook
+
+(* Primitive actions at region hook points (start/end read/write, lock,
+   unlock). Each lowers to one step of the compiled handler. *)
+type raction =
+  | Charge of charge  (* advance the clock by a cost-model field *)
+  | Fetch_shared      (* ensure a valid local copy (read miss path) *)
+  | Fetch_exclusive   (* ensure the sole valid copy (invalidation) *)
+  | Push_update       (* push the local value to home + sharers, await *)
+  | Queue_update      (* write-combining: record the rid for the next
+                         sync-point publish (see [Publish]) *)
+  | Publish_writes    (* drain this region's space's write-combining
+                         queue (unlock is a region-hook sync point) *)
+  | Assert_home       (* debug assertion: only the home node writes *)
+  | Home_lock         (* acquire the region's home-based lock *)
+  | Home_unlock       (* release the region's home-based lock *)
+  | Count of string   (* bump a named counter; simulated-time free *)
+
+(* Primitive actions at space hook points (barrier, attach, detach). *)
+type saction =
+  | Publish             (* drain the write-combining queue *)
+  | Flush_space         (* SC detach: write back / drop every cached copy *)
+  | Drop_remote_copies  (* NULL detach: discard non-home copies unsent *)
+  | SCount of string    (* bump a named counter; simulated-time free *)
+
+type point = Start_read | End_read | Start_write | End_write
+
+type spec = {
+  name : string;
+  optimizable : bool;
+  start_read : raction list;
+  end_read : raction list;
+  start_write : raction list;
+  end_write : raction list;
+  lock : raction list;
+  unlock : raction list;
+  barrier : saction list;
+  attach : saction list;
+  detach : saction list;
+  unregistered : point list;
+      (* hooks forced to [has_* = false] despite having actions; only
+         observational actions are allowed there (checked by compile) *)
+}
+
+let define ?(optimizable = true) ?(start_read = []) ?(end_read = [])
+    ?(start_write = []) ?(end_write = []) ?(lock = []) ?(unlock = [])
+    ?(barrier = []) ?(attach = []) ?(detach = []) ?(unregistered = []) name =
+  {
+    name;
+    optimizable;
+    start_read;
+    end_read;
+    start_write;
+    end_write;
+    lock;
+    unlock;
+    barrier;
+    attach;
+    detach;
+    unregistered;
+  }
+
+(* {2 Write-combining state}
+
+   One dirty-rid queue per (space, node), kept in the space's per-node
+   protocol state — the same shape as DYN_UPDATE's batching mode, but here
+   it is a layer any update-style spec can be wrapped in. *)
+
+type wc_state = { mutable written : int list }
+type Protocol.pstate += Wc of wc_state
+
+let wc_state (ctx : Protocol.ctx) (sp : Protocol.space) =
+  let node = ctx.Protocol.proc.Machine.id in
+  match sp.Protocol.pstate.(node) with
+  | Wc s -> s
+  | _ ->
+      let s = { written = [] } in
+      sp.Protocol.pstate.(node) <- Wc s;
+      s
+
+let space_of (ctx : Protocol.ctx) (meta : Store.meta) =
+  ctx.Protocol.rt.Protocol.spaces.(meta.Store.space)
+
+(* Publish everything queued since the last sync point. In bulk-transfer
+   mode this is one batched push (one vectored message per consumer);
+   otherwise per-region awaited pushes in program order. *)
+let publish (ctx : Protocol.ctx) (sp : Protocol.space) =
+  let s = wc_state ctx sp in
+  match s.written with
+  | [] -> ()
+  | rids ->
+      s.written <- [];
+      let store = ctx.Protocol.rt.Protocol.store in
+      let bctx = ctx.Protocol.bctx in
+      if Ace_net.Reliable.batching bctx.Blocks.net then begin
+        let me = ctx.Protocol.proc.Machine.id in
+        let items =
+          List.rev_map
+            (fun rid ->
+              let meta = Store.get store rid in
+              let consumers =
+                List.filter
+                  (fun n -> n <> meta.Store.home)
+                  (Store.sharers meta ~except:me)
+              in
+              (meta, consumers))
+            rids
+        in
+        Machine.await ctx.Protocol.proc (Blocks.push_to_batch bctx items)
+      end
+      else
+        List.iter
+          (fun rid ->
+            Machine.await ctx.Protocol.proc
+              (Blocks.push_update bctx (Store.get store rid)))
+          (List.rev rids)
+
+(* {2 Compilation} *)
+
+let charge_field c (m : Ace_net.Cost_model.t) =
+  match c with
+  | Start_hit -> m.Ace_net.Cost_model.start_hit
+  | End_op -> m.Ace_net.Cost_model.end_op
+  | Lock_base -> m.Ace_net.Cost_model.lock_base
+  | Null_hook -> m.Ace_net.Cost_model.null_hook
+
+let raction_fn : raction -> Protocol.ctx -> Store.meta -> unit = function
+  | Charge c -> fun ctx _ -> Protocol.charge ctx (charge_field c (Protocol.cost ctx))
+  | Fetch_shared -> fun ctx meta -> Blocks.fetch_shared ctx.Protocol.bctx meta
+  | Fetch_exclusive ->
+      fun ctx meta -> Blocks.fetch_exclusive ctx.Protocol.bctx meta
+  | Push_update ->
+      fun ctx meta ->
+        Machine.await ctx.Protocol.proc
+          (Blocks.push_update ctx.Protocol.bctx meta)
+  | Queue_update ->
+      fun ctx meta ->
+        let s = wc_state ctx (space_of ctx meta) in
+        if not (List.mem meta.Store.rid s.written) then
+          s.written <- meta.Store.rid :: s.written
+  | Publish_writes -> fun ctx meta -> publish ctx (space_of ctx meta)
+  | Assert_home ->
+      fun ctx meta -> assert (ctx.Protocol.proc.Machine.id = meta.Store.home)
+  | Home_lock -> fun ctx meta -> Blocks.home_lock ctx.Protocol.bctx meta
+  | Home_unlock -> fun ctx meta -> Blocks.home_unlock ctx.Protocol.bctx meta
+  | Count key ->
+      let id = Stats.intern key in
+      fun ctx _ ->
+        Stats.incr_id (Machine.stats ctx.Protocol.rt.Protocol.machine) id
+
+let saction_fn : saction -> Protocol.ctx -> Protocol.space -> unit = function
+  | Publish -> publish
+  | Flush_space -> Ace_runtime.Proto_sc.detach
+  | Drop_remote_copies -> Ace_runtime.Proto_null.detach
+  | SCount key ->
+      let id = Stats.intern key in
+      fun ctx _ ->
+        Stats.incr_id (Machine.stats ctx.Protocol.rt.Protocol.machine) id
+
+(* Compile one hook: the empty list is THE null hook (physical equality
+   matters — the registry and the flag lint both compare with [!=]); a
+   single action is its bare function (no wrapper closure on the hot
+   path); longer chains fold into nested calls, still closure-chained at
+   compile time. *)
+let compile_hook fn_of = function
+  | [] -> Protocol.null_hook
+  | [ a ] -> fn_of a
+  | acts ->
+      let fns = List.map fn_of acts in
+      fun ctx x -> List.iter (fun f -> f ctx x) fns
+
+(* Only observational actions may live on an [unregistered] hook: the
+   direct-dispatch pass deletes these calls, so anything that charges
+   cycles or moves data there would silently change simulated output. *)
+let observational = function
+  | Assert_home | Count _ -> true
+  | Charge _ | Fetch_shared | Fetch_exclusive | Push_update | Queue_update
+  | Publish_writes | Home_lock | Home_unlock ->
+      false
+
+let point_name = function
+  | Start_read -> "start_read"
+  | End_read -> "end_read"
+  | Start_write -> "start_write"
+  | End_write -> "end_write"
+
+let compile (s : spec) : Protocol.protocol =
+  let acts_of = function
+    | Start_read -> s.start_read
+    | End_read -> s.end_read
+    | Start_write -> s.start_write
+    | End_write -> s.end_write
+  in
+  List.iter
+    (fun pt ->
+      let acts = acts_of pt in
+      if not (List.for_all observational acts) then
+        invalid_arg
+          (Printf.sprintf
+             "Lang.compile: %s.%s is unregistered but has effectful actions"
+             s.name (point_name pt)))
+    s.unregistered;
+  let has pt = acts_of pt <> [] && not (List.mem pt s.unregistered) in
+  {
+    Protocol.name = s.name;
+    optimizable = s.optimizable;
+    has_start_read = has Start_read;
+    has_end_read = has End_read;
+    has_start_write = has Start_write;
+    has_end_write = has End_write;
+    start_read = compile_hook raction_fn s.start_read;
+    end_read = compile_hook raction_fn s.end_read;
+    start_write = compile_hook raction_fn s.start_write;
+    end_write = compile_hook raction_fn s.end_write;
+    barrier = compile_hook saction_fn s.barrier;
+    lock = compile_hook raction_fn s.lock;
+    unlock = compile_hook raction_fn s.unlock;
+    attach = compile_hook saction_fn s.attach;
+    detach = compile_hook saction_fn s.detach;
+  }
+
+(* {2 Layers}
+
+   Layers transform specs, not compiled records, so a stack of layers still
+   compiles to one flat closure chain per hook and the [has_*] flags stay
+   truthful after composition. *)
+
+let with_name name s = { s with name }
+
+(* Logging/counting layer: prepend a counter bump to every hook that
+   already has actions. Counters cost zero simulated cycles and no hook
+   goes from null to live (or back), so the layered protocol is
+   semantics-transparent: bit-identical simulated output, plus
+   [<prefix>.<hook>] observation counters. *)
+let counting ?prefix s =
+  let prefix =
+    match prefix with
+    | Some p -> p
+    | None -> "comb." ^ String.lowercase_ascii s.name
+  in
+  let r hook acts =
+    match acts with [] -> [] | _ -> Count (prefix ^ "." ^ hook) :: acts
+  in
+  let sp hook acts =
+    match acts with [] -> [] | _ -> SCount (prefix ^ "." ^ hook) :: acts
+  in
+  {
+    s with
+    start_read = r "start_read" s.start_read;
+    end_read = r "end_read" s.end_read;
+    start_write = r "start_write" s.start_write;
+    end_write = r "end_write" s.end_write;
+    lock = r "lock" s.lock;
+    unlock = r "unlock" s.unlock;
+    barrier = sp "barrier" s.barrier;
+    attach = sp "attach" s.attach;
+    detach = sp "detach" s.detach;
+  }
+
+(* Write-combining layer: every [Push_update] in end_write becomes a queue
+   entry, and every synchronization point — barrier, unlock, detach —
+   publishes the queue before its own actions. Same contract as
+   DYN_UPDATE's bulk-transfer mode, but applied uniformly in both batching
+   modes: consumers synchronize before reading, so they observe the same
+   values at the same sync points as the immediate-push base. *)
+let write_combining s =
+  let defer = List.map (function Push_update -> Queue_update | a -> a) in
+  {
+    s with
+    end_write = defer s.end_write;
+    barrier = Publish :: s.barrier;
+    unlock = Publish_writes :: s.unlock;
+    detach = Publish :: s.detach;
+  }

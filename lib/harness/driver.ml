@@ -173,6 +173,7 @@ let run_ace (type cfg) ?faults ?batch ?trace ?crit ?cost ?stats ?policy
   attach_faults (Ace_runtime.Runtime.am rt) faults;
   attach_batch (Ace_runtime.Runtime.am rt) batch;
   Ace_protocols.Proto_lib.register_all rt;
+  Ace_combinator.Library.register_all rt;
   (* Install the online protocol-adaptation engine (default absent: the
      Ops.adapt hook then returns None and fixed-protocol runs pay nothing,
      keeping their output bit-identical). *)

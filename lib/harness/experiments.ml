@@ -302,6 +302,74 @@ let fig7b ?(scale = default_scale) ?jobs ?trace_dir ?faults ?batch ?engine () =
       };
     |]
 
+(* Combinator-compiler identity grid: each row runs one benchmark twice on
+   the Ace runtime — once under a hand-written protocol, once under its
+   combinator-built re-expression — and must be bit-identical (simulated
+   seconds, checksum, physical messages). Both sides pin the protocol via
+   the app's override (a collective Ace_ChangeProtocol), so the SC rows
+   pay the same switch storm on both sides and the comparison is
+   symmetric. *)
+let combinator ?(scale = default_scale) ?jobs ?faults ?batch ?engine () =
+  let iters = 4 in
+  let nprocs = scale.nprocs in
+  let pi run = Driver.per_iteration ~run_with_steps:run ~iters in
+  let avg run = let t, r = tsp_avg run in { Driver.seconds = t; result = r } in
+  let em3d ~stats proto steps =
+    Driver.run_ace ?faults ?batch ?engine ~stats ~nprocs (module Em3d)
+      { (em3d_cfg scale steps) with Em3d.protocol = Some proto }
+  in
+  let bh ~stats proto steps =
+    Driver.run_ace ?faults ?batch ?engine ~stats ~nprocs (module Barnes_hut)
+      { (bh_cfg scale steps) with Barnes_hut.protocol = Some proto }
+  in
+  let water ~stats proto steps =
+    Driver.run_ace ?faults ?batch ?engine ~stats ~nprocs (module Water)
+      { (water_cfg scale steps) with Water.phase_protocols = Some (proto, proto) }
+  in
+  let bsc ~stats proto =
+    Driver.run_ace ?faults ?batch ?engine ~stats ~nprocs (module Cholesky)
+      { (bsc_cfg scale) with Cholesky.protocol = Some proto }
+  in
+  let tsp ~stats proto cfg =
+    Driver.run_ace ?faults ?batch ?engine ~stats ~nprocs (module Tsp)
+      { cfg with Tsp.counter_protocol = Some proto }
+  in
+  let pair name hand dsl run =
+    {
+      sname = name;
+      sper_iteration = true;
+      sbase = (fun ~stats -> pi (run ~stats hand));
+      sace = (fun ~stats -> pi (run ~stats dsl));
+    }
+  in
+  collect ?jobs
+    [|
+      pair "EM3D / SC" "SC" "DSL_SC" em3d;
+      pair "Barnes-Hut / SC" "SC" "DSL_SC" bh;
+      pair "Water / SC" "SC" "DSL_SC" water;
+      {
+        sname = "BSC / SC";
+        sper_iteration = false;
+        sbase = (fun ~stats -> bsc ~stats "SC");
+        sace = (fun ~stats -> bsc ~stats "DSL_SC");
+      };
+      {
+        sname = "TSP / SC";
+        sper_iteration = false;
+        sbase = (fun ~stats -> avg (tsp ~stats "SC"));
+        sace = (fun ~stats -> avg (tsp ~stats "DSL_SC"));
+      };
+      pair "EM3D / MIGRATORY" "MIGRATORY" "DSL_MIGRATORY" em3d;
+      pair "Barnes-Hut / MIGRATORY" "MIGRATORY" "DSL_MIGRATORY" bh;
+      pair "Water / MIGRATORY" "MIGRATORY" "DSL_MIGRATORY" water;
+      {
+        sname = "BSC / WRITE_ONCE";
+        sper_iteration = false;
+        sbase = (fun ~stats -> bsc ~stats "WRITE_ONCE");
+        sace = (fun ~stats -> bsc ~stats "DSL_WRITE_ONCE");
+      };
+    |]
+
 let print_rows ~left ~right rows =
   Printf.printf "%-26s %12s %12s %9s  %s\n" "benchmark" left right "speedup"
     "unit";

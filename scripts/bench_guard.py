@@ -202,6 +202,52 @@ def serving_guard(report):
     return checks
 
 
+# Combinator-compiler guard: every identity row must be bit-identical
+# (hand-written vs DSL-built protocol), and compiled-dispatch wall time may
+# exceed hand-written dispatch by 5% plus an absolute floor — the same
+# noise-honest shape as the critpath recorder bound, because these are
+# sub-second EM3D runs.
+COMBINATOR_TOLERANCE = 0.05
+COMBINATOR_FLOOR_S = 0.15
+
+
+def combinator_guard(report):
+    """Check combinator identity rows and the DSL dispatch-wall bound."""
+    rows = [r for r in report.get("rows", [])
+            if r.get("experiment") == "combinator"]
+    if not rows:
+        return []
+
+    checks = []
+    walls = {}
+    for r in rows:
+        name = r.get("name", "?")
+        sims = r.get("sim_s") or {}
+        if "identical" in sims:
+            checks.append({
+                "series": f"combinator-identity-{name}",
+                "hand_s": sims.get("hand"),
+                "dsl_s": sims.get("dsl"),
+                "ok": sims.get("identical") == 1,
+            })
+        if name in ("dispatch-em3d-hand", "dispatch-em3d-dsl"):
+            walls[name] = r.get("wall_s")
+
+    hand, dsl = walls.get("dispatch-em3d-hand"), walls.get("dispatch-em3d-dsl")
+    if hand is not None and dsl is not None:
+        limit = hand * (1.0 + COMBINATOR_TOLERANCE) + COMBINATOR_FLOOR_S
+        checks.append({
+            "series": "combinator-dispatch-wall",
+            "hand_wall_s": hand,
+            "dsl_wall_s": dsl,
+            "limit_wall_s": limit,
+            "ok": dsl <= limit,
+        })
+    else:
+        checks.append({"series": "combinator-dispatch-rows", "ok": False})
+    return checks
+
+
 # Parallel-engine speedup thresholds. Wall assertions only gate when the
 # host has at least [shards] cores; identity always gates.
 ENGINE_HEADLINE_SPEEDUP = 1.5
@@ -304,6 +350,10 @@ def main():
     ap.add_argument("--serving-only", action="store_true",
                     help="skip the wall-clock comparison; only run the "
                          "adaptation guard on CURRENT's serving rows")
+    ap.add_argument("--combinator-only", action="store_true",
+                    help="skip the wall-clock comparison; only run the "
+                         "combinator identity + dispatch-overhead guard on "
+                         "CURRENT's combinator rows")
     ap.add_argument("--engine-only", action="store_true",
                     help="parallel-engine guard: with BASELINE, require "
                          "identical simulated output on shared rows; "
@@ -348,6 +398,23 @@ def main():
         elif not c["ok"]:
             print(f"bench_guard: serving check {c['series']}: FAIL")
 
+    combinator_checks = combinator_guard(cur)
+    combinator_ok = all(c["ok"] for c in combinator_checks)
+    for c in combinator_checks:
+        series = c["series"]
+        if series.startswith("combinator-identity"):
+            print(f"bench_guard: {series}: "
+                  f"{'OK' if c['ok'] else 'DIVERGED FROM HAND-WRITTEN'}")
+        elif series == "combinator-dispatch-wall":
+            print(f"bench_guard: combinator dispatch: hand "
+                  f"{c['hand_wall_s']:.3f}s, dsl {c['dsl_wall_s']:.3f}s "
+                  f"(limit {c['limit_wall_s']:.3f}s = hand x "
+                  f"{1.0 + COMBINATOR_TOLERANCE:.2f} + "
+                  f"{COMBINATOR_FLOOR_S}s floor, "
+                  f"{'OK' if c['ok'] else 'DISPATCH REGRESSION'})")
+        elif not c["ok"]:
+            print(f"bench_guard: combinator check {series}: FAIL")
+
     if args.scaling_only:
         if not scaling_checks:
             sys.exit("bench_guard: --scaling-only but no scaling rows "
@@ -377,6 +444,16 @@ def main():
                 json.dump({"ok": serving_ok, "serving": serving_checks},
                           f, indent=2)
         sys.exit(0 if serving_ok else 1)
+
+    if args.combinator_only:
+        if not combinator_checks:
+            sys.exit("bench_guard: --combinator-only but no combinator "
+                     "rows in current report")
+        if args.report:
+            with open(args.report, "w") as f:
+                json.dump({"ok": combinator_ok,
+                           "combinator": combinator_checks}, f, indent=2)
+        sys.exit(0 if combinator_ok else 1)
 
     if args.engine_only:
         checks = []
